@@ -1,0 +1,132 @@
+// Semi-distributed runtime accounting (paper Sections 1 and 7): "all the
+// heavy processing is done on the servers ... the central body is only
+// required to take a binary decision".  This bench quantifies that claim:
+// protocol traffic split between centre and agents, simulated convergence
+// time under the latency model, and the wall-clock effect of running the
+// agents' PARFOR loops on the thread pool.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "core/agt_ram.hpp"
+#include "runtime/distributed_mechanism.hpp"
+#include "runtime/event_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace agtram;
+
+  common::Cli cli("Runtime ablation: semi-distributed traffic and parallel "
+                  "agent evaluation");
+  bench::add_common_flags(cli);
+  cli.add_flag("capacity", "30", "paper C%%");
+  cli.add_flag("rw", "0.90", "read fraction");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const bench::Dims dims = bench::resolve_dims(cli);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const drp::Problem problem = bench::build_instance(
+      dims, cli.get_double("capacity"), cli.get_double("rw"), seed);
+
+  // --- Serial vs. parallel agent evaluation (identical allocations).
+  common::Timer serial_timer;
+  const auto serial = core::run_agt_ram(problem);
+  const double serial_seconds = serial_timer.seconds();
+
+  const auto distributed = runtime::run_distributed(problem);
+  const auto& stats = distributed.messages;
+
+  {
+    common::Table table({"metric", "value"});
+    table.set_title("Semi-distributed AGT-RAM run [M=" +
+                    std::to_string(dims.servers) + ", N=" +
+                    std::to_string(dims.objects) + "]");
+    table.add_row({"rounds", std::to_string(stats.rounds)});
+    table.add_row({"replicas placed",
+                   std::to_string(distributed.result.replicas_placed())});
+    table.add_row({"centre (medoid server)",
+                   std::to_string(distributed.centre)});
+    table.add_row({"agent->centre reports",
+                   std::to_string(stats.report_messages)});
+    table.add_row({"centre->winner allocations",
+                   std::to_string(stats.allocation_messages)});
+    table.add_row({"centre broadcasts (fan-out msgs)",
+                   std::to_string(stats.broadcast_messages)});
+    table.add_row({"total protocol bytes",
+                   std::to_string(stats.total_bytes())});
+    table.add_row({"bytes per placed replica",
+                   common::Table::num(
+                       static_cast<double>(stats.total_bytes()) /
+                           static_cast<double>(std::max<std::size_t>(
+                               1, distributed.result.replicas_placed())),
+                       1)});
+    table.add_row({"simulated protocol time (s)",
+                   common::Table::num(stats.simulated_seconds, 3)});
+    table.add_row({"serial wall time (s)",
+                   common::Table::num(serial_seconds, 3)});
+    table.add_row({"parallel-agents wall time (s)",
+                   common::Table::num(distributed.wall_seconds, 3)});
+    bench::emit(cli, table);
+  }
+
+  // --- The binary-decision claim: per round the centre compares scalars;
+  // its decision payload is O(1) regardless of N.
+  {
+    common::Table table({"check", "result"});
+    table.set_title("Scalability checks (the centre's work is O(M) scalars "
+                    "per round, independent of N)");
+    const double reports_per_round =
+        static_cast<double>(stats.report_messages) /
+        static_cast<double>(std::max<std::size_t>(1, stats.rounds));
+    table.add_row({"mean reports per round (<= M)",
+                   common::Table::num(reports_per_round, 1)});
+    table.add_row({"report payload (bytes)", "16"});
+    table.add_row({"decision payload (bytes)", "16"});
+    const bool identical =
+        serial.rounds.size() == distributed.result.rounds.size();
+    table.add_row({"parallel == serial allocation",
+                   identical ? "yes" : "NO (bug!)"});
+    table.print(std::cout);
+  }
+
+  // --- Discrete-event protocol simulation: turn-around time of the wire
+  // protocol (Figure 2) under clean, straggly, and lossy networks, flat vs
+  // regional decision bodies.
+  {
+    common::Table table({"deployment", "network", "makespan (s)",
+                         "rounds/epochs", "network share", "compute share",
+                         "msgs", "retransmits"});
+    table.set_title("protocol turn-around time (discrete-event simulation)");
+    struct Scenario {
+      const char* name;
+      double straggler;
+      double loss;
+    };
+    const Scenario scenarios[] = {
+        {"clean", 0.0, 0.0}, {"stragglers x3", 3.0, 0.0},
+        {"2% message loss", 0.0, 0.02}};
+    for (const Scenario& s : scenarios) {
+      runtime::ProtocolModel model;
+      model.straggler_factor = s.straggler;
+      model.loss_probability = s.loss;
+      for (const std::uint32_t regions : {0u, 8u}) {
+        const runtime::ProtocolTrace trace =
+            regions == 0
+                ? runtime::simulate_protocol(problem, model)
+                : runtime::simulate_regional_protocol(problem, regions, model);
+        table.add_row(
+            {regions == 0 ? "flat (1 centre)" : "regional (8 centres)",
+             s.name, common::Table::num(trace.makespan_seconds, 3),
+             std::to_string(trace.rounds),
+             common::Table::pct(trace.network_seconds /
+                                trace.makespan_seconds),
+             common::Table::pct(trace.compute_seconds /
+                                trace.makespan_seconds),
+             std::to_string(trace.messages_sent),
+             std::to_string(trace.retransmissions)});
+      }
+      std::cerr << "  protocol scenario '" << s.name << "' done\n";
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Shared support for the figure/table reproduction harness.
+//
+// Scale calibration (see DESIGN.md "Substitutions" and EXPERIMENTS.md):
+//
+//  * Dimensions.  The paper runs M = 3718 servers x N = 25000 objects; the
+//    default bench scale divides both by ~10-15 so the full suite finishes
+//    in minutes on a laptop.  Every binary takes --servers/--objects (and
+//    --scale paper to restore the full size).
+//
+//  * Capacity axis.  The paper's C% is relative to its trace's per-server
+//    demand density; in our synthetic instances the capacity constraint
+//    stops binding at a much smaller fraction of the total object bytes
+//    (each server's profitable set is ~1-2% of the catalogue).  The bench
+//    therefore maps the paper's C% axis linearly onto the binding region:
+//    capacity_fraction = C% * kCapacityPerPercent, which reproduces the
+//    figure shapes (steep rise, then plateau) over the same 10%..45% axis.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baselines/registry.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "drp/builder.hpp"
+#include "drp/cost_model.hpp"
+
+namespace agtram::bench {
+
+inline constexpr double kCapacityPerPercent = 0.0005;
+
+/// Paper C% (e.g. 25.0) -> builder capacity fraction.
+inline double capacity_fraction(double paper_percent) {
+  return paper_percent * kCapacityPerPercent;
+}
+
+/// Registers the flags every reproduction binary shares.
+inline void add_common_flags(common::Cli& cli) {
+  cli.add_flag("servers", "160", "number of servers M (paper: 3718)");
+  cli.add_flag("objects", "1600", "number of objects N (paper: 25000)");
+  cli.add_flag("scale", "default",
+               "'default' uses --servers/--objects; 'paper' restores the "
+               "full M=3718, N=25000 (slow!)");
+  cli.add_flag("seed", "2007", "experiment seed");
+  cli.add_flag("trials", "1",
+               "instances per cell (results averaged over seeds)");
+  cli.add_flag("csv", "", "also write results as CSV to this file path");
+}
+
+struct Dims {
+  std::uint32_t servers;
+  std::uint32_t objects;
+};
+
+inline Dims resolve_dims(const common::Cli& cli) {
+  if (cli.get("scale") == "paper") return Dims{3718, 25000};
+  return Dims{static_cast<std::uint32_t>(cli.get_int("servers")),
+              static_cast<std::uint32_t>(cli.get_int("objects"))};
+}
+
+/// Builds the experiment instance for a (C%, R/W) cell.
+///
+/// Topology choice mirrors the paper: GT-ITM-style flat random graphs at
+/// bench scale, but the Inet-style power-law family once M reaches
+/// AS-level size (the paper itself sizes M = 3718 with Inet; a dense
+/// G(M, 0.5) of that order would also make the metric closure needlessly
+/// expensive).
+inline drp::Problem build_instance(Dims dims, double paper_capacity_percent,
+                                   double rw, std::uint64_t seed) {
+  drp::InstanceSpec spec;
+  spec.servers = dims.servers;
+  spec.objects = dims.objects;
+  spec.seed = seed;
+  if (dims.servers > 1000) spec.topology = net::TopologyKind::PowerLaw;
+  spec.instance.capacity_fraction = capacity_fraction(paper_capacity_percent);
+  spec.instance.rw_ratio = rw;
+  return drp::make_instance(spec);
+}
+
+struct RunOutcome {
+  double savings;       ///< OTC saved vs. primaries-only, fraction
+  double seconds;       ///< wall time of the placement algorithm
+  std::size_t replicas; ///< replicas placed beyond the primaries
+};
+
+inline RunOutcome run_algorithm(const baselines::AlgorithmEntry& algorithm,
+                                const drp::Problem& problem,
+                                double initial_cost, std::uint64_t seed) {
+  common::Timer timer;
+  const drp::ReplicaPlacement placement = algorithm.run(problem, seed);
+  const double seconds = timer.seconds();
+  const double cost = drp::CostModel::total_cost(placement);
+  return RunOutcome{(initial_cost - cost) / initial_cost, seconds,
+                    placement.extra_replica_count()};
+}
+
+/// Mean savings of `algorithm` over `trials` instances built by `make`.
+/// `make(seed)` must return a fresh Problem per trial seed.
+template <typename MakeInstance>
+RunOutcome run_trials(const baselines::AlgorithmEntry& algorithm,
+                      const MakeInstance& make, std::uint64_t base_seed,
+                      std::int64_t trials) {
+  RunOutcome mean{0.0, 0.0, 0};
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(t);
+    const drp::Problem problem = make(seed);
+    const double initial = drp::CostModel::initial_cost(problem);
+    const RunOutcome outcome = run_algorithm(algorithm, problem, initial, seed);
+    mean.savings += outcome.savings / static_cast<double>(trials);
+    mean.seconds += outcome.seconds / static_cast<double>(trials);
+    mean.replicas += outcome.replicas / static_cast<std::size_t>(trials);
+  }
+  return mean;
+}
+
+/// Prints the table and honours --csv.
+inline void emit(const common::Cli& cli, const common::Table& table) {
+  table.print(std::cout);
+  const std::string csv_path = cli.get("csv");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    table.write_csv(out);
+    std::cout << "csv written to " << csv_path << "\n";
+  }
+}
+
+}  // namespace agtram::bench

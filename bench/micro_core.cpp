@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks for the performance-critical primitives:
+// the metric closure, the incremental cost engine, NN maintenance, and a
+// full mechanism round.  These guard the complexity claims behind Table 1
+// (AGT-RAM's near-linear rounds via the lazy heaps).
+#include <benchmark/benchmark.h>
+
+#include "core/agent.hpp"
+#include "core/agt_ram.hpp"
+#include "drp/builder.hpp"
+#include "drp/cost_model.hpp"
+#include "net/shortest_paths.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace agtram;
+
+const drp::Problem& cached_instance(std::uint32_t servers,
+                                    std::uint32_t objects) {
+  static std::map<std::pair<std::uint32_t, std::uint32_t>, drp::Problem>
+      cache;
+  const auto key = std::make_pair(servers, objects);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    drp::InstanceSpec spec;
+    spec.servers = servers;
+    spec.objects = objects;
+    spec.seed = 42;
+    spec.instance.capacity_fraction = 0.01;
+    spec.instance.rw_ratio = 0.9;
+    it = cache.emplace(key, drp::make_instance(spec)).first;
+  }
+  return it->second;
+}
+
+void BM_DijkstraSingleSource(benchmark::State& state) {
+  net::TopologyConfig cfg;
+  cfg.nodes = static_cast<std::uint32_t>(state.range(0));
+  cfg.edge_probability = 0.1;
+  cfg.seed = 7;
+  const net::Graph g = net::generate_topology(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::dijkstra(g, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DijkstraSingleSource)->Arg(128)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_MetricClosure(benchmark::State& state) {
+  net::TopologyConfig cfg;
+  cfg.nodes = static_cast<std::uint32_t>(state.range(0));
+  cfg.edge_probability = 0.1;
+  cfg.seed = 7;
+  const net::Graph g = net::generate_topology(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::DistanceMatrix::compute(g));
+  }
+}
+BENCHMARK(BM_MetricClosure)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_TotalCost(benchmark::State& state) {
+  const drp::Problem& p =
+      cached_instance(128, static_cast<std::uint32_t>(state.range(0)));
+  const drp::ReplicaPlacement placement(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drp::CostModel::total_cost(placement));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TotalCost)->Arg(500)->Arg(1000)->Arg(2000)->Complexity();
+
+void BM_AgentBenefit(benchmark::State& state) {
+  const drp::Problem& p = cached_instance(128, 1000);
+  const drp::ReplicaPlacement placement(p);
+  drp::ObjectIndex k = 0;
+  for (auto _ : state) {
+    const auto accessors = p.access.accessors(k);
+    if (!accessors.empty() &&
+        !placement.is_replicator(accessors[0].server, k)) {
+      benchmark::DoNotOptimize(
+          drp::CostModel::agent_benefit(placement, accessors[0].server, k));
+    }
+    k = (k + 1) % static_cast<drp::ObjectIndex>(p.object_count());
+  }
+}
+BENCHMARK(BM_AgentBenefit);
+
+void BM_GlobalBenefit(benchmark::State& state) {
+  const drp::Problem& p = cached_instance(128, 1000);
+  const drp::ReplicaPlacement placement(p);
+  drp::ObjectIndex k = 0;
+  for (auto _ : state) {
+    const auto accessors = p.access.accessors(k);
+    if (!accessors.empty() &&
+        !placement.is_replicator(accessors[0].server, k)) {
+      benchmark::DoNotOptimize(
+          drp::CostModel::global_benefit(placement, accessors[0].server, k));
+    }
+    k = (k + 1) % static_cast<drp::ObjectIndex>(p.object_count());
+  }
+}
+BENCHMARK(BM_GlobalBenefit);
+
+void BM_AddReplicaNnUpdate(benchmark::State& state) {
+  const drp::Problem& p = cached_instance(128, 1000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    drp::ReplicaPlacement placement(p);
+    state.ResumeTiming();
+    for (drp::ObjectIndex k = 0; k < 64; ++k) {
+      const auto accessors = p.access.accessors(k);
+      if (accessors.empty()) continue;
+      if (placement.can_replicate(accessors[0].server, k)) {
+        placement.add_replica(accessors[0].server, k);
+      }
+    }
+  }
+}
+BENCHMARK(BM_AddReplicaNnUpdate)->Unit(benchmark::kMicrosecond);
+
+void BM_FullMechanism(benchmark::State& state) {
+  const drp::Problem& p =
+      cached_instance(static_cast<std::uint32_t>(state.range(0)),
+                      static_cast<std::uint32_t>(state.range(0)) * 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_agt_ram(p));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullMechanism)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_MechanismRoundsParallel(benchmark::State& state) {
+  const drp::Problem& p = cached_instance(256, 2560);
+  core::AgtRamConfig cfg;
+  cfg.parallel_agents = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_agt_ram(p, cfg));
+  }
+  state.SetLabel(cfg.parallel_agents ? "parallel" : "serial");
+}
+BENCHMARK(BM_MechanismRoundsParallel)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

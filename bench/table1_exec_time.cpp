@@ -1,0 +1,74 @@
+// Table 1 reproduction: running time of the replica placement methods.
+//
+// Paper setup: C = 45%, R/W = 0.85, nine problem sizes
+// (M in {2500, 3000, 3718} x N in {15k, 20k, 25k}); entries are seconds,
+// the fastest method per row in bold, plus AGT-RAM's improvement over the
+// slowest.  Observation to reproduce: AGT-RAM terminates fastest, GRA
+// slowest; the default bench grid scales both axes by ~10.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace agtram;
+
+  common::Cli cli("Table 1: running time (seconds) of the placement methods "
+                  "[C=45%, R/W=0.85 in the paper]");
+  bench::add_common_flags(cli);
+  cli.add_flag("capacity", "45", "paper C%%");
+  cli.add_flag("rw", "0.85", "read fraction");
+  cli.add_flag("m-grid", "250,300,372", "server counts (paper: 2500,3000,3718)");
+  cli.add_flag("n-grid", "1500,2000,2500", "object counts (paper: 15k,20k,25k)");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const double capacity = cli.get_double("capacity");
+  const double rw = cli.get_double("rw");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  auto m_grid = cli.get_double_list("m-grid");
+  auto n_grid = cli.get_double_list("n-grid");
+  if (cli.get("scale") == "paper") {
+    m_grid = {2500, 3000, 3718};
+    n_grid = {15000, 20000, 25000};
+  }
+  const auto algorithms = baselines::all_algorithms();
+
+  std::vector<std::string> headers{"problem size"};
+  for (const auto& a : algorithms) headers.push_back(a.name);
+  headers.push_back("AGT-RAM vs slowest");
+  common::Table table(std::move(headers));
+  table.set_title("Table 1: running time of the replica placement methods "
+                  "in seconds [C=" + common::Table::num(capacity, 0) +
+                  "%, R/W=" + common::Table::num(rw, 2) + "]");
+
+  for (const double m : m_grid) {
+    for (const double n : n_grid) {
+      const bench::Dims dims{static_cast<std::uint32_t>(m),
+                             static_cast<std::uint32_t>(n)};
+      const drp::Problem problem =
+          bench::build_instance(dims, capacity, rw, seed);
+      const double initial = drp::CostModel::initial_cost(problem);
+
+      std::vector<std::string> row{"M=" + std::to_string(dims.servers) +
+                                   ", N=" + std::to_string(dims.objects)};
+      double agtram_seconds = 0.0;
+      double slowest = 0.0;
+      double fastest = 1e30;
+      for (const auto& algorithm : algorithms) {
+        const auto outcome =
+            bench::run_algorithm(algorithm, problem, initial, seed);
+        row.push_back(common::Table::num(outcome.seconds, 3));
+        slowest = std::max(slowest, outcome.seconds);
+        fastest = std::min(fastest, outcome.seconds);
+        if (algorithm.name == "AGT-RAM") agtram_seconds = outcome.seconds;
+      }
+      // The paper reports the % improvement AGT-RAM brings over the row.
+      row.push_back(common::Table::pct(
+          (slowest - agtram_seconds) / slowest, 1));
+      table.add_row(std::move(row));
+      std::cerr << "  M=" << dims.servers << " N=" << dims.objects << " done\n";
+    }
+  }
+  bench::emit(cli, table);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Scalability study: the paper's core systems argument is that the
+// semi-distributed design scales — the centre compares M scalars per round
+// while the O(N)-heavy valuation work stays on the servers.  This example
+// grows the system (fixed N/M density) and reports AGT-RAM's wall time,
+// rounds, and the centre's per-round traffic, next to the centralised
+// Greedy baseline whose cost grows much faster.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "baselines/greedy.hpp"
+#include "core/agt_ram.hpp"
+#include "drp/builder.hpp"
+#include "drp/cost_model.hpp"
+#include "runtime/distributed_mechanism.hpp"
+
+int main(int argc, char** argv) {
+  using namespace agtram;
+
+  common::Cli cli("Scalability of the semi-distributed mechanism vs. the "
+                  "centralised greedy");
+  cli.add_flag("sizes", "50,100,200,400", "server counts to sweep");
+  cli.add_flag("density", "10", "objects per server (N = density * M)");
+  cli.add_flag("seed", "17", "experiment seed");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const auto density = static_cast<std::uint32_t>(cli.get_int("density"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  common::Table table({"M", "N", "AGT-RAM (s)", "Greedy (s)", "speedup",
+                       "rounds", "centre msgs/round", "AGT-RAM savings",
+                       "Greedy savings"});
+  table.set_title("scaling sweep (fixed object density per server)");
+
+  for (const double m : cli.get_double_list("sizes")) {
+    drp::InstanceSpec spec;
+    spec.servers = static_cast<std::uint32_t>(m);
+    spec.objects = spec.servers * density;
+    spec.seed = seed;
+    spec.instance.capacity_fraction = 0.01;
+    spec.instance.rw_ratio = 0.92;
+    const drp::Problem problem = drp::make_instance(spec);
+    const double initial = drp::CostModel::initial_cost(problem);
+
+    common::Timer agt_timer;
+    const auto report = runtime::run_distributed(problem);
+    const double agt_seconds = agt_timer.seconds();
+    const double agt_savings =
+        (initial - drp::CostModel::total_cost(report.result.placement)) /
+        initial;
+
+    common::Timer greedy_timer;
+    const auto greedy = baselines::run_greedy(problem);
+    const double greedy_seconds = greedy_timer.seconds();
+    const double greedy_savings =
+        (initial - drp::CostModel::total_cost(greedy)) / initial;
+
+    const double msgs_per_round =
+        static_cast<double>(report.messages.report_messages) /
+        static_cast<double>(std::max<std::size_t>(1, report.messages.rounds));
+
+    table.add_row({std::to_string(spec.servers),
+                   std::to_string(spec.objects),
+                   common::Table::num(agt_seconds, 3),
+                   common::Table::num(greedy_seconds, 3),
+                   common::Table::num(greedy_seconds / std::max(1e-9, agt_seconds), 1) + "x",
+                   std::to_string(report.messages.rounds),
+                   common::Table::num(msgs_per_round, 1),
+                   common::Table::pct(agt_savings),
+                   common::Table::pct(greedy_savings)});
+    std::cerr << "  M=" << spec.servers << " done\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nthe centre's per-round message count stays <= M while the\n"
+               "valuation work (O(candidate lists)) runs on the servers —\n"
+               "the paper's semi-distributed scalability claim.\n";
+  return 0;
+}

@@ -1,0 +1,233 @@
+#include "baselines/aestar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "drp/cost_model.hpp"
+
+namespace agtram::baselines {
+
+namespace {
+
+struct Move {
+  double benefit;
+  drp::ServerId server;
+  drp::ObjectIndex object;
+};
+
+/// Optimistic remaining saving: every non-local read could, at best, become
+/// free without any added broadcast cost.  Admissible by construction.
+double optimistic_saving(const drp::ReplicaPlacement& placement) {
+  const drp::Problem& p = placement.problem();
+  double saving = 0.0;
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    const double o = static_cast<double>(p.object_units[k]);
+    const auto accessors = p.access.accessors(k);
+    for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+      const auto& a = accessors[slot];
+      if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
+      saving += static_cast<double>(a.reads) * o *
+                static_cast<double>(placement.nn_distance_by_slot(k, slot));
+    }
+  }
+  return saving;
+}
+
+/// Cheap candidate generator: for each object, score its hungriest
+/// non-replicator reader (r * o * nn); evaluate exact global benefit only
+/// for the highest-scoring shortlist and return the top `want` moves.
+std::vector<Move> candidate_moves(const drp::ReplicaPlacement& placement,
+                                  std::uint32_t want) {
+  const drp::Problem& p = placement.problem();
+  struct Scored {
+    double score;
+    drp::ServerId server;
+    drp::ObjectIndex object;
+  };
+  std::vector<Scored> shortlist;
+  shortlist.reserve(p.object_count());
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    const double o = static_cast<double>(p.object_units[k]);
+    const auto accessors = p.access.accessors(k);
+    double best_score = 0.0;
+    drp::ServerId best_server = 0;
+    for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+      const auto& a = accessors[slot];
+      if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
+      if (!placement.can_replicate(a.server, k)) continue;
+      const double score =
+          static_cast<double>(a.reads) * o *
+          static_cast<double>(placement.nn_distance_by_slot(k, slot));
+      if (score > best_score) {
+        best_score = score;
+        best_server = a.server;
+      }
+    }
+    if (best_score > 0.0) shortlist.push_back(Scored{best_score, best_server, k});
+  }
+  std::sort(shortlist.begin(), shortlist.end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+  // Walk the shortlist in score order, evaluating exact global benefits.
+  // The walk goes deeper than 4x`want` only while it has not yet found
+  // `want` positive moves, so "no moves returned" really means exhaustion.
+  std::vector<Move> moves;
+  for (std::size_t s = 0; s < shortlist.size(); ++s) {
+    if (s >= std::size_t{4} * want && moves.size() >= want) break;
+    const double benefit = drp::CostModel::global_benefit(
+        placement, shortlist[s].server, shortlist[s].object);
+    if (benefit > 0.0) {
+      moves.push_back(Move{benefit, shortlist[s].server, shortlist[s].object});
+    }
+  }
+  std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+    return a.benefit > b.benefit;
+  });
+  if (moves.size() > want) moves.resize(want);
+  return moves;
+}
+
+/// Best reader-site move for one object by exact global benefit.
+Move best_reader_move(const drp::ReplicaPlacement& placement,
+                      drp::ObjectIndex k) {
+  const drp::Problem& p = placement.problem();
+  Move best{0.0, 0, k};
+  for (const auto& a : p.access.accessors(k)) {
+    if (a.reads == 0 || !placement.can_replicate(a.server, k)) continue;
+    const double benefit =
+        drp::CostModel::global_benefit(placement, a.server, k);
+    if (benefit > best.benefit) {
+      best.benefit = benefit;
+      best.server = a.server;
+    }
+  }
+  return best;
+}
+
+/// Exhausts all remaining positive reader-site moves with a lazy per-object
+/// max-heap (benefits only decrease, so stale tops are re-validated on pop).
+void complete_greedily(drp::ReplicaPlacement& placement) {
+  struct HeapEntry {
+    double benefit;
+    drp::ObjectIndex object;
+    bool operator<(const HeapEntry& other) const noexcept {
+      if (benefit != other.benefit) return benefit < other.benefit;
+      return object > other.object;
+    }
+  };
+  std::priority_queue<HeapEntry> heap;
+  const std::size_t n = placement.problem().object_count();
+  for (drp::ObjectIndex k = 0; k < n; ++k) {
+    const Move move = best_reader_move(placement, k);
+    if (move.benefit > 0.0) heap.push(HeapEntry{move.benefit, k});
+  }
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const Move fresh = best_reader_move(placement, top.object);
+    if (fresh.benefit <= 0.0) continue;
+    if (!heap.empty() && fresh.benefit < heap.top().benefit) {
+      heap.push(HeapEntry{fresh.benefit, top.object});
+      continue;
+    }
+    placement.add_replica(fresh.server, fresh.object);
+    const Move next = best_reader_move(placement, top.object);
+    if (next.benefit > 0.0) heap.push(HeapEntry{next.benefit, top.object});
+  }
+}
+
+struct Node {
+  drp::ReplicaPlacement placement;
+  double g;  ///< current OTC
+  double f;  ///< g - optimistic_saving  (lower bound on reachable OTC)
+};
+
+}  // namespace
+
+drp::ReplicaPlacement run_aestar(const drp::Problem& problem,
+                                 const AeStarConfig& config) {
+  drp::ReplicaPlacement root(problem);
+  const double root_cost = drp::CostModel::total_cost(root);
+
+  std::vector<std::unique_ptr<Node>> open;
+  open.push_back(std::make_unique<Node>(
+      Node{root, root_cost, root_cost - optimistic_saving(root)}));
+
+  // Incumbent: best complete (move-exhausted) solution seen so far.
+  std::unique_ptr<drp::ReplicaPlacement> incumbent;
+  double incumbent_cost = root_cost;
+  // Best partial node by g, used for greedy completion at budget exhaustion.
+  drp::ReplicaPlacement best_partial = root;
+  double best_partial_cost = root_cost;
+
+  std::size_t expansions = 0;
+  while (!open.empty() && expansions < config.max_expansions) {
+    // FOCAL rule of Aε-Star: among nodes with f <= (1+eps) * f_min, expand
+    // the one with the smallest g (most progress).
+    std::size_t min_f = 0;
+    for (std::size_t i = 1; i < open.size(); ++i) {
+      if (open[i]->f < open[min_f]->f) min_f = i;
+    }
+    const double focal_bound = open[min_f]->f * (1.0 + config.epsilon) +
+                               1e-9;
+    std::size_t pick = min_f;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      if (open[i]->f <= focal_bound && open[i]->g < open[pick]->g) pick = i;
+    }
+
+    std::unique_ptr<Node> node = std::move(open[pick]);
+    open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
+    ++expansions;
+
+    // Bound: a node that cannot beat the incumbent is pruned.
+    if (incumbent && node->f >= incumbent_cost) continue;
+
+    const auto moves = candidate_moves(node->placement, config.branching);
+    if (moves.empty()) {
+      // The shortlist dried up: polish with the exhaustive reader-site
+      // greedy pass before scoring the leaf as an incumbent.
+      drp::ReplicaPlacement leaf = node->placement;
+      complete_greedily(leaf);
+      const double leaf_cost = drp::CostModel::total_cost(leaf);
+      if (!incumbent || leaf_cost < incumbent_cost) {
+        incumbent_cost = leaf_cost;
+        incumbent = std::make_unique<drp::ReplicaPlacement>(std::move(leaf));
+      }
+      continue;
+    }
+    for (const Move& move : moves) {
+      auto child = std::make_unique<Node>(*node);
+      child->placement.add_replica(move.server, move.object);
+      child->g = node->g - move.benefit;
+      child->f = child->g - optimistic_saving(child->placement);
+      if (incumbent && child->f >= incumbent_cost) continue;
+      if (child->g < best_partial_cost) {
+        best_partial_cost = child->g;
+        best_partial = child->placement;
+      }
+      open.push_back(std::move(child));
+    }
+    if (open.size() > config.max_open) {
+      // Evict the worst-f tail to bound memory.
+      std::sort(open.begin(), open.end(),
+                [](const auto& a, const auto& b) { return a->f < b->f; });
+      open.resize(config.max_open);
+    }
+  }
+
+  if (incumbent && incumbent_cost <= best_partial_cost) {
+    return std::move(*incumbent);
+  }
+  // Budget exhausted on a promising partial: complete it greedily.
+  complete_greedily(best_partial);
+  if (incumbent &&
+      incumbent_cost < drp::CostModel::total_cost(best_partial)) {
+    return std::move(*incumbent);
+  }
+  return best_partial;
+}
+
+}  // namespace agtram::baselines

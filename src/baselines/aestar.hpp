@@ -1,0 +1,41 @@
+// Aε-Star — ε-admissible best-first branch-and-bound (comparison baseline;
+// Khan & Ahmad, "Heuristic-based Replication Schemas for Fast Information
+// Retrieval over the Internet", PDCS 2004).
+//
+// Search space: sequences of replica additions starting from the
+// primaries-only scheme.  Each node carries its placement, the current cost
+// g, and an admissible optimistic bound h on the further achievable saving
+// (every remaining read served at distance zero, for free).  Nodes are
+// expanded best-first by f = g - h; a node's children are its top-B
+// global-benefit moves.  The ε-relaxation (the "Aε" of the name) prunes any
+// node whose f exceeds (1+ε) times the best f seen, trading optimality for
+// tractability exactly as the original technique does; a hard expansion
+// budget bounds the worst case.
+//
+// With the defaults this lands where the paper puts it: solution quality in
+// the Greedy neighbourhood, execution time well above Greedy/AGT-RAM.
+#pragma once
+
+#include <cstdint>
+
+#include "drp/placement.hpp"
+#include "drp/problem.hpp"
+
+namespace agtram::baselines {
+
+struct AeStarConfig {
+  /// ε-admissibility factor (0 = pure best-first A*).
+  double epsilon = 0.15;
+  /// Children generated per expanded node (top global-benefit moves).
+  std::uint32_t branching = 3;
+  /// Hard cap on node expansions; the best partial solution found within
+  /// the budget is completed greedily (reader sites only).
+  std::size_t max_expansions = 150;
+  /// Open-list size cap (worst nodes evicted).
+  std::size_t max_open = 256;
+};
+
+drp::ReplicaPlacement run_aestar(const drp::Problem& problem,
+                                 const AeStarConfig& config = {});
+
+}  // namespace agtram::baselines

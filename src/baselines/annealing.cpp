@@ -1,0 +1,143 @@
+#include "baselines/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/selfish_caching.hpp"
+#include "common/prng.hpp"
+#include "drp/cost_model.hpp"
+
+namespace agtram::baselines {
+
+using common::Rng;
+
+namespace {
+
+/// Applies a random move to object k; returns the cost delta of object k
+/// (+: worse) and an undo closure kind, or declines (returns nullopt-like
+/// flag) when no move was applicable.
+struct Move {
+  enum class Kind { None, Add, Drop, Swap } kind = Kind::None;
+  drp::ServerId a = 0;  // added/dropped/swap-from
+  drp::ServerId b = 0;  // swap-to
+  drp::ObjectIndex object = 0;
+  double delta = 0.0;
+};
+
+Move propose(const drp::Problem& p, drp::ReplicaPlacement& placement,
+             drp::ObjectIndex k, Rng& rng) {
+  Move move;
+  move.object = k;
+  const double before = drp::CostModel::object_cost(placement, k);
+  switch (rng.below(3)) {
+    case 0: {  // add at a reader (biased) or anywhere
+      const auto accessors = p.access.accessors(k);
+      const drp::ServerId i =
+          !accessors.empty() && rng.chance(0.8)
+              ? accessors[rng.below(accessors.size())].server
+              : static_cast<drp::ServerId>(rng.below(p.server_count()));
+      if (!placement.can_replicate(i, k)) return move;
+      placement.add_replica(i, k);
+      move.kind = Move::Kind::Add;
+      move.a = i;
+      break;
+    }
+    case 1: {  // drop a non-primary replica
+      const auto reps = placement.replicators(k);
+      const drp::ServerId i = reps[rng.below(reps.size())];
+      if (i == p.primary[k]) return move;
+      placement.remove_replica(i, k);
+      move.kind = Move::Kind::Drop;
+      move.a = i;
+      break;
+    }
+    default: {  // swap a replica to another server
+      const auto reps = placement.replicators(k);
+      const drp::ServerId from = reps[rng.below(reps.size())];
+      const drp::ServerId to =
+          static_cast<drp::ServerId>(rng.below(p.server_count()));
+      if (from == p.primary[k] || from == to ||
+          placement.is_replicator(to, k)) {
+        return move;
+      }
+      placement.remove_replica(from, k);
+      if (!placement.can_replicate(to, k)) {
+        placement.add_replica(from, k);
+        return move;
+      }
+      placement.add_replica(to, k);
+      move.kind = Move::Kind::Swap;
+      move.a = from;
+      move.b = to;
+      break;
+    }
+  }
+  move.delta = drp::CostModel::object_cost(placement, k) - before;
+  return move;
+}
+
+void undo(drp::ReplicaPlacement& placement, const Move& move) {
+  switch (move.kind) {
+    case Move::Kind::Add:
+      placement.remove_replica(move.a, move.object);
+      break;
+    case Move::Kind::Drop:
+      placement.add_replica(move.a, move.object);
+      break;
+    case Move::Kind::Swap:
+      placement.remove_replica(move.b, move.object);
+      placement.add_replica(move.a, move.object);
+      break;
+    case Move::Kind::None:
+      break;
+  }
+}
+
+}  // namespace
+
+drp::ReplicaPlacement run_annealing(const drp::Problem& problem,
+                                    const AnnealingConfig& config) {
+  Rng rng(config.seed);
+  drp::ReplicaPlacement placement = [&] {
+    if (config.seed_from_equilibrium) {
+      SelfishCachingConfig seed_cfg;
+      seed_cfg.seed = config.seed ^ 0x5a5a;
+      return run_selfish_caching(problem, seed_cfg).placement;
+    }
+    return drp::ReplicaPlacement(problem);
+  }();
+  double current_cost = drp::CostModel::total_cost(placement);
+  drp::ReplicaPlacement best = placement;
+  double best_cost = current_cost;
+
+  double temperature = current_cost * config.initial_temperature_fraction;
+  const double floor_temperature = temperature * 1e-6 + 1e-12;
+
+  for (std::size_t proposal = 0; proposal < config.proposals; ++proposal) {
+    const auto k =
+        static_cast<drp::ObjectIndex>(rng.below(problem.object_count()));
+    const Move move = propose(problem, placement, k, rng);
+    if (move.kind == Move::Kind::None) continue;
+
+    const bool accept =
+        move.delta < 0.0 ||
+        (temperature > floor_temperature &&
+         rng.uniform() < std::exp(-move.delta / temperature));
+    if (accept) {
+      current_cost += move.delta;
+      if (current_cost < best_cost) {
+        best_cost = current_cost;
+        best = placement;
+      }
+    } else {
+      undo(placement, move);
+    }
+
+    if ((proposal + 1) % config.cooling_interval == 0) {
+      temperature *= config.cooling_rate;
+    }
+  }
+  return best;
+}
+
+}  // namespace agtram::baselines

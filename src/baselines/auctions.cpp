@@ -1,0 +1,130 @@
+#include "baselines/auctions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/agent.hpp"
+
+namespace agtram::baselines {
+
+using common::Rng;
+
+namespace {
+
+/// Shared auction scaffolding: agents with lazy candidate heaps (the same
+/// core::Agent the mechanism uses), a round loop placing one replica per
+/// auction, and a pluggable winner-selection clock.
+template <typename PickWinner>
+drp::ReplicaPlacement run_auction_rounds(const drp::Problem& problem,
+                                         PickWinner&& pick_winner) {
+  drp::ReplicaPlacement placement(problem);
+  std::vector<core::Agent> agents;
+  agents.reserve(problem.server_count());
+  for (drp::ServerId i = 0; i < problem.server_count(); ++i) {
+    agents.emplace_back(problem, i);
+  }
+  std::vector<std::uint32_t> live;
+  for (std::uint32_t i = 0; i < problem.server_count(); ++i) {
+    if (!agents[i].retired()) live.push_back(i);
+  }
+
+  struct Bid {
+    std::uint32_t agent;
+    drp::ObjectIndex object;
+    double valuation;
+  };
+  while (!live.empty()) {
+    std::vector<Bid> bids;
+    std::vector<std::uint32_t> next_live;
+    bids.reserve(live.size());
+    next_live.reserve(live.size());
+    for (const std::uint32_t i : live) {
+      const core::Report report = agents[i].make_report(placement, nullptr);
+      if (report.has_candidate) {
+        bids.push_back(Bid{i, report.object, report.true_value});
+        next_live.push_back(i);
+      }
+    }
+    if (bids.empty()) break;
+
+    const std::size_t winner = pick_winner(bids);
+    assert(winner < bids.size());
+    placement.add_replica(bids[winner].agent, bids[winner].object);
+    live = std::move(next_live);
+  }
+  return placement;
+}
+
+}  // namespace
+
+drp::ReplicaPlacement run_english_auction(const drp::Problem& problem,
+                                          const EnglishAuctionConfig& config) {
+  Rng rng(config.seed);
+  const std::uint32_t steps = std::max<std::uint32_t>(2, config.price_steps);
+
+  return run_auction_rounds(problem, [&rng, steps](const auto& bids) {
+    // Ascending clock.  All valuations are positive; the increment is a
+    // fixed fraction of the top estimate, so close valuations fall in the
+    // same final bracket and the hammer falls on a random one of them.
+    double top = 0.0;
+    for (const auto& b : bids) top = std::max(top, b.valuation);
+    const double increment = top / static_cast<double>(steps);
+
+    std::vector<std::size_t> active(bids.size());
+    for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
+    double price = 0.0;
+    while (active.size() > 1) {
+      const double next_price = price + increment;
+      std::vector<std::size_t> still_in;
+      still_in.reserve(active.size());
+      for (const std::size_t i : active) {
+        if (bids[i].valuation >= next_price) still_in.push_back(i);
+      }
+      if (still_in.empty()) break;  // everyone quit this tick: tie bracket
+      price = next_price;
+      active = std::move(still_in);
+    }
+    return active[rng.below(active.size())];
+  });
+}
+
+drp::ReplicaPlacement run_dutch_auction(const drp::Problem& problem,
+                                        const DutchAuctionConfig& config) {
+  Rng rng(config.seed);
+  const std::uint32_t steps = std::max<std::uint32_t>(2, config.price_steps);
+
+  // Per-agent shading factors, fixed for the whole game.
+  std::vector<double> shade(problem.server_count());
+  for (double& s : shade) s = rng.uniform(config.shade_lo, config.shade_hi);
+
+  return run_auction_rounds(problem, [&](const auto& bids) {
+    double top = 0.0;
+    for (const auto& b : bids) top = std::max(top, b.valuation);
+    // Descending clock from just above the best estimate; the first agent
+    // whose shaded acceptance threshold meets the price claims the slot.
+    double price = top * 1.05;
+    const double decrement = price / static_cast<double>(steps);
+    for (std::uint32_t tick = 0; tick < 2 * steps; ++tick) {
+      price -= decrement;
+      std::vector<std::size_t> takers;
+      for (std::size_t i = 0; i < bids.size(); ++i) {
+        if (shade[bids[i].agent] * bids[i].valuation >= price) {
+          takers.push_back(i);
+        }
+      }
+      if (!takers.empty()) {
+        return takers[rng.below(takers.size())];
+      }
+    }
+    // Clock ran out (numerical corner): highest valuation wins.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < bids.size(); ++i) {
+      if (bids[i].valuation > bids[best].valuation) best = i;
+    }
+    return best;
+  });
+}
+
+}  // namespace agtram::baselines

@@ -1,0 +1,65 @@
+#include "baselines/brute_force.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "drp/cost_model.hpp"
+
+namespace agtram::baselines {
+
+namespace {
+
+struct Cell {
+  drp::ServerId server;
+  drp::ObjectIndex object;
+};
+
+void enumerate(const drp::Problem& problem, const std::vector<Cell>& cells,
+               std::size_t index, drp::ReplicaPlacement& current,
+               BruteForceResult& best) {
+  if (index == cells.size()) {
+    ++best.schemes_evaluated;
+    const double cost = drp::CostModel::total_cost(current);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.placement = current;
+    }
+    return;
+  }
+  const Cell& cell = cells[index];
+  // Branch 1: do not replicate.
+  enumerate(problem, cells, index + 1, current, best);
+  // Branch 2: replicate if feasible.
+  if (current.can_replicate(cell.server, cell.object)) {
+    current.add_replica(cell.server, cell.object);
+    enumerate(problem, cells, index + 1, current, best);
+    current.remove_replica(cell.server, cell.object);
+  }
+}
+
+}  // namespace
+
+BruteForceResult run_brute_force(const drp::Problem& problem,
+                                 std::size_t max_cells) {
+  std::vector<Cell> cells;
+  for (drp::ServerId i = 0; i < problem.server_count(); ++i) {
+    for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
+      if (problem.primary[k] != i) {
+        cells.push_back(Cell{i, static_cast<drp::ObjectIndex>(k)});
+      }
+    }
+  }
+  if (cells.size() > max_cells) {
+    throw std::invalid_argument(
+        "brute force: instance too large (2^" +
+        std::to_string(cells.size()) + " schemes)");
+  }
+
+  drp::ReplicaPlacement current(problem);
+  BruteForceResult best{current, drp::CostModel::total_cost(current), 0};
+  enumerate(problem, cells, 0, current, best);
+  return best;
+}
+
+}  // namespace agtram::baselines

@@ -1,0 +1,244 @@
+#include "baselines/gra.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "drp/cost_model.hpp"
+
+namespace agtram::baselines {
+
+using common::Rng;
+
+namespace {
+
+/// A chromosome: for every server, the sorted set of extra replicas it
+/// hosts (primaries are implicit and immutable).
+struct Genome {
+  std::vector<std::vector<drp::ObjectIndex>> rows;
+};
+
+bool row_contains(const std::vector<drp::ObjectIndex>& row,
+                  drp::ObjectIndex k) {
+  return std::binary_search(row.begin(), row.end(), k);
+}
+
+void row_insert(std::vector<drp::ObjectIndex>& row, drp::ObjectIndex k) {
+  row.insert(std::upper_bound(row.begin(), row.end(), k), k);
+}
+
+std::uint64_t row_units(const drp::Problem& p,
+                        const std::vector<drp::ObjectIndex>& row) {
+  std::uint64_t units = 0;
+  for (drp::ObjectIndex k : row) units += p.object_units[k];
+  return units;
+}
+
+/// Drops random replicas until the row fits the server's replica headroom.
+void repair_row(const drp::Problem& p, drp::ServerId i,
+                std::vector<drp::ObjectIndex>& row,
+                const std::vector<std::uint64_t>& headroom, Rng& rng) {
+  std::uint64_t units = row_units(p, row);
+  while (units > headroom[i] && !row.empty()) {
+    const std::size_t victim = rng.below(row.size());
+    units -= p.object_units[row[victim]];
+    row.erase(row.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+}
+
+drp::ReplicaPlacement materialise(const drp::Problem& p, const Genome& g) {
+  drp::ReplicaPlacement placement(p);
+  for (drp::ServerId i = 0; i < p.server_count(); ++i) {
+    for (drp::ObjectIndex k : g.rows[i]) {
+      if (placement.can_replicate(i, k)) placement.add_replica(i, k);
+    }
+  }
+  return placement;
+}
+
+double fitness(const drp::Problem& p, const Genome& g) {
+  return drp::CostModel::total_cost(materialise(p, g));
+}
+
+/// Demand-seeded genome: each server greedily packs its own most-read
+/// objects.  The GRA literature seeds part of the population with such
+/// heuristic solutions; pure random initialisation is what the paper blames
+/// for GRA's weak showing, so we keep both kinds.
+Genome demand_seeded_genome(const drp::Problem& p,
+                            const std::vector<std::uint64_t>& headroom,
+                            double fill, Rng& rng) {
+  Genome g;
+  g.rows.resize(p.server_count());
+  for (drp::ServerId i = 0; i < p.server_count(); ++i) {
+    auto objects = std::vector<drp::ServerSideAccess>(
+        p.access.server_objects(i).begin(), p.access.server_objects(i).end());
+    std::sort(objects.begin(), objects.end(),
+              [](const drp::ServerSideAccess& a,
+                 const drp::ServerSideAccess& b) { return a.reads > b.reads; });
+    const auto budget = static_cast<std::uint64_t>(
+        static_cast<double>(headroom[i]) * fill * rng.uniform(0.6, 1.0));
+    std::uint64_t units = 0;
+    for (const auto& access : objects) {
+      if (access.reads == 0 || p.primary[access.object] == i) continue;
+      // Only pack objects whose local read demand beats the system-wide
+      // update volume — a public-knowledge proxy for a profitable replica.
+      if (access.reads <= p.access.total_writes(access.object)) continue;
+      if (units + p.object_units[access.object] > budget) continue;
+      row_insert(g.rows[i], access.object);
+      units += p.object_units[access.object];
+    }
+  }
+  return g;
+}
+
+Genome random_genome(const drp::Problem& p,
+                     const std::vector<std::uint64_t>& headroom,
+                     double fill, Rng& rng) {
+  Genome g;
+  g.rows.resize(p.server_count());
+  for (drp::ServerId i = 0; i < p.server_count(); ++i) {
+    const auto budget =
+        static_cast<std::uint64_t>(static_cast<double>(headroom[i]) * fill);
+    std::uint64_t units = 0;
+    std::uint32_t stall = 0;
+    while (units < budget && stall < 32) {
+      const auto k =
+          static_cast<drp::ObjectIndex>(rng.below(p.object_count()));
+      if (p.primary[k] == i || row_contains(g.rows[i], k) ||
+          units + p.object_units[k] > headroom[i]) {
+        ++stall;
+        continue;
+      }
+      row_insert(g.rows[i], k);
+      units += p.object_units[k];
+      stall = 0;
+    }
+  }
+  return g;
+}
+
+void mutate(const drp::Problem& p, Genome& g,
+            const std::vector<std::uint64_t>& headroom, double flips,
+            Rng& rng) {
+  const auto count = static_cast<std::uint32_t>(
+      std::max(0.0, std::round(flips * (0.5 + rng.uniform()))));
+  for (std::uint32_t f = 0; f < count; ++f) {
+    const auto i = static_cast<drp::ServerId>(rng.below(p.server_count()));
+    auto& row = g.rows[i];
+    if (!row.empty() && rng.chance(0.5)) {
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(rng.below(row.size())));
+    } else {
+      const auto k =
+          static_cast<drp::ObjectIndex>(rng.below(p.object_count()));
+      if (p.primary[k] == i || row_contains(row, k)) continue;
+      if (row_units(p, row) + p.object_units[k] > headroom[i]) continue;
+      row_insert(row, k);
+    }
+  }
+}
+
+}  // namespace
+
+drp::ReplicaPlacement run_gra(const drp::Problem& problem,
+                              const GraConfig& config) {
+  assert(config.population >= 2);
+  Rng rng(config.seed);
+
+  // Replica headroom per server (capacity minus immutable primary load).
+  const auto primary_load = problem.primary_load();
+  std::vector<std::uint64_t> headroom(problem.server_count());
+  for (std::size_t i = 0; i < headroom.size(); ++i) {
+    headroom[i] = problem.capacity[i] - primary_load[i];
+  }
+
+  std::vector<Genome> population;
+  std::vector<double> scores;
+  population.reserve(config.population);
+  // Seed one primaries-only genome (so the search never regresses below the
+  // initial network), a handful of demand-seeded heuristic genomes, and
+  // random genomes for diversity.
+  population.push_back(Genome{std::vector<std::vector<drp::ObjectIndex>>(
+      problem.server_count())});
+  const std::uint32_t seeded = std::min<std::uint32_t>(
+      config.population / 4, config.population - 1);
+  for (std::uint32_t g = 0; g < seeded; ++g) {
+    population.push_back(
+        demand_seeded_genome(problem, headroom, config.init_fill, rng));
+  }
+  while (population.size() < config.population) {
+    population.push_back(
+        random_genome(problem, headroom, config.init_fill, rng));
+  }
+  scores.reserve(config.population);
+  for (const Genome& g : population) {
+    scores.push_back(fitness(problem, g));
+  }
+
+  const auto best_index = [&scores] {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < scores.size(); ++i) {
+      if (scores[i] < scores[best]) best = i;
+    }
+    return best;
+  };
+
+  Genome best_ever = population[best_index()];
+  double best_score = scores[best_index()];
+
+  const auto tournament_pick = [&]() -> const Genome& {
+    std::size_t winner = rng.below(population.size());
+    for (std::uint32_t t = 1; t < config.tournament; ++t) {
+      const std::size_t challenger = rng.below(population.size());
+      if (scores[challenger] < scores[winner]) winner = challenger;
+    }
+    return population[winner];
+  };
+
+  for (std::uint32_t gen = 0; gen < config.generations; ++gen) {
+    std::vector<Genome> next;
+    next.reserve(config.population);
+
+    // Elitism: carry over the best genomes unchanged.
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
+      return scores[a] < scores[b];
+    });
+    for (std::uint32_t e = 0; e < std::min<std::uint32_t>(config.elites,
+                                                          config.population);
+         ++e) {
+      next.push_back(population[order[e]]);
+    }
+
+    while (next.size() < config.population) {
+      Genome child = tournament_pick();
+      if (rng.chance(config.crossover_rate)) {
+        const Genome& other = tournament_pick();
+        const std::size_t cut = rng.below(problem.server_count());
+        for (std::size_t i = cut; i < problem.server_count(); ++i) {
+          child.rows[i] = other.rows[i];
+        }
+      }
+      mutate(problem, child, headroom, config.mutations_per_child, rng);
+      for (drp::ServerId i = 0; i < problem.server_count(); ++i) {
+        repair_row(problem, i, child.rows[i], headroom, rng);
+      }
+      next.push_back(std::move(child));
+    }
+
+    population = std::move(next);
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      scores[i] = fitness(problem, population[i]);
+      if (scores[i] < best_score) {
+        best_score = scores[i];
+        best_ever = population[i];
+      }
+    }
+  }
+  return materialise(problem, best_ever);
+}
+
+}  // namespace agtram::baselines

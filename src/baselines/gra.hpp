@@ -1,0 +1,41 @@
+// GRA — Genetic Replication Algorithm (comparison baseline; Loukopoulos &
+// Ahmad, "Static and Adaptive Distributed Data Replication using Genetic
+// Algorithms", JPDC 64(11), 2004).
+//
+// A chromosome is a full replication scheme (per-server sets of extra
+// replicas on top of the primaries).  Fitness is the OTC of Equation 4.
+// Selection is k-tournament with elitism; crossover swaps whole server rows
+// between parents (one-point over server ids) followed by a capacity-repair
+// pass; mutation flips random replicas in or out.
+//
+// The paper's observations reproduce naturally from this design: GRA's
+// quality depends heavily on the initial gene population and it keeps a
+// "localized network perception" (row-level recombination never reasons
+// about global read routing), so it trails the other methods — while paying
+// population x generations full-cost evaluations, making it the slowest.
+#pragma once
+
+#include <cstdint>
+
+#include "drp/placement.hpp"
+#include "drp/problem.hpp"
+
+namespace agtram::baselines {
+
+struct GraConfig {
+  std::uint32_t population = 20;
+  std::uint32_t generations = 40;
+  std::uint32_t tournament = 3;
+  double crossover_rate = 0.9;
+  /// Expected number of add/remove flips applied to each offspring.
+  double mutations_per_child = 4.0;
+  /// Fraction of each random initial genome's free capacity to fill.
+  double init_fill = 0.2;
+  std::uint32_t elites = 2;
+  std::uint64_t seed = 1;
+};
+
+drp::ReplicaPlacement run_gra(const drp::Problem& problem,
+                              const GraConfig& config = {});
+
+}  // namespace agtram::baselines

@@ -1,0 +1,85 @@
+#include "baselines/greedy.hpp"
+
+#include <queue>
+
+#include "drp/cost_model.hpp"
+
+namespace agtram::baselines {
+
+namespace {
+
+struct Candidate {
+  double benefit;
+  drp::ObjectIndex object;
+  drp::ServerId server;
+  bool operator<(const Candidate& other) const noexcept {
+    if (benefit != other.benefit) return benefit < other.benefit;
+    if (object != other.object) return object > other.object;
+    return server > other.server;  // deterministic tie-break
+  }
+};
+
+/// Best feasible (server, benefit) for object k under the current placement;
+/// benefit <= 0 means no useful move remains for k.
+Candidate best_move_for_object(const drp::Problem& problem,
+                               const drp::ReplicaPlacement& placement,
+                               drp::ObjectIndex k,
+                               const std::vector<bool>* allowed_sites) {
+  Candidate best{0.0, k, 0};
+  const std::size_t m = problem.server_count();
+  for (drp::ServerId i = 0; i < m; ++i) {
+    if (allowed_sites && !(*allowed_sites)[i]) continue;
+    if (!placement.can_replicate(i, k)) continue;
+    const double benefit = drp::CostModel::global_benefit(placement, i, k);
+    if (benefit > best.benefit) {
+      best.benefit = benefit;
+      best.server = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+drp::ReplicaPlacement run_greedy(const drp::Problem& problem,
+                                 const GreedyConfig& config) {
+  return run_greedy_from(problem, drp::ReplicaPlacement(problem), config);
+}
+
+drp::ReplicaPlacement run_greedy_from(const drp::Problem& problem,
+                                      drp::ReplicaPlacement start,
+                                      const GreedyConfig& config) {
+  drp::ReplicaPlacement placement = std::move(start);
+  const std::vector<bool>* sites = config.allowed_sites;
+
+  std::priority_queue<Candidate> heap;
+  for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
+    const Candidate c = best_move_for_object(problem, placement, k, sites);
+    if (c.benefit > 0.0) heap.push(c);
+  }
+
+  std::size_t placed = 0;
+  while (!heap.empty()) {
+    if (config.max_replicas != 0 && placed >= config.max_replicas) break;
+    const Candidate top = heap.top();
+    heap.pop();
+    // Re-validate: capacities and NN tables may have moved underneath this
+    // entry.  Benefits only decrease, so if the fresh value still dominates
+    // the heap it is the true global max.
+    const Candidate fresh =
+        best_move_for_object(problem, placement, top.object, sites);
+    if (fresh.benefit <= 0.0) continue;  // object exhausted
+    if (!heap.empty() && fresh.benefit < heap.top().benefit) {
+      heap.push(fresh);
+      continue;
+    }
+    placement.add_replica(fresh.server, fresh.object);
+    ++placed;
+    const Candidate next =
+        best_move_for_object(problem, placement, fresh.object, sites);
+    if (next.benefit > 0.0) heap.push(next);
+  }
+  return placement;
+}
+
+}  // namespace agtram::baselines

@@ -1,0 +1,106 @@
+#include "baselines/local_search.hpp"
+
+#include <algorithm>
+
+#include "baselines/selfish_caching.hpp"
+#include "common/prng.hpp"
+#include "drp/cost_model.hpp"
+
+namespace agtram::baselines {
+
+using common::Rng;
+
+namespace {
+
+/// A proposal only ever touches one object, so acceptance is decided on
+/// that object's cost contribution alone.
+struct MoveEvaluator {
+  const drp::Problem& p;
+  drp::ReplicaPlacement& placement;
+
+  bool try_add(drp::ServerId i, drp::ObjectIndex k) {
+    if (!placement.can_replicate(i, k)) return false;
+    const double before = drp::CostModel::object_cost(placement, k);
+    placement.add_replica(i, k);
+    if (drp::CostModel::object_cost(placement, k) < before) return true;
+    placement.remove_replica(i, k);
+    return false;
+  }
+
+  bool try_drop(drp::ServerId i, drp::ObjectIndex k) {
+    if (i == p.primary[k] || !placement.is_replicator(i, k)) return false;
+    const double before = drp::CostModel::object_cost(placement, k);
+    placement.remove_replica(i, k);
+    if (drp::CostModel::object_cost(placement, k) < before) return true;
+    placement.add_replica(i, k);
+    return false;
+  }
+
+  bool try_swap(drp::ServerId from, drp::ServerId to, drp::ObjectIndex k) {
+    if (from == to || from == p.primary[k]) return false;
+    if (!placement.is_replicator(from, k)) return false;
+    if (placement.is_replicator(to, k)) return false;
+    const double before = drp::CostModel::object_cost(placement, k);
+    placement.remove_replica(from, k);
+    if (!placement.can_replicate(to, k)) {  // capacity at the target
+      placement.add_replica(from, k);
+      return false;
+    }
+    placement.add_replica(to, k);
+    if (drp::CostModel::object_cost(placement, k) < before) return true;
+    placement.remove_replica(to, k);
+    placement.add_replica(from, k);
+    return false;
+  }
+};
+
+drp::ServerId random_reader_or_any(const drp::Problem& p, drp::ObjectIndex k,
+                                   Rng& rng) {
+  const auto accessors = p.access.accessors(k);
+  if (!accessors.empty() && rng.chance(0.8)) {
+    return accessors[rng.below(accessors.size())].server;
+  }
+  return static_cast<drp::ServerId>(rng.below(p.server_count()));
+}
+
+}  // namespace
+
+drp::ReplicaPlacement run_local_search(const drp::Problem& problem,
+                                       const LocalSearchConfig& config) {
+  Rng rng(config.seed);
+  // Seed from the selfish equilibrium — cheap and already decent.
+  SelfishCachingConfig seed_cfg;
+  seed_cfg.seed = config.seed ^ 0xdecaf;
+  drp::ReplicaPlacement placement =
+      run_selfish_caching(problem, seed_cfg).placement;
+
+  MoveEvaluator evaluator{problem, placement};
+  std::size_t quiet = 0;
+  for (std::size_t proposal = 0;
+       proposal < config.max_proposals && quiet < config.quiet_streak;
+       ++proposal) {
+    const auto k =
+        static_cast<drp::ObjectIndex>(rng.below(problem.object_count()));
+    bool accepted = false;
+    switch (rng.below(3)) {
+      case 0:
+        accepted = evaluator.try_add(random_reader_or_any(problem, k, rng), k);
+        break;
+      case 1: {
+        const auto reps = placement.replicators(k);
+        accepted = evaluator.try_drop(reps[rng.below(reps.size())], k);
+        break;
+      }
+      default: {
+        const auto reps = placement.replicators(k);
+        accepted = evaluator.try_swap(reps[rng.below(reps.size())],
+                                      random_reader_or_any(problem, k, rng), k);
+        break;
+      }
+    }
+    quiet = accepted ? 0 : quiet + 1;
+  }
+  return placement;
+}
+
+}  // namespace agtram::baselines

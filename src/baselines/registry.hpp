@@ -1,0 +1,36 @@
+// Uniform access to all six replica-placement methods, in the paper's
+// comparison order.  The bench harness sweeps this list to regenerate every
+// figure/table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "drp/placement.hpp"
+#include "drp/problem.hpp"
+
+namespace agtram::baselines {
+
+struct AlgorithmEntry {
+  std::string name;  ///< paper label: GRA, Aε-Star, Greedy, AGT-RAM, DA, EA
+  /// Runs the method to completion; `seed` feeds the stochastic methods
+  /// (GRA, DA, EA) and is ignored by the deterministic ones.
+  std::function<drp::ReplicaPlacement(const drp::Problem&, std::uint64_t seed)>
+      run;
+};
+
+/// All six methods.  Order matches the paper's tables:
+/// Greedy, GRA, Aε-Star, AGT-RAM, DA, EA.
+std::vector<AlgorithmEntry> all_algorithms();
+
+/// The paper's six plus the extended comparison set from the citation
+/// lineage: Selfish (Chun et al. best-response Nash), LocalSearch, SA.
+std::vector<AlgorithmEntry> extended_algorithms();
+
+/// Lookup by name over the extended set (throws std::invalid_argument on
+/// unknown names).
+AlgorithmEntry find_algorithm(const std::string& name);
+
+}  // namespace agtram::baselines

@@ -1,0 +1,56 @@
+#include "baselines/selfish_caching.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "drp/cost_model.hpp"
+
+namespace agtram::baselines {
+
+SelfishCachingResult run_selfish_caching(const drp::Problem& problem,
+                                         const SelfishCachingConfig& config) {
+  common::Rng rng(config.seed);
+  SelfishCachingResult result{drp::ReplicaPlacement(problem)};
+
+  std::vector<drp::ServerId> order(problem.server_count());
+  std::iota(order.begin(), order.end(), 0);
+
+  bool anyone_moved = true;
+  while (anyone_moved) {
+    if (config.max_sweeps != 0 && result.sweeps >= config.max_sweeps) break;
+    anyone_moved = false;
+    // Fisher-Yates reshuffle: asynchronous, unordered best responses.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    for (const drp::ServerId i : order) {
+      // Best response: replicate every object with positive private
+      // benefit that still fits, greedily by benefit.
+      for (;;) {
+        double best = 0.0;
+        drp::ObjectIndex best_k = 0;
+        for (const auto& access : problem.access.server_objects(i)) {
+          if (access.reads == 0) continue;
+          if (!result.placement.can_replicate(i, access.object)) continue;
+          const double benefit =
+              drp::CostModel::agent_benefit(result.placement, i, access.object);
+          if (benefit > best) {
+            best = benefit;
+            best_k = access.object;
+          }
+        }
+        if (best <= 0.0) break;
+        result.placement.add_replica(i, best_k);
+        ++result.moves;
+        anyone_moved = true;
+      }
+    }
+    ++result.sweeps;
+  }
+  result.equilibrium_reached = !anyone_moved;
+  return result;
+}
+
+}  // namespace agtram::baselines

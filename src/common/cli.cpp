@@ -1,0 +1,94 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace agtram::common {
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      print_usage(std::cout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected positional argument: " << arg << "\n";
+      print_usage(std::cerr);
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::cerr << "missing value for flag --" << name << "\n";
+      print_usage(std::cerr);
+      return false;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::cerr << "unknown flag --" << name << "\n";
+      print_usage(std::cerr);
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("unregistered flag: " + name);
+  }
+  return it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<double> Cli::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  std::stringstream ss(get(name));
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(std::stod(token));
+  }
+  return out;
+}
+
+void Cli::print_usage(std::ostream& os) const {
+  os << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n      "
+       << flag.help << "\n";
+  }
+}
+
+}  // namespace agtram::common

@@ -1,0 +1,52 @@
+// Minimal `--flag value` command-line parser for the bench/example binaries.
+// Unknown flags abort with a usage message so typos never silently run the
+// default experiment.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace agtram::common {
+
+class Cli {
+ public:
+  Cli(std::string program_description);
+
+  /// Register a flag with a default value and help text.  Must be called
+  /// before parse().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv; returns false (after printing usage) on error or --help.
+  bool parse(int argc, const char* const* argv);
+
+  /// True when parse() returned false because of --help/-h rather than an
+  /// error — callers should exit 0 in that case.
+  bool help_requested() const noexcept { return help_requested_; }
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list of doubles, e.g. --caps 0.1,0.2,0.3
+  std::vector<double> get_double_list(const std::string& name) const;
+
+  void print_usage(std::ostream& os) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace agtram::common

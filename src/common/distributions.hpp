@@ -1,0 +1,109 @@
+// Samplers for the heavy-tailed distributions that characterise web
+// workloads: Zipf (object popularity), lognormal (object/body sizes) and
+// bounded Pareto (per-client activity).  These are the statistical building
+// blocks of the synthetic WorldCup'98 trace generator (src/trace).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace agtram::common {
+
+/// Zipf(s) sampler over ranks {0, ..., n-1}: P(rank = i) ∝ 1/(i+1)^s.
+///
+/// Uses an inverted-CDF table (O(n) memory, O(log n) per sample), which is
+/// exact and fast for the n ≤ a few hundred thousand used here.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent) : cdf_(n), exponent_(exponent) {
+    assert(n > 0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = acc;
+    }
+    const double norm = 1.0 / acc;
+    for (double& v : cdf_) v *= norm;
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return exponent_; }
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const {
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  }
+
+  std::size_t operator()(Rng& rng) const {
+    const double u = rng.uniform();
+    // Binary search for the first cdf entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+/// Lognormal sampler: exp(N(mu, sigma^2)); Box–Muller on our Rng so results
+/// are identical across standard libraries.
+class LognormalSampler {
+ public:
+  LognormalSampler(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+  double operator()(Rng& rng) const {
+    // Box–Muller; discard the second variate for simplicity/determinism.
+    double u1 = rng.uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = rng.uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return std::exp(mu_ + sigma_ * z);
+  }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Bounded Pareto sampler on [lo, hi] with shape alpha (heavy-tailed client
+/// request counts; Arlitt & Jin report strongly skewed per-client activity).
+class BoundedParetoSampler {
+ public:
+  BoundedParetoSampler(double alpha, double lo, double hi)
+      : alpha_(alpha), lo_(lo), hi_(hi) {
+    assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+  }
+
+  double operator()(Rng& rng) const {
+    const double u = rng.uniform();
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  }
+
+ private:
+  double alpha_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace agtram::common

@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace agtram::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_mutex;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?????";
+  }
+}
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load()) ||
+      message.empty()) {
+    return;
+  }
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[%9.3fs] %s %s\n", elapsed_seconds(), tag(level),
+               message.c_str());
+}
+
+}  // namespace agtram::common

@@ -1,0 +1,41 @@
+// Tiny leveled logger.  Benches use it to narrate sweeps; the library itself
+// logs nothing above Debug so that it stays quiet when embedded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace agtram::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped.  Default: Info.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe single-line emission with a level tag and elapsed time stamp.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::Debug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::Warn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::Error); }
+
+}  // namespace agtram::common

@@ -1,0 +1,57 @@
+// Streaming summary statistics and percentile helpers used throughout the
+// bench harness (per-algorithm OTC savings, timing distributions, etc.).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agtram::common {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile over a copied sample (linear interpolation between
+/// order statistics).  q in [0, 100].
+double percentile(std::vector<double> sample, double q);
+
+/// Pearson correlation of two equal-length series; 0 when degenerate.
+double correlation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Simple fixed-width histogram for diagnostics.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const noexcept { return total_; }
+  double bucket_low(std::size_t bucket) const;
+  double bucket_high(std::size_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace agtram::common

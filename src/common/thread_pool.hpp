@@ -1,0 +1,58 @@
+// A small work-stealing-free thread pool with a blocking parallel_for.
+//
+// This is the shared-memory stand-in for the PARFOR loops in the paper's
+// Figure 2 pseudo-code: each AGT-RAM round evaluates all agents' candidate
+// lists in parallel and reduces their bids at the central mechanism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace agtram::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; fire-and-forget (use parallel_for for joined work).
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has completed.
+  void wait_idle();
+
+  /// Evenly split [begin, end) into chunks and run `body(first, last)` on the
+  /// pool, blocking until all chunks complete.  Chunk count defaults to
+  /// 4x threads for load balance.  Falls back to inline execution for tiny
+  /// ranges, so it is safe (and cheap) to call unconditionally.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_grain = 64);
+
+  /// Process-wide shared pool (lazily constructed, sized to the machine).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace agtram::common

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used by the Table-1 execution-time reproduction.
+#pragma once
+
+#include <chrono>
+
+namespace agtram::common {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace agtram::common

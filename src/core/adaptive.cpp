@@ -1,0 +1,125 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "drp/cost_model.hpp"
+
+namespace agtram::core {
+
+double retention_value(const drp::ReplicaPlacement& placement,
+                       drp::ServerId i, drp::ObjectIndex k) {
+  const drp::Problem& p = placement.problem();
+  if (!placement.is_replicator(i, k) || p.primary[k] == i) {
+    throw std::logic_error("retention_value: not a non-primary replica");
+  }
+  // Distance the holder's reads would travel without this copy.
+  net::Cost next_nearest = net::kUnreachable;
+  for (const drp::ServerId r : placement.replicators(k)) {
+    if (r == i) continue;
+    next_nearest = std::min(next_nearest, p.distance(i, r));
+  }
+  const double o = static_cast<double>(p.object_units[k]);
+  const double reads_saved =
+      static_cast<double>(p.access.reads(i, k)) * o *
+      static_cast<double>(next_nearest);
+  const double broadcast_price =
+      (static_cast<double>(p.access.total_writes(k)) -
+       static_cast<double>(p.access.writes(i, k))) *
+      o * static_cast<double>(p.distance(p.primary[k], i));
+  return reads_saved - broadcast_price;
+}
+
+std::size_t evict_unprofitable(drp::ReplicaPlacement& placement) {
+  const drp::Problem& p = placement.problem();
+  std::size_t evicted = 0;
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    // Snapshot: evaluating against the pre-sweep replica set; evictions
+    // within the sweep only raise survivors' retention, so a survivor
+    // priced positive stays positive.
+    std::vector<drp::ServerId> holders(placement.replicators(k).begin(),
+                                       placement.replicators(k).end());
+    for (const drp::ServerId i : holders) {
+      if (i == p.primary[k]) continue;
+      if (retention_value(placement, i, k) <= 0.0) {
+        placement.remove_replica(i, k);
+        ++evicted;
+      }
+    }
+  }
+  return evicted;
+}
+
+MigrationReport adapt_placement(const drp::Problem& new_problem,
+                                const drp::ReplicaPlacement& old_placement,
+                                const AdaptiveConfig& config) {
+  const drp::Problem& old_problem = old_placement.problem();
+  if (old_problem.server_count() != new_problem.server_count() ||
+      old_problem.object_count() != new_problem.object_count() ||
+      old_problem.object_units != new_problem.object_units ||
+      old_problem.primary != new_problem.primary) {
+    throw std::invalid_argument(
+        "adapt_placement: instances differ in more than demand");
+  }
+
+  MigrationReport report{drp::ReplicaPlacement(new_problem)};
+
+  // Carry the old scheme over onto the new instance.
+  for (drp::ObjectIndex k = 0; k < new_problem.object_count(); ++k) {
+    for (const drp::ServerId i : old_placement.replicators(k)) {
+      if (i == new_problem.primary[k]) continue;
+      if (report.placement.can_replicate(i, k)) {
+        report.placement.add_replica(i, k);
+      }
+    }
+  }
+
+  AgtRamConfig mechanism;
+  mechanism.payment_rule = config.payment_rule;
+
+  for (report.iterations = 0; report.iterations < config.max_iterations;
+       ++report.iterations) {
+    // 1. Eviction sweep against the new demand.
+    std::size_t evicted_before = report.evicted;
+    for (drp::ObjectIndex k = 0; k < new_problem.object_count(); ++k) {
+      std::vector<drp::ServerId> holders(
+          report.placement.replicators(k).begin(),
+          report.placement.replicators(k).end());
+      for (const drp::ServerId i : holders) {
+        if (i == new_problem.primary[k]) continue;
+        if (retention_value(report.placement, i, k) <= 0.0) {
+          report.placement.remove_replica(i, k);
+          report.evicted += 1;
+          report.units_evicted += new_problem.object_units[k];
+        }
+      }
+    }
+
+    // 2. Warm-started allocation phase.
+    MechanismResult phase =
+        run_agt_ram_from(new_problem, mechanism, std::move(report.placement));
+    report.placement = std::move(phase.placement);
+    for (const RoundRecord& round : phase.rounds) {
+      report.added += 1;
+      report.units_added += new_problem.object_units[round.object];
+    }
+
+    if (phase.rounds.empty() && report.evicted == evicted_before) {
+      ++report.iterations;
+      break;  // fixed point: nothing evicted, nothing added
+    }
+  }
+
+  // Replicas surviving from the old scheme into the new one.
+  for (drp::ObjectIndex k = 0; k < new_problem.object_count(); ++k) {
+    for (const drp::ServerId i : old_placement.replicators(k)) {
+      if (i == new_problem.primary[k]) continue;
+      if (report.placement.is_replicator(i, k)) ++report.retained;
+    }
+  }
+  return report;
+}
+
+}  // namespace agtram::core

@@ -1,0 +1,66 @@
+// Adaptive replication and migration — "AGT-RAM is a protocol for automatic
+// replication and migration of objects in response to demand changes"
+// (paper Section 7 / abstract).
+//
+// When demand shifts, the standing replica scheme contains two kinds of
+// waste: replicas whose holders no longer read them enough to cover the
+// update-broadcast subscription (eviction candidates), and unmet demand
+// hotspots (allocation candidates).  The protocol alternates the two moves
+// until a fixed point:
+//
+//   1. eviction sweep — every agent re-prices each replica it holds
+//      (retention value = reads saved against the next-nearest replica,
+//      minus the broadcast subscription) and drops non-positive holdings;
+//   2. allocation phase — a warm-started AGT-RAM run places replicas for
+//      the new demand (core::run_agt_ram_from).
+//
+// Evicting a replica can only *raise* other holders' retention values (the
+// remaining copies serve more reads) and allocation can only lower
+// non-holders' valuations, so the alternation converges; a small iteration
+// cap guards pathological oscillation through capacity coupling.
+#pragma once
+
+#include <cstdint>
+
+#include "core/agt_ram.hpp"
+
+namespace agtram::core {
+
+struct AdaptiveConfig {
+  PaymentRule payment_rule = PaymentRule::SecondPrice;
+  /// Maximum evict/allocate alternations.
+  std::size_t max_iterations = 8;
+};
+
+struct MigrationReport {
+  drp::ReplicaPlacement placement;
+  std::size_t evicted = 0;          ///< replicas dropped across all sweeps
+  std::size_t added = 0;            ///< replicas placed across all phases
+  std::uint64_t units_evicted = 0;  ///< storage churn, data units
+  std::uint64_t units_added = 0;
+  std::size_t iterations = 0;
+  /// Replicas carried over unchanged from the old scheme.
+  std::size_t retained = 0;
+};
+
+/// Migrates `old_placement` (built against a previous demand snapshot) onto
+/// `new_problem`.  The instances must agree on dimensions, object sizes and
+/// primaries (the usual demand-only change); throws otherwise.  Replicas
+/// that no longer fit (changed capacities) are dropped during the carry-over.
+MigrationReport adapt_placement(const drp::Problem& new_problem,
+                                const drp::ReplicaPlacement& old_placement,
+                                const AdaptiveConfig& config = {});
+
+/// One eviction sweep on `placement`: drops every non-primary replica whose
+/// retention value is <= 0; returns the number evicted.  Exposed for tests
+/// and for callers that want eviction without re-allocation.
+std::size_t evict_unprofitable(drp::ReplicaPlacement& placement);
+
+/// Retention value of an existing replica (i, k): what the holder would
+/// lose by dropping it — reads re-routed to the next-nearest replica minus
+/// the broadcast subscription it sheds.  Precondition: i is a non-primary
+/// replicator of k.
+double retention_value(const drp::ReplicaPlacement& placement,
+                       drp::ServerId i, drp::ObjectIndex k);
+
+}  // namespace agtram::core

@@ -1,0 +1,80 @@
+#include "core/agent.hpp"
+
+#include <cassert>
+
+namespace agtram::core {
+
+Agent::Agent(const drp::Problem& problem, drp::ServerId id)
+    : problem_(&problem), id_(id) {
+  // L_i: objects with read demand at i, excluding i's own primaries.  The
+  // initial valuation uses the primaries-only placement; a fresh placement
+  // is cheap enough to construct once per mechanism run, so we compute the
+  // upper-bound value directly from the problem instead.
+  for (const drp::ServerSideAccess& access :
+       problem.access.server_objects(id)) {
+    if (access.reads == 0) continue;  // pure writers never benefit
+    if (problem.primary[access.object] == id) continue;
+    const double o = static_cast<double>(problem.object_units[access.object]);
+    const double read_savings =
+        static_cast<double>(access.reads) * o *
+        static_cast<double>(problem.distance(id, problem.primary[access.object]));
+    const double broadcast_price =
+        (static_cast<double>(problem.access.total_writes(access.object)) -
+         static_cast<double>(access.writes)) *
+        o *
+        static_cast<double>(problem.distance(problem.primary[access.object], id));
+    const double initial_value = read_savings - broadcast_price;
+    if (initial_value > 0.0) {
+      heap_.push(Entry{initial_value, access.object});
+    }
+  }
+}
+
+Agent::Agent(const drp::ReplicaPlacement& placement, drp::ServerId id)
+    : problem_(&placement.problem()), id_(id) {
+  for (const drp::ServerSideAccess& access :
+       problem_->access.server_objects(id)) {
+    if (access.reads == 0) continue;
+    if (problem_->primary[access.object] == id) continue;
+    if (placement.is_replicator(id, access.object)) continue;
+    const double value =
+        drp::CostModel::agent_benefit(placement, id, access.object);
+    if (value > 0.0) {
+      heap_.push(Entry{value, access.object});
+    }
+  }
+}
+
+Report Agent::make_report(const drp::ReplicaPlacement& placement,
+                          const ReportStrategy& strategy) {
+  Report report;
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    ++report.evaluations;
+    // Monotone discards: already ours, or will never fit again.
+    if (placement.is_replicator(id_, top.object)) continue;
+    if (placement.free_capacity(id_) <
+        problem_->object_units[top.object]) {
+      continue;
+    }
+    const double current =
+        drp::CostModel::agent_benefit(placement, id_, top.object);
+    if (current <= 0.0) continue;
+    assert(current <= top.value * (1.0 + 1e-9));
+    if (heap_.empty() || current >= heap_.top().value) {
+      // Still the best candidate: report it and keep it queued for the
+      // next round (only the winner actually replicates).
+      heap_.push(Entry{current, top.object});
+      report.object = top.object;
+      report.true_value = current;
+      report.claimed_value = strategy ? strategy(id_, current) : current;
+      report.has_candidate = true;
+      return report;
+    }
+    heap_.push(Entry{current, top.object});  // decayed: re-sort and retry
+  }
+  return report;
+}
+
+}  // namespace agtram::core

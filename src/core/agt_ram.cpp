@@ -1,0 +1,143 @@
+#include "core/agt_ram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/thread_pool.hpp"
+
+namespace agtram::core {
+
+double MechanismResult::total_payments() const {
+  double total = 0.0;
+  for (const AgentOutcome& a : agents) total += a.payments;
+  return total;
+}
+
+namespace {
+
+MechanismResult run_rounds(const drp::Problem& problem,
+                           const AgtRamConfig& config,
+                           drp::ReplicaPlacement start,
+                           std::vector<Agent> agents) {
+  const std::size_t m = problem.server_count();
+
+  MechanismResult result{std::move(start), {}, {}};
+  result.agents.resize(m);
+
+  // Initialise LS: every participating server starts as a live agent;
+  // agents whose candidate heap drains are retired (removed from LS in
+  // Figure 2, line 18).  `live` holds indices into `agents`; `reports` is
+  // indexed by server id.
+  std::vector<std::uint32_t> live;
+  live.reserve(agents.size());
+  for (std::uint32_t a = 0; a < agents.size(); ++a) {
+    if (!agents[a].retired()) live.push_back(a);
+  }
+
+  std::vector<Report> reports(m);
+  std::size_t round = 0;
+  while (!live.empty()) {
+    if (config.max_rounds != 0 && round >= config.max_rounds) break;
+    if (config.observer) config.observer->on_round_begin(round);
+
+    // --- First PARFOR: every live agent evaluates its list and reports.
+    const auto evaluate = [&](std::size_t first, std::size_t last) {
+      for (std::size_t idx = first; idx < last; ++idx) {
+        const std::uint32_t a = live[idx];
+        reports[agents[a].id()] =
+            agents[a].make_report(result.placement, config.strategy);
+      }
+    };
+    if (config.parallel_agents) {
+      common::ThreadPool::shared().parallel_for(0, live.size(), evaluate,
+                                                /*min_grain=*/16);
+    } else {
+      evaluate(0, live.size());
+    }
+
+    // --- Centre: collect reports, drop retired agents, pick the dominant
+    // valuation (ties broken towards the lowest server id so serial and
+    // parallel runs are byte-identical).
+    std::vector<double> round_values;
+    std::vector<std::uint32_t> round_agents;
+    round_values.reserve(live.size());
+    round_agents.reserve(live.size());
+    std::vector<std::uint32_t> next_live;
+    next_live.reserve(live.size());
+    for (const std::uint32_t a : live) {
+      const drp::ServerId i = agents[a].id();
+      if (config.observer) config.observer->on_report(i, reports[i]);
+      if (reports[i].has_candidate) {
+        round_values.push_back(reports[i].claimed_value);
+        round_agents.push_back(i);
+        next_live.push_back(a);
+      } else {
+        // No candidate this round can only mean the heap drained.
+        assert(agents[a].retired());
+      }
+    }
+    if (round_values.empty()) break;
+
+    std::size_t winner_slot = 0;
+    for (std::size_t s = 1; s < round_values.size(); ++s) {
+      if (round_values[s] > round_values[winner_slot]) winner_slot = s;
+    }
+    const std::uint32_t winner = round_agents[winner_slot];
+    const Report& winning = reports[winner];
+
+    const double payment =
+        compute_payment(config.payment_rule, round_values, winner_slot);
+
+    // --- Allocate, pay, broadcast.
+    assert(result.placement.can_replicate(winner, winning.object));
+    result.placement.add_replica(winner, winning.object);
+    result.agents[winner].payments += payment;
+    result.agents[winner].true_value += winning.true_value;
+    result.agents[winner].objects_won += 1;
+    result.rounds.push_back(RoundRecord{winner, winning.object,
+                                        winning.claimed_value,
+                                        winning.true_value, payment});
+    if (config.observer) {
+      config.observer->on_allocation(winner, winning.object, payment);
+      config.observer->on_broadcast(winner, winning.object);
+    }
+
+    live = std::move(next_live);
+    ++round;
+  }
+  return result;
+}
+
+}  // namespace
+
+MechanismResult run_agt_ram(const drp::Problem& problem,
+                            const AgtRamConfig& config) {
+  std::vector<Agent> agents;
+  agents.reserve(problem.server_count());
+  for (drp::ServerId i = 0; i < problem.server_count(); ++i) {
+    agents.emplace_back(problem, i);
+  }
+  return run_rounds(problem, config, drp::ReplicaPlacement(problem),
+                    std::move(agents));
+}
+
+MechanismResult run_agt_ram_from(
+    const drp::Problem& problem, const AgtRamConfig& config,
+    drp::ReplicaPlacement start,
+    const std::vector<drp::ServerId>* participants) {
+  std::vector<Agent> agents;
+  if (participants) {
+    std::vector<drp::ServerId> sorted = *participants;
+    std::sort(sorted.begin(), sorted.end());
+    agents.reserve(sorted.size());
+    for (drp::ServerId i : sorted) agents.emplace_back(start, i);
+  } else {
+    agents.reserve(problem.server_count());
+    for (drp::ServerId i = 0; i < problem.server_count(); ++i) {
+      agents.emplace_back(start, i);
+    }
+  }
+  return run_rounds(problem, config, std::move(start), std::move(agents));
+}
+
+}  // namespace agtram::core

@@ -1,0 +1,104 @@
+// AGT-RAM — the Axiomatic Game Theoretical Replica Allocation Mechanism
+// (paper Section 4, Figure 2).  This is the paper's primary contribution.
+//
+// Round structure:
+//   1. PARFOR each live agent: compute its best candidate and report
+//      (object, valuation) to the centre.
+//   2. The centre picks the globally dominant report (argmax), decides the
+//      binary "replicate", pays the winner per the payment rule (Axiom 5),
+//      and broadcasts the allocation.
+//   3. The winner replicates; every agent's NN table for that object is
+//      refreshed (done incrementally by drp::ReplicaPlacement).
+// The loop ends when no agent has a positive-valued feasible candidate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "core/payments.hpp"
+#include "drp/placement.hpp"
+#include "drp/problem.hpp"
+
+namespace agtram::core {
+
+/// Instrumentation hook: the semi-distributed runtime (src/runtime) uses it
+/// to account messages/bytes and simulated network latency; tests use it to
+/// audit the axioms round by round.
+class MechanismObserver {
+ public:
+  virtual ~MechanismObserver() = default;
+  virtual void on_round_begin(std::size_t /*round*/) {}
+  /// Called for every live agent's report (including empty ones).
+  virtual void on_report(drp::ServerId /*agent*/, const Report& /*report*/) {}
+  virtual void on_allocation(drp::ServerId /*winner*/,
+                             drp::ObjectIndex /*object*/,
+                             double /*payment*/) {}
+  /// Centre broadcasts the winning (object, server) so agents refresh NN.
+  virtual void on_broadcast(drp::ServerId /*winner*/,
+                            drp::ObjectIndex /*object*/) {}
+};
+
+struct AgtRamConfig {
+  PaymentRule payment_rule = PaymentRule::SecondPrice;
+  /// Run the per-agent report loop on the shared thread pool (the PARFOR of
+  /// Figure 2).  Results are identical to the serial run by construction.
+  bool parallel_agents = false;
+  /// Optional distortion of agent reports (Axiom 3 ablations).
+  ReportStrategy strategy;
+  /// Optional instrumentation.
+  MechanismObserver* observer = nullptr;
+  /// Safety valve for pathological configs; 0 = unlimited.
+  std::size_t max_rounds = 0;
+};
+
+/// Per-agent game-theoretic outcome.
+///
+/// Sign convention: `payments` is the Vickrey *clearing charge* of each won
+/// round — the second-best report, which the winner is charged against its
+/// hosting gain.  The paper's Axiom 5 text phrases this as a compensation,
+/// but its own Theorem 5 proof evaluates a deviating winner's utility as
+/// t_i - d_{3-i} (value minus the second declaration), i.e. the standard
+/// second-price form u_i = v_i - p_i; that is the convention audited here.
+struct AgentOutcome {
+  double payments = 0.0;        ///< sum of second-price charges (Axiom 5)
+  double true_value = 0.0;      ///< sum of true valuations of objects won
+  std::uint32_t objects_won = 0;
+  /// u_i = v_i(t_i, x) - p_i, per the Theorem 5 proof.
+  double utility() const noexcept { return true_value - payments; }
+};
+
+struct RoundRecord {
+  drp::ServerId winner;
+  drp::ObjectIndex object;
+  double claimed_value;  ///< the winning report
+  double true_value;     ///< the winner's actual valuation
+  double payment;
+};
+
+struct MechanismResult {
+  drp::ReplicaPlacement placement;
+  std::vector<RoundRecord> rounds;
+  std::vector<AgentOutcome> agents;  ///< indexed by server id
+
+  double total_payments() const;
+  std::size_t replicas_placed() const noexcept { return rounds.size(); }
+};
+
+/// Runs the mechanism to completion on `problem`, starting from the
+/// primaries-only scheme with every server participating.
+MechanismResult run_agt_ram(const drp::Problem& problem,
+                            const AgtRamConfig& config = {});
+
+/// Warm-start / restricted variant: continues allocating on top of `start`
+/// and (optionally) lets only `participants` act as agents.  This powers
+/// the adaptive re-allocation protocol and the regional mechanisms of the
+/// paper's future-work section (src/core/adaptive.hpp, regional.hpp).
+MechanismResult run_agt_ram_from(const drp::Problem& problem,
+                                 const AgtRamConfig& config,
+                                 drp::ReplicaPlacement start,
+                                 const std::vector<drp::ServerId>* participants
+                                 = nullptr);
+
+}  // namespace agtram::core

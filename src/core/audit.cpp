@@ -1,0 +1,132 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agtram::core {
+
+void RoundAuditor::on_round_begin(std::size_t) {
+  round_values_.clear();
+  ++rounds_;
+}
+
+void RoundAuditor::on_report(drp::ServerId, const Report& report) {
+  if (report.has_candidate) round_values_.push_back(report.claimed_value);
+}
+
+void RoundAuditor::on_allocation(drp::ServerId, drp::ObjectIndex,
+                                 double payment) {
+  if (round_values_.empty()) {
+    throw std::logic_error("allocation without any report");
+  }
+  const double best = *std::max_element(round_values_.begin(),
+                                        round_values_.end());
+  // Axiom 4 (utilitarian): the centre must have chosen the argmax report.
+  // We cannot see which agent won from here, but the winning value equals
+  // the payment under FirstPrice and bounds it under SecondPrice.
+  double expected_payment = 0.0;
+  switch (rule_) {
+    case PaymentRule::None:
+      expected_payment = 0.0;
+      break;
+    case PaymentRule::FirstPrice:
+      expected_payment = best;
+      break;
+    case PaymentRule::SecondPrice: {
+      // Second-highest value (0 with a single bidder).
+      double second = 0.0;
+      double first = -1.0;
+      for (double v : round_values_) {
+        if (v > first) {
+          second = first < 0.0 ? 0.0 : first;
+          first = v;
+        } else {
+          second = std::max(second, v);
+        }
+      }
+      expected_payment = std::max(0.0, second);
+      break;
+    }
+  }
+  if (std::abs(payment - expected_payment) > 1e-6 * std::max(1.0, best)) {
+    throw std::logic_error("payment does not match the payment rule");
+  }
+}
+
+std::vector<OneShotTrial> audit_one_shot_truthfulness(
+    const drp::Problem& problem, PaymentRule rule,
+    const std::vector<double>& distortions) {
+  const drp::ReplicaPlacement placement(problem);
+  std::vector<Agent> agents;
+  agents.reserve(problem.server_count());
+  for (drp::ServerId i = 0; i < problem.server_count(); ++i) {
+    agents.emplace_back(problem, i);
+  }
+  std::vector<double> claims;
+  std::vector<double> values;
+  std::vector<drp::ServerId> bidders;
+  for (auto& agent : agents) {
+    const Report r = agent.make_report(placement, nullptr);
+    if (!r.has_candidate) continue;
+    claims.push_back(r.claimed_value);
+    values.push_back(r.true_value);
+    bidders.push_back(agent.id());
+  }
+
+  const auto round_utility = [&](std::vector<double> profile,
+                                 std::size_t slot) {
+    // Winner of the round under this report profile (ties: lowest id).
+    std::size_t winner = 0;
+    for (std::size_t s = 1; s < profile.size(); ++s) {
+      if (profile[s] > profile[winner]) winner = s;
+    }
+    if (winner != slot) return 0.0;
+    return values[slot] - compute_payment(rule, profile, slot);
+  };
+
+  std::vector<OneShotTrial> trials;
+  for (std::size_t slot = 0; slot < bidders.size(); ++slot) {
+    const double truthful = round_utility(claims, slot);
+    for (const double factor : distortions) {
+      std::vector<double> profile = claims;
+      profile[slot] = claims[slot] * factor;
+      trials.push_back(OneShotTrial{bidders[slot], factor, truthful,
+                                    round_utility(std::move(profile), slot)});
+    }
+  }
+  return trials;
+}
+
+std::vector<TruthfulnessTrial> audit_truthfulness(
+    const drp::Problem& problem, PaymentRule rule, drp::ServerId agent,
+    const std::vector<double>& distortions) {
+  AgtRamConfig truthful_cfg;
+  truthful_cfg.payment_rule = rule;
+  const MechanismResult truthful = run_agt_ram(problem, truthful_cfg);
+  const double truthful_utility = truthful.agents[agent].utility();
+
+  std::vector<TruthfulnessTrial> trials;
+  trials.reserve(distortions.size());
+  for (const double factor : distortions) {
+    AgtRamConfig deviant_cfg;
+    deviant_cfg.payment_rule = rule;
+    deviant_cfg.strategy = [agent, factor](drp::ServerId who, double value) {
+      return who == agent ? value * factor : value;
+    };
+    const MechanismResult deviant = run_agt_ram(problem, deviant_cfg);
+    trials.push_back(TruthfulnessTrial{agent, factor, truthful_utility,
+                                       deviant.agents[agent].utility()});
+  }
+  return trials;
+}
+
+double utilitarian_discrepancy(const MechanismResult& result) {
+  double per_round = 0.0;
+  for (const RoundRecord& r : result.rounds) per_round += r.true_value;
+  double per_agent = 0.0;
+  for (const AgentOutcome& a : result.agents) per_agent += a.true_value;
+  return std::abs(per_round - per_agent);
+}
+
+}  // namespace agtram::core

@@ -1,0 +1,83 @@
+// Axiom audits: executable checks of the game-theoretic properties the
+// paper proves on paper (Lemma 1, Theorems 3 and 5).  Tests and the payment
+// ablation bench run these on concrete instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/agt_ram.hpp"
+#include "drp/problem.hpp"
+
+namespace agtram::core {
+
+/// Per-round axiom verification (Axioms 4-6): the chosen allocation is the
+/// argmax of the reports (utilitarian), the payment matches the rule
+/// (motivation), and the winner's allocation was feasible.  Install as
+/// AgtRamConfig::observer; violations throw std::logic_error.
+class RoundAuditor : public MechanismObserver {
+ public:
+  explicit RoundAuditor(PaymentRule rule) : rule_(rule) {}
+
+  void on_round_begin(std::size_t round) override;
+  void on_report(drp::ServerId agent, const Report& report) override;
+  void on_allocation(drp::ServerId winner, drp::ObjectIndex object,
+                     double payment) override;
+
+  std::size_t rounds_audited() const noexcept { return rounds_; }
+
+ private:
+  PaymentRule rule_;
+  std::vector<double> round_values_;
+  std::size_t rounds_ = 0;
+};
+
+/// One-shot dominance audit (the exact property behind Lemma 1 / Theorem 5;
+/// both are proved for a single allocation decision).  Takes the first
+/// round's report profile, and for every agent and every distortion factor
+/// compares the agent's round utility (win: value - payment; lose: 0) when
+/// truthful vs. when scaling its claim, with all other reports held fixed.
+struct OneShotTrial {
+  drp::ServerId agent;
+  double distortion;
+  double truthful_utility;
+  double deviant_utility;
+  double margin() const noexcept { return truthful_utility - deviant_utility; }
+};
+
+/// Under PaymentRule::SecondPrice every margin is >= 0 (exact dominance);
+/// under FirstPrice under-projection produces negative margins.
+std::vector<OneShotTrial> audit_one_shot_truthfulness(
+    const drp::Problem& problem, PaymentRule rule,
+    const std::vector<double>& distortions);
+
+/// Result of one *full-game* truthfulness trial: the utility an agent
+/// achieved when truthful vs. when deviating with some distortion factor in
+/// every round.  The sequential game is not dominance-solvable in general
+/// (the paper's proofs are one-shot), so these margins are an empirical
+/// measurement consumed by the payment-rule ablation bench, not an exact
+/// invariant.
+struct TruthfulnessTrial {
+  drp::ServerId agent;
+  double distortion;        ///< multiplicative misreport factor applied
+  double truthful_utility;
+  double deviant_utility;
+  /// Dominance margin: >= 0 means truth-telling was (weakly) better.
+  double margin() const noexcept { return truthful_utility - deviant_utility; }
+};
+
+/// Empirically checks Axiom 3 / Theorem 5: runs the mechanism with agent
+/// `agent` truthful, then re-runs it with the agent scaling every report by
+/// each factor in `distortions` (others stay truthful), comparing utilities.
+/// With PaymentRule::SecondPrice every margin should be >= -epsilon.
+std::vector<TruthfulnessTrial> audit_truthfulness(
+    const drp::Problem& problem, PaymentRule rule, drp::ServerId agent,
+    const std::vector<double>& distortions);
+
+/// Axiom 4 consistency: the utilitarian objective equals the sum of agent
+/// valuations; concretely, the sum of winners' true values across rounds
+/// must equal the total value the mechanism reports per agent.  Returns the
+/// absolute discrepancy (0 in exact arithmetic).
+double utilitarian_discrepancy(const MechanismResult& result);
+
+}  // namespace agtram::core

@@ -1,0 +1,66 @@
+// The six axioms of the paper's game-theoretical mechanism (Figure 1) and
+// how this library realises each of them.  This header is the map between
+// the paper's theory (Section 3) and the code (Section 4 / Figure 2).
+//
+//  Axiom 1 (Ingredients)   — a mechanism has (a) an algorithmic output
+//      specification and (b) agent utility functions.
+//      Code: core::AgtRam produces core::MechanismResult (the output x and
+//      the payments p); utilities u_i = p_i + v_i(t_i, x) are tracked in
+//      MechanismResult::agents.
+//
+//  Axiom 2 (Agent disposition) — each agent holds private "true data";
+//      everything else is public.  The paper argues DRP[pi] is the only
+//      natural variant: the private data is the cost-of-replication
+//      valuation CoR_ik, while topology and capacities are public.
+//      Code: core::Agent computes t_ik = drp::CostModel::agent_benefit
+//      from its local demand; the mechanism never reads demand directly,
+//      only the reports (enforced by the Agent interface).
+//
+//  Axiom 3 (Truthful)      — truth-telling must be a dominant strategy
+//      (Lemma 1 / Theorem 5).  Code: with PaymentRule::SecondPrice the
+//      winner's payment is independent of its own report, which makes
+//      misreporting weakly dominated; core::audit_truthfulness verifies the
+//      dominance empirically on concrete instances, and the strategic
+//      ReportStrategy hooks let benches demonstrate what breaks under
+//      first-price payments.
+//
+//  Axiom 4 (Utilitarian)   — the objective is the sum of agent valuations,
+//      g(x, t) = sum_i v_i(t_i, x), which is exactly the OTC objective of
+//      Equation 4.  Code: each round allocates argmax of the reported
+//      valuations; core::audit_round checks the argmax property per round.
+//
+//  Axiom 5 (Motivation)    — payments reward hosting: AGT-RAM pays the
+//      *overall second-best* reported valuation (a Vickrey/second-price
+//      rule), making over-, under- and random projection all unprofitable.
+//      Code: core::compute_payment.
+//
+//  Axiom 6 (Algorithmic output) — the iterative allocation loop of
+//      Figure 2; one replica per round, the centre only takes the binary
+//      replicate / don't-replicate decision.  Code: core::AgtRam::run.
+#pragma once
+
+namespace agtram::core {
+
+enum class Axiom {
+  Ingredients = 1,
+  AgentDisposition = 2,
+  Truthful = 3,
+  Utilitarian = 4,
+  Motivation = 5,
+  AlgorithmicOutput = 6,
+};
+
+/// Short human-readable description (bench/report output).
+constexpr const char* axiom_name(Axiom axiom) {
+  switch (axiom) {
+    case Axiom::Ingredients: return "ingredients";
+    case Axiom::AgentDisposition: return "agent disposition";
+    case Axiom::Truthful: return "truthful";
+    case Axiom::Utilitarian: return "utilitarian";
+    case Axiom::Motivation: return "motivation";
+    case Axiom::AlgorithmicOutput: return "algorithmic output";
+  }
+  return "?";
+}
+
+}  // namespace agtram::core

@@ -1,0 +1,38 @@
+// Mechanism economics: the quantitative side of Axiom 5.
+//
+// The paper justifies its payment choice qualitatively (over/under/random
+// projection all fail); this module measures the resulting transfers on a
+// concrete run: welfare created, clearing volume, the frugality ratio
+// (what fraction of the created welfare the clearing prices absorb — high
+// frugality means the mechanism overpays for competition, the concern of
+// the cited Saurabh & Parkes manuscript), and the distribution of surplus
+// across agents.
+#pragma once
+
+#include <cstddef>
+
+#include "core/agt_ram.hpp"
+
+namespace agtram::core {
+
+struct EconomicsReport {
+  /// Sum of winners' true valuations — the utilitarian welfare realised.
+  double welfare = 0.0;
+  /// Sum of second-price charges cleared through the centre.
+  double charges = 0.0;
+  /// charges / welfare in [0, 1] under truthful second-price play.
+  double frugality_ratio = 0.0;
+  /// Sum of agent utilities (welfare - charges).
+  double total_surplus = 0.0;
+  /// Gini coefficient of the per-agent utilities (0 = equal split).
+  double utility_gini = 0.0;
+  std::size_t winning_agents = 0;  ///< agents that won at least one round
+  std::size_t rounds = 0;
+  /// Mean competition: winner's report over the charge (>= 1); large means
+  /// the winner dominated its round.
+  double mean_dominance = 0.0;
+};
+
+EconomicsReport economics_report(const MechanismResult& result);
+
+}  // namespace agtram::core

@@ -1,0 +1,45 @@
+#include "core/payments.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace agtram::core {
+
+PaymentRule parse_payment_rule(const std::string& name) {
+  if (name == "second-price" || name == "vickrey") return PaymentRule::SecondPrice;
+  if (name == "first-price") return PaymentRule::FirstPrice;
+  if (name == "none" || name == "zero") return PaymentRule::None;
+  throw std::invalid_argument("unknown payment rule: " + name);
+}
+
+std::string to_string(PaymentRule rule) {
+  switch (rule) {
+    case PaymentRule::SecondPrice: return "second-price";
+    case PaymentRule::FirstPrice: return "first-price";
+    case PaymentRule::None: return "none";
+  }
+  return "?";
+}
+
+double compute_payment(PaymentRule rule, std::span<const double> reports,
+                       std::size_t winner_index) {
+  assert(winner_index < reports.size());
+  switch (rule) {
+    case PaymentRule::None:
+      return 0.0;
+    case PaymentRule::FirstPrice:
+      return reports[winner_index];
+    case PaymentRule::SecondPrice: {
+      double second = 0.0;
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (i == winner_index) continue;
+        second = std::max(second, reports[i]);
+      }
+      return second;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace agtram::core

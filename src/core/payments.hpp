@@ -1,0 +1,28 @@
+// Payment rules (Axiom 5).  AGT-RAM's rule is second-price: the winner of a
+// round is paid the second-best reported valuation across all agents, which
+// decouples the payment from the winner's own report and yields Theorem 5's
+// truthfulness.  First-price and zero payments exist for the ablation bench
+// that demonstrates *why* the paper's choice matters.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace agtram::core {
+
+enum class PaymentRule {
+  SecondPrice,  ///< the paper's rule: pay the overall second-best valuation
+  FirstPrice,   ///< pay the winner its own report (manipulable)
+  None,         ///< no payments (agents have no incentive to participate)
+};
+
+PaymentRule parse_payment_rule(const std::string& name);
+std::string to_string(PaymentRule rule);
+
+/// Computes the winner's payment for one round given all (non-negative)
+/// reports of that round.  `winner_index` indexes into `reports`.
+/// SecondPrice with a single bidder pays 0 (no competition).
+double compute_payment(PaymentRule rule, std::span<const double> reports,
+                       std::size_t winner_index);
+
+}  // namespace agtram::core

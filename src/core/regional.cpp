@@ -1,0 +1,334 @@
+#include "core/regional.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "drp/cost_model.hpp"
+
+namespace agtram::core {
+
+std::size_t RegionalResult::replicas_placed() const {
+  std::size_t total = 0;
+  for (const RegionOutcome& region : regions) total += region.replicas_placed;
+  return total;
+}
+
+RegionalResult run_regional(const drp::Problem& problem,
+                            const RegionalConfig& config) {
+  net::ClusteringConfig clustering_cfg;
+  clustering_cfg.regions = config.regions;
+  clustering_cfg.seed = config.seed;
+  net::Clustering clustering =
+      net::cluster_servers(*problem.distances, clustering_cfg);
+
+  const std::size_t region_count = clustering.region_count();
+  RegionalResult result{drp::ReplicaPlacement(problem), std::move(clustering),
+                        {}, 0};
+  result.regions.resize(region_count);
+
+  // Per-region agent pools (indices into `agents` per region).
+  std::vector<Agent> agents;
+  agents.reserve(problem.server_count());
+  std::vector<std::vector<std::uint32_t>> region_live(region_count);
+  for (drp::ServerId i = 0; i < problem.server_count(); ++i) {
+    agents.emplace_back(problem, i);
+    if (!agents.back().retired()) {
+      region_live[result.clustering.assignment[i]].push_back(
+          static_cast<std::uint32_t>(agents.size() - 1));
+    }
+  }
+  for (std::uint32_t r = 0; r < region_count; ++r) {
+    result.regions[r].centre = result.clustering.medoids[r];
+    result.regions[r].member_count =
+        static_cast<std::uint32_t>(result.clustering.members(r).size());
+  }
+  for (const std::uint32_t r : config.failed_regions) {
+    if (r < region_count) {
+      result.regions[r].failed = true;
+      region_live[r].clear();  // a dead decision body allocates nothing
+    }
+  }
+
+  // Epoch loop: every live region performs one mechanism round.  The
+  // regions act concurrently in a deployment; the simulation serialises
+  // them in region order within an epoch, which only affects intra-epoch
+  // tie-breaks.
+  bool any_progress = true;
+  while (any_progress) {
+    if (config.max_epochs != 0 && result.epochs >= config.max_epochs) break;
+    any_progress = false;
+    for (std::uint32_t r = 0; r < region_count; ++r) {
+      auto& live = region_live[r];
+      if (live.empty()) continue;
+
+      std::vector<double> values;
+      std::vector<std::uint32_t> bidders;  // agent indices
+      std::vector<std::uint32_t> next_live;
+      std::vector<Report> reports(agents.size());
+      values.reserve(live.size());
+      next_live.reserve(live.size());
+      for (const std::uint32_t a : live) {
+        reports[a] = agents[a].make_report(result.placement, nullptr);
+        if (reports[a].has_candidate) {
+          values.push_back(reports[a].claimed_value);
+          bidders.push_back(a);
+          next_live.push_back(a);
+        }
+      }
+      live = std::move(next_live);
+      if (values.empty()) continue;
+
+      std::size_t winner_slot = 0;
+      for (std::size_t s = 1; s < values.size(); ++s) {
+        if (values[s] > values[winner_slot]) winner_slot = s;
+      }
+      const std::uint32_t winner_agent = bidders[winner_slot];
+      const Report& winning = reports[winner_agent];
+      const drp::ServerId winner = agents[winner_agent].id();
+
+      assert(result.placement.can_replicate(winner, winning.object));
+      result.placement.add_replica(winner, winning.object);
+      result.regions[r].replicas_placed += 1;
+      result.regions[r].charges +=
+          compute_payment(config.payment_rule, values, winner_slot);
+      any_progress = true;
+    }
+    ++result.epochs;
+  }
+  return result;
+}
+
+namespace {
+
+/// Welfare gain for one region of placing a replica of k at member i:
+/// read savings of the region's members minus i's broadcast subscription.
+double regional_benefit(const drp::ReplicaPlacement& placement,
+                        const net::Clustering& clustering,
+                        std::uint32_t region, drp::ServerId i,
+                        drp::ObjectIndex k) {
+  const drp::Problem& p = placement.problem();
+  const double o = static_cast<double>(p.object_units[k]);
+  double benefit = 0.0;
+  const auto accessors = p.access.accessors(k);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const auto& a = accessors[slot];
+    if (a.reads == 0 || clustering.assignment[a.server] != region) continue;
+    if (placement.is_replicator(a.server, k)) continue;
+    const net::Cost current = placement.nn_distance_by_slot(k, slot);
+    const net::Cost with_i = std::min(current, p.distance(a.server, i));
+    benefit += static_cast<double>(a.reads) * o *
+               (static_cast<double>(current) - static_cast<double>(with_i));
+  }
+  benefit -= (static_cast<double>(p.access.total_writes(k)) -
+              static_cast<double>(p.access.writes(i, k))) *
+             o * static_cast<double>(p.distance(p.primary[k], i));
+  return benefit;
+}
+
+struct CoalitionMove {
+  double benefit = 0.0;
+  drp::ServerId server = 0;
+  drp::ObjectIndex object = 0;
+};
+
+/// Best member site for object k from the region's cooperative viewpoint.
+CoalitionMove best_coalition_move(const drp::ReplicaPlacement& placement,
+                                  const net::Clustering& clustering,
+                                  std::uint32_t region,
+                                  const std::vector<net::NodeId>& members,
+                                  drp::ObjectIndex k) {
+  CoalitionMove best;
+  best.object = k;
+  for (const net::NodeId i : members) {
+    if (!placement.can_replicate(i, k)) continue;
+    const double benefit =
+        regional_benefit(placement, clustering, region, i, k);
+    if (benefit > best.benefit) {
+      best.benefit = benefit;
+      best.server = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RegionalResult run_regional_cooperative(const drp::Problem& problem,
+                                        const RegionalConfig& config) {
+  net::ClusteringConfig clustering_cfg;
+  clustering_cfg.regions = config.regions;
+  clustering_cfg.seed = config.seed;
+  net::Clustering clustering =
+      net::cluster_servers(*problem.distances, clustering_cfg);
+  const std::size_t region_count = clustering.region_count();
+
+  RegionalResult result{drp::ReplicaPlacement(problem), std::move(clustering),
+                        {}, 0};
+  result.regions.resize(region_count);
+  std::vector<std::vector<net::NodeId>> members(region_count);
+  for (std::uint32_t r = 0; r < region_count; ++r) {
+    members[r] = result.clustering.members(r);
+    result.regions[r].centre = result.clustering.medoids[r];
+    result.regions[r].member_count =
+        static_cast<std::uint32_t>(members[r].size());
+  }
+  std::vector<bool> region_failed(region_count, false);
+  for (const std::uint32_t r : config.failed_regions) {
+    if (r < region_count) {
+      region_failed[r] = true;
+      result.regions[r].failed = true;
+    }
+  }
+
+  // Per-region lazy max-heap over objects; coalition benefits only decay
+  // (NN distances shrink, capacities shrink), so stale tops re-validate.
+  struct HeapEntry {
+    double benefit;
+    drp::ObjectIndex object;
+    bool operator<(const HeapEntry& other) const noexcept {
+      if (benefit != other.benefit) return benefit < other.benefit;
+      return object > other.object;
+    }
+  };
+  std::vector<std::priority_queue<HeapEntry>> heaps(region_count);
+  for (std::uint32_t r = 0; r < region_count; ++r) {
+    if (region_failed[r]) continue;
+    for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
+      const CoalitionMove move = best_coalition_move(
+          result.placement, result.clustering, r, members[r], k);
+      if (move.benefit > 0.0) heaps[r].push(HeapEntry{move.benefit, k});
+    }
+  }
+
+  bool any_progress = true;
+  while (any_progress) {
+    if (config.max_epochs != 0 && result.epochs >= config.max_epochs) break;
+    any_progress = false;
+    for (std::uint32_t r = 0; r < region_count; ++r) {
+      auto& heap = heaps[r];
+      while (!heap.empty()) {
+        const HeapEntry top = heap.top();
+        heap.pop();
+        const CoalitionMove fresh = best_coalition_move(
+            result.placement, result.clustering, r, members[r], top.object);
+        if (fresh.benefit <= 0.0) continue;
+        if (!heap.empty() && fresh.benefit < heap.top().benefit) {
+          heap.push(HeapEntry{fresh.benefit, top.object});
+          continue;
+        }
+        result.placement.add_replica(fresh.server, fresh.object);
+        result.regions[r].replicas_placed += 1;
+        any_progress = true;
+        const CoalitionMove next = best_coalition_move(
+            result.placement, result.clustering, r, members[r], fresh.object);
+        if (next.benefit > 0.0) heap.push(HeapEntry{next.benefit, fresh.object});
+        break;  // one allocation per region per epoch
+      }
+    }
+    ++result.epochs;
+  }
+  return result;
+}
+
+HierarchicalResult run_hierarchical(const drp::Problem& problem,
+                                    const RegionalConfig& config) {
+  net::ClusteringConfig clustering_cfg;
+  clustering_cfg.regions = config.regions;
+  clustering_cfg.seed = config.seed;
+  net::Clustering clustering =
+      net::cluster_servers(*problem.distances, clustering_cfg);
+  const std::size_t region_count = clustering.region_count();
+
+  HierarchicalResult result{drp::ReplicaPlacement(problem),
+                            std::move(clustering),
+                            {},
+                            0.0,
+                            0};
+
+  std::vector<Agent> agents;
+  agents.reserve(problem.server_count());
+  std::vector<std::vector<std::uint32_t>> region_live(region_count);
+  for (drp::ServerId i = 0; i < problem.server_count(); ++i) {
+    agents.emplace_back(problem, i);
+    if (!agents.back().retired()) {
+      region_live[result.clustering.assignment[i]].push_back(
+          static_cast<std::uint32_t>(agents.size() - 1));
+    }
+  }
+  std::vector<bool> region_failed(region_count, false);
+  for (const std::uint32_t r : config.failed_regions) {
+    if (r < region_count) region_failed[r] = true;
+  }
+
+  struct Champion {
+    double value;
+    drp::ServerId server;
+    drp::ObjectIndex object;
+    double true_value;
+  };
+
+  std::vector<Report> reports(agents.size());
+  std::size_t round = 0;
+  for (;;) {
+    if (config.max_epochs != 0 && round >= config.max_epochs) break;
+
+    // Level 1: every live region nominates its champion (regional argmax,
+    // ties towards the lowest server id — region members are in id order).
+    std::vector<Champion> champions;
+    for (std::uint32_t r = 0; r < region_count; ++r) {
+      if (region_failed[r]) continue;
+      auto& live = region_live[r];
+      std::vector<std::uint32_t> next_live;
+      next_live.reserve(live.size());
+      const Champion none{0.0, 0, 0, 0.0};
+      Champion best = none;
+      bool has_best = false;
+      for (const std::uint32_t a : live) {
+        reports[a] = agents[a].make_report(result.placement, nullptr);
+        if (!reports[a].has_candidate) continue;
+        next_live.push_back(a);
+        if (!has_best || reports[a].claimed_value > best.value) {
+          has_best = true;
+          best = Champion{reports[a].claimed_value, agents[a].id(),
+                          reports[a].object, reports[a].true_value};
+        }
+      }
+      live = std::move(next_live);
+      if (has_best) champions.push_back(best);
+    }
+    if (champions.empty()) break;
+    result.top_level_reports += champions.size();
+
+    // Level 2: the top centre compares R scalars.
+    std::size_t winner_slot = 0;
+    for (std::size_t c = 1; c < champions.size(); ++c) {
+      if (champions[c].value > champions[winner_slot].value ||
+          (champions[c].value == champions[winner_slot].value &&
+           champions[c].server < champions[winner_slot].server)) {
+        winner_slot = c;
+      }
+    }
+    double second = 0.0;
+    for (std::size_t c = 0; c < champions.size(); ++c) {
+      if (c != winner_slot) second = std::max(second, champions[c].value);
+    }
+    const double payment =
+        config.payment_rule == PaymentRule::SecondPrice ? second
+        : config.payment_rule == PaymentRule::FirstPrice
+            ? champions[winner_slot].value
+            : 0.0;
+
+    const Champion& winner = champions[winner_slot];
+    assert(result.placement.can_replicate(winner.server, winner.object));
+    result.placement.add_replica(winner.server, winner.object);
+    result.rounds.push_back(RoundRecord{winner.server, winner.object,
+                                        winner.value, winner.true_value,
+                                        payment});
+    result.total_charges += payment;
+    ++round;
+  }
+  return result;
+}
+
+}  // namespace agtram::core

@@ -1,0 +1,72 @@
+#include "drp/access_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace agtram::drp {
+
+AccessMatrix AccessMatrix::build(std::size_t servers, std::size_t objects,
+                                 std::vector<std::vector<Access>> by_object) {
+  if (by_object.size() != objects) {
+    throw std::invalid_argument("AccessMatrix::build: row count != objects");
+  }
+  AccessMatrix m;
+  m.by_object_.resize(objects);
+  m.by_server_.resize(servers);
+  m.object_reads_.assign(objects, 0);
+  m.object_writes_.assign(objects, 0);
+
+  for (std::size_t k = 0; k < objects; ++k) {
+    auto& row = by_object[k];
+    std::sort(row.begin(), row.end(), [](const Access& a, const Access& b) {
+      return a.server < b.server;
+    });
+    auto& out = m.by_object_[k];
+    out.reserve(row.size());
+    for (const Access& a : row) {
+      if (a.server >= servers) {
+        throw std::invalid_argument("AccessMatrix::build: server out of range");
+      }
+      if (a.reads == 0 && a.writes == 0) continue;
+      if (!out.empty() && out.back().server == a.server) {
+        out.back().reads += a.reads;
+        out.back().writes += a.writes;
+      } else {
+        out.push_back(a);
+      }
+    }
+    for (const Access& a : out) {
+      m.object_reads_[k] += a.reads;
+      m.object_writes_[k] += a.writes;
+      m.by_server_[a.server].push_back(
+          ServerSideAccess{static_cast<ObjectIndex>(k), a.reads, a.writes});
+      ++m.nonzeros_;
+    }
+    m.grand_reads_ += m.object_reads_[k];
+    m.grand_writes_ += m.object_writes_[k];
+  }
+  // by_server_ rows were appended in ascending object order already.
+  return m;
+}
+
+std::size_t AccessMatrix::accessor_slot(ServerId i, ObjectIndex k) const {
+  const auto& row = by_object_[k];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), i,
+      [](const Access& a, ServerId target) { return a.server < target; });
+  if (it == row.end() || it->server != i) return npos;
+  return static_cast<std::size_t>(it - row.begin());
+}
+
+std::uint64_t AccessMatrix::reads(ServerId i, ObjectIndex k) const {
+  const std::size_t slot = accessor_slot(i, k);
+  return slot == npos ? 0 : by_object_[k][slot].reads;
+}
+
+std::uint64_t AccessMatrix::writes(ServerId i, ObjectIndex k) const {
+  const std::size_t slot = accessor_slot(i, k);
+  return slot == npos ? 0 : by_object_[k][slot].writes;
+}
+
+}  // namespace agtram::drp

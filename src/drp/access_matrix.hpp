@@ -1,0 +1,84 @@
+// Sparse read/write demand matrices r_ik / w_ik.
+//
+// At paper scale (M=3718, N=25000) a dense pair of M x N matrices would cost
+// ~750 MB; the trace-driven demand is sparse, so we store CSR-style rows
+// both by object (driving cost evaluation and nearest-neighbour updates) and
+// by server (driving each agent's candidate list in the mechanism).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace agtram::drp {
+
+using ServerId = std::uint32_t;
+using ObjectIndex = std::uint32_t;
+
+/// One server's demand for one object.
+struct Access {
+  ServerId server;
+  std::uint64_t reads;
+  std::uint64_t writes;
+};
+
+/// A (object, demand) pair as seen from one server's side.
+struct ServerSideAccess {
+  ObjectIndex object;
+  std::uint64_t reads;
+  std::uint64_t writes;
+};
+
+class AccessMatrix {
+ public:
+  AccessMatrix() = default;
+
+  /// Builds both views from per-object rows.  Rows may be unsorted and may
+  /// contain duplicate servers (demand is summed); zero-demand entries are
+  /// dropped.
+  static AccessMatrix build(std::size_t servers, std::size_t objects,
+                            std::vector<std::vector<Access>> by_object);
+
+  std::size_t server_count() const noexcept { return by_server_.size(); }
+  std::size_t object_count() const noexcept { return by_object_.size(); }
+
+  /// All servers with nonzero demand for object k, sorted by server id.
+  std::span<const Access> accessors(ObjectIndex k) const {
+    return by_object_[k];
+  }
+
+  /// All objects server i touches, sorted by object index.
+  std::span<const ServerSideAccess> server_objects(ServerId i) const {
+    return by_server_[i];
+  }
+
+  /// Point lookups (binary search in the object row); 0 if absent.
+  std::uint64_t reads(ServerId i, ObjectIndex k) const;
+  std::uint64_t writes(ServerId i, ObjectIndex k) const;
+
+  /// Slot of server i in accessors(k), or npos if i has no demand for k.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t accessor_slot(ServerId i, ObjectIndex k) const;
+
+  /// Aggregate demand per object: w_k = sum_i w_ik (and likewise reads).
+  std::uint64_t total_writes(ObjectIndex k) const { return object_writes_[k]; }
+  std::uint64_t total_reads(ObjectIndex k) const { return object_reads_[k]; }
+
+  std::uint64_t grand_total_reads() const noexcept { return grand_reads_; }
+  std::uint64_t grand_total_writes() const noexcept { return grand_writes_; }
+
+  /// Number of stored nonzero (server, object) cells.
+  std::size_t nonzeros() const noexcept { return nonzeros_; }
+
+ private:
+  std::vector<std::vector<Access>> by_object_;
+  std::vector<std::vector<ServerSideAccess>> by_server_;
+  std::vector<std::uint64_t> object_reads_;
+  std::vector<std::uint64_t> object_writes_;
+  std::uint64_t grand_reads_ = 0;
+  std::uint64_t grand_writes_ = 0;
+  std::size_t nonzeros_ = 0;
+};
+
+}  // namespace agtram::drp

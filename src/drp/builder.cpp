@@ -1,0 +1,172 @@
+#include "drp/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/prng.hpp"
+
+namespace agtram::drp {
+
+using common::Rng;
+
+Problem build_problem(net::DistanceMatrixPtr distances,
+                      const trace::Workload& workload,
+                      const InstanceConfig& config) {
+  if (!distances) throw std::invalid_argument("build_problem: null distances");
+  if (config.rw_ratio <= 0.0 || config.rw_ratio > 1.0) {
+    throw std::invalid_argument("build_problem: rw_ratio must be in (0, 1]");
+  }
+  if (config.capacity_fraction < 0.0) {
+    throw std::invalid_argument("build_problem: negative capacity fraction");
+  }
+  const std::size_t servers = distances->node_count();
+  const std::size_t objects = workload.object_count();
+  if (objects == 0) throw std::invalid_argument("build_problem: empty workload");
+
+  Rng rng(config.seed);
+
+  Problem problem;
+  problem.distances = std::move(distances);
+  problem.object_units = workload.object_units;
+
+  // --- Primaries: "the primary replicas' original server was mimicked by
+  // choosing random locations".
+  problem.primary.resize(objects);
+  for (std::size_t k = 0; k < objects; ++k) {
+    problem.primary[k] = static_cast<ServerId>(rng.below(servers));
+  }
+
+  // --- Demand: start from trace reads, then inject writes to hit R/W.
+  // Total writes W so that reads / (reads + writes) = rw_ratio.
+  std::uint64_t total_reads = 0;
+  for (const auto& rows : workload.reads) {
+    for (const auto& r : rows) total_reads += r.reads;
+  }
+  const double total_writes =
+      static_cast<double>(total_reads) * (1.0 - config.rw_ratio) /
+      config.rw_ratio;
+
+  // Spread update volume across objects by an independent popularity law
+  // (uniform by default; see InstanceConfig::write_popularity_exponent).
+  std::vector<double> write_weight(objects);
+  double weight_sum = 0.0;
+  for (std::size_t k = 0; k < objects; ++k) {
+    write_weight[k] = std::pow(static_cast<double>(k + 1),
+                               -config.write_popularity_exponent);
+    weight_sum += write_weight[k];
+  }
+
+  std::vector<std::vector<Access>> by_object(objects);
+  const std::uint32_t writers =
+      std::max<std::uint32_t>(1,
+          std::min<std::uint32_t>(config.writers_per_object,
+                                  static_cast<std::uint32_t>(servers)));
+  for (std::size_t k = 0; k < objects; ++k) {
+    auto& row = by_object[k];
+    for (const auto& r : workload.reads[k]) {
+      if (r.server >= servers) {
+        throw std::invalid_argument("build_problem: workload server id out of range");
+      }
+      row.push_back(Access{r.server, r.reads, 0});
+    }
+    const auto object_writes = static_cast<std::uint64_t>(
+        std::llround(total_writes * write_weight[k] / weight_sum));
+    if (object_writes > 0) {
+      std::unordered_set<ServerId> chosen;
+      while (chosen.size() < writers) {
+        chosen.insert(static_cast<ServerId>(rng.below(servers)));
+      }
+      const std::uint64_t base = object_writes / chosen.size();
+      std::uint64_t remainder = object_writes % chosen.size();
+      for (ServerId s : chosen) {
+        std::uint64_t share = base;
+        if (remainder > 0) {
+          ++share;
+          --remainder;
+        }
+        if (share > 0) row.push_back(Access{s, 0, share});
+      }
+    }
+  }
+  problem.access = AccessMatrix::build(servers, objects, std::move(by_object));
+
+  // --- Capacities: uniform in [0.5, 1.5] x C% x (total object bytes),
+  // plus primary load so the initial scheme is feasible by construction.
+  std::uint64_t total_units = 0;
+  for (std::uint32_t u : problem.object_units) total_units += u;
+  problem.capacity.assign(servers, 0);
+  std::vector<std::uint64_t> primary_units(servers, 0);
+  for (std::size_t k = 0; k < objects; ++k) {
+    primary_units[problem.primary[k]] += problem.object_units[k];
+  }
+  for (std::size_t i = 0; i < servers; ++i) {
+    const double headroom = config.capacity_fraction *
+                            static_cast<double>(total_units) *
+                            rng.uniform(0.5, 1.5);
+    problem.capacity[i] =
+        primary_units[i] + static_cast<std::uint64_t>(std::llround(headroom));
+  }
+
+  problem.validate();
+  return problem;
+}
+
+Problem make_instance(const InstanceSpec& spec) {
+  if (spec.servers == 0 || spec.objects == 0) {
+    throw std::invalid_argument("make_instance: need servers and objects");
+  }
+
+  // Topology + metric closure.
+  net::TopologyConfig topo;
+  topo.kind = spec.topology;
+  topo.nodes = spec.servers;
+  topo.edge_probability = spec.edge_probability;
+  topo.seed = spec.seed;
+  const net::Graph graph = net::generate_topology(topo);
+  auto distances = std::make_shared<const net::DistanceMatrix>(
+      net::DistanceMatrix::compute(graph));
+
+  // Trace sized so the persistent core yields ~spec.objects catalogue
+  // entries after the present-in-all-days filter.
+  trace::WorldCupConfig wc;
+  wc.core_objects = spec.objects;
+  wc.object_universe =
+      spec.objects + std::max<std::uint32_t>(spec.objects / 2, 16);
+  // Client population scales with the topology but stays well below M so
+  // that per-(server, object) demand stays concentrated, as in the paper's
+  // 500-clients-onto-3718-servers mapping.
+  wc.clients = std::max<std::uint32_t>(24, spec.servers / 4);
+  wc.days = 5;
+  wc.requests_per_day = std::max<std::uint64_t>(
+      spec.objects,
+      static_cast<std::uint64_t>(spec.requests_per_object *
+                                 static_cast<double>(spec.objects) /
+                                 static_cast<double>(wc.days)));
+  wc.seed = spec.seed ^ 0x9e3779b97f4a7c15ULL;
+  const auto days = trace::generate_worldcup_trace(wc);
+
+  trace::PipelineConfig pipe;
+  pipe.servers = spec.servers;
+  pipe.top_clients = wc.clients;  // keep all clients at bench scale
+  pipe.max_fanout = std::min<std::uint32_t>(2, spec.servers);
+  pipe.seed = spec.seed ^ 0x1234abcd5678ef00ULL;
+  trace::Workload workload = trace::run_pipeline(days, pipe);
+
+  // Keep exactly the first spec.objects catalogue entries (the guaranteed
+  // persistent core occupies the lowest object ids).
+  if (workload.object_count() > spec.objects) {
+    workload.object_ids.resize(spec.objects);
+    workload.object_units.resize(spec.objects);
+    workload.size_variance.resize(spec.objects);
+    workload.reads.resize(spec.objects);
+  }
+
+  InstanceConfig inst = spec.instance;
+  inst.seed = spec.seed ^ 0x0f0f0f0f0f0f0f0fULL;
+  return build_problem(std::move(distances), workload, inst);
+}
+
+}  // namespace agtram::drp

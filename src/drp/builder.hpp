@@ -1,0 +1,68 @@
+// Instance builder: topology x trace x (C%, R/W, seed) -> drp::Problem.
+//
+// Mirrors the paper's experimental setup (Section 5):
+//  * read demand r_ik comes from the (synthetic) World Cup trace pipeline;
+//  * update demand w_ik is injected to hit a target R/W ratio, "randomly
+//    pushed onto different servers", with per-object volume proportional to
+//    the object's read popularity;
+//  * primaries are placed uniformly at random;
+//  * capacities are drawn uniformly from [0.5, 1.5] x (C% of the total
+//    object bytes), plus each server's primary load so the primaries-only
+//    scheme is always feasible.
+#pragma once
+
+#include <cstdint>
+
+#include "drp/problem.hpp"
+#include "net/topology.hpp"
+#include "trace/pipeline.hpp"
+#include "trace/worldcup.hpp"
+
+namespace agtram::drp {
+
+struct InstanceConfig {
+  /// C%: mean per-server replica headroom as a fraction of the total bytes
+  /// of all objects (paper sweeps 10%..45%).
+  double capacity_fraction = 0.25;
+
+  /// R/W: fraction of all accesses that are reads (paper sweeps up to 0.95).
+  /// 1.0 means a read-only workload (no update traffic at all).
+  double rw_ratio = 0.75;
+
+  /// How many distinct writer servers are drawn per object (clamped to M).
+  std::uint32_t writers_per_object = 4;
+
+  /// How update volume spreads across objects: w_k ∝ (k+1)^-e over the
+  /// popularity ranks.  The paper pushes updates onto random servers with no
+  /// popularity bias, so the default is 0 (uniform across objects) — read
+  /// demand is Zipf-concentrated while update demand is flat, which is what
+  /// makes replicating the hot set profitable.  Raise towards the read
+  /// exponent to model update-hot workloads.
+  double write_popularity_exponent = 0.0;
+
+  std::uint64_t seed = 13;
+};
+
+/// Builds a Problem from a prepared workload and metric closure.
+/// `workload.reads[k]` rows must reference servers < distances->node_count().
+Problem build_problem(net::DistanceMatrixPtr distances,
+                      const trace::Workload& workload,
+                      const InstanceConfig& config);
+
+/// One-call convenience used by tests, examples and the bench harness:
+/// generate a topology, synthesise and process a trace sized to produce
+/// ~`objects` catalogue entries, and assemble the Problem.
+struct InstanceSpec {
+  std::uint32_t servers = 100;
+  std::uint32_t objects = 1000;
+  net::TopologyKind topology = net::TopologyKind::FlatRandom;
+  double edge_probability = 0.5;
+  /// Requests scale: total synthetic requests ~ requests_per_object * objects.
+  double requests_per_object = 150.0;
+  InstanceConfig instance;
+  std::uint64_t seed = 99;
+};
+
+Problem make_instance(const InstanceSpec& spec);
+
+}  // namespace agtram::drp

@@ -1,0 +1,113 @@
+#include "drp/cost_model.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+
+namespace agtram::drp {
+
+double CostModel::object_cost(const ReplicaPlacement& placement,
+                              ObjectIndex k) {
+  const Problem& p = placement.problem();
+  const double o = static_cast<double>(p.object_units[k]);
+  const ServerId primary = p.primary[k];
+  const double w_total = static_cast<double>(p.access.total_writes(k));
+
+  double cost = 0.0;
+  const auto accessors = p.access.accessors(k);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const Access& a = accessors[slot];
+    const double c_primary = static_cast<double>(p.distance(a.server, primary));
+    // Every writer ships its updates to the primary.
+    cost += static_cast<double>(a.writes) * o * c_primary;
+    if (placement.is_replicator(a.server, k)) {
+      // Replicators receive the broadcast of everyone else's updates.
+      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
+    } else {
+      // Non-replicators read from the nearest replica.
+      cost += static_cast<double>(a.reads) * o *
+              static_cast<double>(placement.nn_distance_by_slot(k, slot));
+    }
+  }
+  // Replicators with no demand of their own still subscribe to the full
+  // update broadcast (possible under the genetic baseline's mutations).
+  for (ServerId r : placement.replicators(k)) {
+    if (r == primary) continue;
+    if (p.access.accessor_slot(r, k) == AccessMatrix::npos) {
+      cost += w_total * o * static_cast<double>(p.distance(primary, r));
+    }
+  }
+  return cost;
+}
+
+double CostModel::total_cost(const ReplicaPlacement& placement) {
+  const std::size_t n = placement.problem().object_count();
+  std::vector<double> partial(n, 0.0);
+  common::ThreadPool::shared().parallel_for(
+      0, n,
+      [&](std::size_t first, std::size_t last) {
+        for (std::size_t k = first; k < last; ++k) {
+          partial[k] = object_cost(placement, static_cast<ObjectIndex>(k));
+        }
+      },
+      /*min_grain=*/128);
+  double total = 0.0;
+  for (double v : partial) total += v;
+  return total;
+}
+
+double CostModel::initial_cost(const Problem& problem) {
+  return total_cost(ReplicaPlacement(problem));
+}
+
+double CostModel::savings(const ReplicaPlacement& placement) {
+  const double before = initial_cost(placement.problem());
+  if (before <= 0.0) return 0.0;
+  const double after = total_cost(placement);
+  return (before - after) / before;
+}
+
+double CostModel::agent_benefit(const ReplicaPlacement& placement, ServerId i,
+                                ObjectIndex k) {
+  const Problem& p = placement.problem();
+  assert(!placement.is_replicator(i, k));
+  const double o = static_cast<double>(p.object_units[k]);
+  const double read_savings =
+      static_cast<double>(p.access.reads(i, k)) * o *
+      static_cast<double>(placement.nn_distance(i, k));
+  const double broadcast_price =
+      (static_cast<double>(p.access.total_writes(k)) -
+       static_cast<double>(p.access.writes(i, k))) *
+      o * static_cast<double>(p.distance(p.primary[k], i));
+  return read_savings - broadcast_price;
+}
+
+double CostModel::global_benefit(const ReplicaPlacement& placement, ServerId i,
+                                 ObjectIndex k) {
+  const Problem& p = placement.problem();
+  assert(!placement.is_replicator(i, k));
+  const double o = static_cast<double>(p.object_units[k]);
+
+  // Read savings accrue to every accessor whose nearest replica would get
+  // closer (including i itself, whose read distance drops to zero).
+  double benefit = 0.0;
+  const auto accessors = p.access.accessors(k);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const Access& a = accessors[slot];
+    if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
+    const net::Cost current = placement.nn_distance_by_slot(k, slot);
+    const net::Cost with_i = std::min(current, p.distance(a.server, i));
+    benefit += static_cast<double>(a.reads) * o *
+               (static_cast<double>(current) - static_cast<double>(with_i));
+  }
+  // New replicator i starts receiving everyone else's update broadcasts.
+  benefit -= (static_cast<double>(p.access.total_writes(k)) -
+              static_cast<double>(p.access.writes(i, k))) *
+             o * static_cast<double>(p.distance(p.primary[k], i));
+  return benefit;
+}
+
+}  // namespace agtram::drp

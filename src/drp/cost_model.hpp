@@ -1,0 +1,58 @@
+// The Object Transfer Cost (OTC) engine — Equations 1-5 of the paper.
+//
+// Total cost of a replication scheme X (Eq. 4, reconstructed; see DESIGN.md
+// Section 1 for the derivation from the paper's prose):
+//
+//   C(X) = sum_i sum_k [ (1 - X_ik) * r_ik * o_k * c(i, NN_ik)
+//                        +            w_ik * o_k * c(i, P_k)
+//                        + X_ik * (w_k - w_ik) * o_k * c(P_k, i) ]
+//
+// All aggregate values are doubles: each additive term is a product of
+// 32/64-bit integers that individually fits a double exactly (< 2^53), but
+// the paper-scale sum overflows int64.
+//
+// The two incremental quantities every algorithm is built from:
+//
+//  * agent_benefit (Eq. 5 / the valuation CoR):  the drop in *agent i's own*
+//    cost if it replicates k — reads become local, in exchange for receiving
+//    everyone else's update broadcasts.  This is the private "true data" the
+//    mechanism elicits.
+//  * global_benefit:  the drop in the *system* cost C(X) if i replicates k —
+//    every accessor whose nearest replica gets closer saves on reads.  This
+//    is what the centralised Greedy baseline maximises.
+#pragma once
+
+#include "drp/placement.hpp"
+#include "drp/problem.hpp"
+
+namespace agtram::drp {
+
+class CostModel {
+ public:
+  /// Cost contribution of object k under the given scheme.
+  static double object_cost(const ReplicaPlacement& placement, ObjectIndex k);
+
+  /// C(X): total OTC; evaluated per object in parallel on the shared pool.
+  static double total_cost(const ReplicaPlacement& placement);
+
+  /// Cost of the primaries-only scheme — the paper's baseline against which
+  /// "OTC savings %" are computed.
+  static double initial_cost(const Problem& problem);
+
+  /// OTC savings of `placement` relative to the primaries-only scheme,
+  /// as a fraction in [0, 1].
+  static double savings(const ReplicaPlacement& placement);
+
+  /// Eq. 5: agent i's private benefit of replicating object k
+  ///   B_ik = r_ik * o_k * c(i, NN_ik)  -  (w_k - w_ik) * o_k * c(P_k, i)
+  /// Negative for update-hot objects.  Precondition: X_ik = 0.
+  static double agent_benefit(const ReplicaPlacement& placement, ServerId i,
+                              ObjectIndex k);
+
+  /// Reduction in C(X) from adding a replica of k at i (may be negative).
+  /// Precondition: X_ik = 0.
+  static double global_benefit(const ReplicaPlacement& placement, ServerId i,
+                               ObjectIndex k);
+};
+
+}  // namespace agtram::drp

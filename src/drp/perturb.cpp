@@ -1,0 +1,119 @@
+#include "drp/perturb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/prng.hpp"
+
+namespace agtram::drp {
+
+using common::Rng;
+
+Problem perturb_demand(const Problem& base, const PerturbConfig& config) {
+  if (config.shift_fraction < 0.0 || config.shift_fraction > 1.0 ||
+      config.churn_fraction < 0.0 || config.churn_fraction > 1.0 ||
+      config.write_retarget_fraction < 0.0 ||
+      config.write_retarget_fraction > 1.0) {
+    throw std::invalid_argument("perturb_demand: fractions must be in [0,1]");
+  }
+  Rng rng(config.seed);
+  const std::size_t servers = base.server_count();
+  const std::size_t objects = base.object_count();
+
+  std::vector<std::vector<Access>> rows(objects);
+  for (ObjectIndex k = 0; k < objects; ++k) {
+    // Popularity churn: rescale this object's read volume.
+    double read_scale = 1.0;
+    if (rng.chance(config.churn_fraction)) {
+      read_scale = rng.uniform(0.25, 4.0);
+    }
+
+    std::uint64_t writes_total = 0;
+    for (const Access& a : base.access.accessors(k)) {
+      if (a.reads > 0) {
+        // Hotspot drift: the whole read row may migrate to another server.
+        ServerId target = a.server;
+        if (rng.chance(config.shift_fraction)) {
+          target = static_cast<ServerId>(rng.below(servers));
+        }
+        const auto reads = static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(a.reads) * read_scale));
+        if (reads > 0) rows[k].push_back(Access{target, reads, 0});
+      }
+      writes_total += a.writes;
+    }
+
+    // Write re-targeting: keep the volume, redraw the writer set.
+    if (writes_total > 0) {
+      std::vector<std::pair<ServerId, std::uint64_t>> writers;
+      if (rng.chance(config.write_retarget_fraction)) {
+        std::unordered_set<ServerId> chosen;
+        const std::uint32_t count = std::max<std::uint32_t>(
+            1, std::min<std::uint32_t>(4, static_cast<std::uint32_t>(servers)));
+        while (chosen.size() < count) {
+          chosen.insert(static_cast<ServerId>(rng.below(servers)));
+        }
+        const std::uint64_t share = writes_total / chosen.size();
+        std::uint64_t remainder = writes_total % chosen.size();
+        for (ServerId s : chosen) {
+          std::uint64_t w = share;
+          if (remainder > 0) {
+            ++w;
+            --remainder;
+          }
+          if (w > 0) writers.emplace_back(s, w);
+        }
+      } else {
+        for (const Access& a : base.access.accessors(k)) {
+          if (a.writes > 0) writers.emplace_back(a.server, a.writes);
+        }
+      }
+      for (const auto& [server, w] : writers) {
+        rows[k].push_back(Access{server, 0, w});
+      }
+    }
+  }
+
+  Problem result;
+  result.distances = base.distances;
+  result.object_units = base.object_units;
+  result.primary = base.primary;
+  result.capacity = base.capacity;
+  result.access = AccessMatrix::build(servers, objects, std::move(rows));
+  result.validate();
+  return result;
+}
+
+double demand_shift_magnitude(const Problem& base, const Problem& shifted) {
+  if (base.server_count() != shifted.server_count() ||
+      base.object_count() != shifted.object_count()) {
+    throw std::invalid_argument("demand_shift_magnitude: dimension mismatch");
+  }
+  double l1 = 0.0;
+  for (ObjectIndex k = 0; k < base.object_count(); ++k) {
+    // Walk the union of both sparse rows.
+    const auto a = base.access.accessors(k);
+    const auto b = shifted.access.accessors(k);
+    std::size_t ia = 0, ib = 0;
+    while (ia < a.size() || ib < b.size()) {
+      if (ib == b.size() || (ia < a.size() && a[ia].server < b[ib].server)) {
+        l1 += static_cast<double>(a[ia].reads);
+        ++ia;
+      } else if (ia == a.size() || b[ib].server < a[ia].server) {
+        l1 += static_cast<double>(b[ib].reads);
+        ++ib;
+      } else {
+        l1 += std::abs(static_cast<double>(a[ia].reads) -
+                       static_cast<double>(b[ib].reads));
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+  const double total = static_cast<double>(base.access.grand_total_reads());
+  return total > 0.0 ? l1 / total : 0.0;
+}
+
+}  // namespace agtram::drp

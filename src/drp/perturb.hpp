@@ -1,0 +1,38 @@
+// Demand-change generation for the adaptive replication protocol.
+//
+// The paper's abstract frames AGT-RAM as "a protocol for automatic
+// replication and migration of objects in response to demand changes";
+// this module synthesises such changes: hotspot drift (read demand moving
+// between servers), popularity churn (objects heating up / cooling down),
+// and write re-targeting — while keeping the topology, catalogue,
+// capacities and primaries fixed so placements remain comparable.
+#pragma once
+
+#include <cstdint>
+
+#include "drp/problem.hpp"
+
+namespace agtram::drp {
+
+struct PerturbConfig {
+  /// Probability that a given (server, object) read row migrates to a
+  /// different (uniformly random) server — hotspot drift.
+  double shift_fraction = 0.3;
+  /// Fraction of objects whose total read volume is rescaled by a random
+  /// factor in [0.25, 4] — popularity churn.
+  double churn_fraction = 0.2;
+  /// Probability that an object's writer set is redrawn.
+  double write_retarget_fraction = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Returns a new Problem sharing the topology/catalogue/capacities and
+/// primaries of `base` but with perturbed demand.  Deterministic in the
+/// config.
+Problem perturb_demand(const Problem& base, const PerturbConfig& config);
+
+/// L1 distance between the two instances' read matrices, normalised by the
+/// base's total reads — a measure of how much demand actually moved.
+double demand_shift_magnitude(const Problem& base, const Problem& shifted);
+
+}  // namespace agtram::drp

@@ -1,0 +1,164 @@
+#include "drp/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace agtram::drp {
+
+ReplicaPlacement::ReplicaPlacement(const Problem& problem)
+    : problem_(&problem),
+      replicators_(problem.object_count()),
+      nn_dist_(problem.object_count()),
+      nn_node_(problem.object_count()),
+      used_(problem.server_count(), 0) {
+  for (ObjectIndex k = 0; k < problem.object_count(); ++k) {
+    const ServerId p = problem.primary[k];
+    replicators_[k].push_back(p);
+    used_[p] += problem.object_units[k];
+    const auto accessors = problem.access.accessors(k);
+    nn_dist_[k].resize(accessors.size());
+    nn_node_[k].assign(accessors.size(), p);
+    for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+      nn_dist_[k][slot] = problem.distance(accessors[slot].server, p);
+    }
+  }
+}
+
+bool ReplicaPlacement::is_replicator(ServerId i, ObjectIndex k) const {
+  const auto& reps = replicators_[k];
+  return std::binary_search(reps.begin(), reps.end(), i);
+}
+
+bool ReplicaPlacement::can_replicate(ServerId i, ObjectIndex k) const {
+  return !is_replicator(i, k) &&
+         free_capacity(i) >= problem_->object_units[k];
+}
+
+void ReplicaPlacement::add_replica(ServerId i, ObjectIndex k) {
+  assert(can_replicate(i, k));
+  auto& reps = replicators_[k];
+  reps.insert(std::upper_bound(reps.begin(), reps.end(), i), i);
+  used_[i] += problem_->object_units[k];
+
+  const auto accessors = problem_->access.accessors(k);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const net::Cost d = problem_->distance(accessors[slot].server, i);
+    if (d < nn_dist_[k][slot]) {
+      nn_dist_[k][slot] = d;
+      nn_node_[k][slot] = i;
+    }
+  }
+}
+
+void ReplicaPlacement::remove_replica(ServerId i, ObjectIndex k) {
+  if (i == problem_->primary[k]) {
+    throw std::logic_error("cannot remove the primary copy");
+  }
+  auto& reps = replicators_[k];
+  const auto it = std::lower_bound(reps.begin(), reps.end(), i);
+  if (it == reps.end() || *it != i) {
+    throw std::logic_error("remove_replica: not a replicator");
+  }
+  reps.erase(it);
+  used_[i] -= problem_->object_units[k];
+  rebuild_nn(k);
+}
+
+void ReplicaPlacement::rebuild_nn(ObjectIndex k) {
+  const auto accessors = problem_->access.accessors(k);
+  const auto& reps = replicators_[k];
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    net::Cost best = net::kUnreachable;
+    ServerId best_node = reps.front();
+    for (ServerId r : reps) {
+      const net::Cost d = problem_->distance(accessors[slot].server, r);
+      if (d < best) {
+        best = d;
+        best_node = r;
+      }
+    }
+    nn_dist_[k][slot] = best;
+    nn_node_[k][slot] = best_node;
+  }
+}
+
+net::Cost ReplicaPlacement::nn_distance(ServerId i, ObjectIndex k) const {
+  const std::size_t slot = problem_->access.accessor_slot(i, k);
+  if (slot != AccessMatrix::npos) return nn_dist_[k][slot];
+  net::Cost best = net::kUnreachable;
+  for (ServerId r : replicators_[k]) {
+    best = std::min(best, problem_->distance(i, r));
+  }
+  return best;
+}
+
+ServerId ReplicaPlacement::nn_server(ServerId i, ObjectIndex k) const {
+  const std::size_t slot = problem_->access.accessor_slot(i, k);
+  if (slot != AccessMatrix::npos) return nn_node_[k][slot];
+  net::Cost best = net::kUnreachable;
+  ServerId best_node = replicators_[k].front();
+  for (ServerId r : replicators_[k]) {
+    const net::Cost d = problem_->distance(i, r);
+    if (d < best) {
+      best = d;
+      best_node = r;
+    }
+  }
+  return best_node;
+}
+
+std::size_t ReplicaPlacement::replica_count() const {
+  std::size_t total = 0;
+  for (const auto& reps : replicators_) total += reps.size();
+  return total;
+}
+
+void ReplicaPlacement::check_invariants() const {
+  std::vector<std::uint64_t> recomputed_used(problem_->server_count(), 0);
+  for (ObjectIndex k = 0; k < problem_->object_count(); ++k) {
+    const auto& reps = replicators_[k];
+    if (!std::is_sorted(reps.begin(), reps.end())) {
+      throw std::logic_error("replicator list not sorted");
+    }
+    if (std::adjacent_find(reps.begin(), reps.end()) != reps.end()) {
+      throw std::logic_error("duplicate replicator");
+    }
+    if (!std::binary_search(reps.begin(), reps.end(), problem_->primary[k])) {
+      throw std::logic_error("primary copy missing from replicator set");
+    }
+    for (ServerId r : reps) {
+      if (r >= problem_->server_count()) {
+        throw std::logic_error("replicator out of range");
+      }
+      recomputed_used[r] += problem_->object_units[k];
+    }
+    const auto accessors = problem_->access.accessors(k);
+    for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+      net::Cost best = net::kUnreachable;
+      for (ServerId r : reps) {
+        best = std::min(best, problem_->distance(accessors[slot].server, r));
+      }
+      if (best != nn_dist_[k][slot]) {
+        throw std::logic_error("stale NN cache");
+      }
+      if (problem_->distance(accessors[slot].server, nn_node_[k][slot]) !=
+          best) {
+        throw std::logic_error("NN node does not realise NN distance");
+      }
+      if (!std::binary_search(reps.begin(), reps.end(), nn_node_[k][slot])) {
+        throw std::logic_error("NN node is not a replicator");
+      }
+    }
+  }
+  for (ServerId i = 0; i < problem_->server_count(); ++i) {
+    if (recomputed_used[i] != used_[i]) {
+      throw std::logic_error("capacity accounting drifted");
+    }
+    if (used_[i] > problem_->capacity[i]) {
+      throw std::logic_error("capacity constraint violated");
+    }
+  }
+}
+
+}  // namespace agtram::drp

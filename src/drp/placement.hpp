@@ -1,0 +1,85 @@
+// Replication-scheme state: the boolean matrix X of the paper, held
+// incrementally.
+//
+// For every object we keep the replicator set R_k and — for each server with
+// demand on the object — the cached nearest-replica distance NN_ik that the
+// cost model and all placement algorithms consume.  Adding a replica updates
+// the caches in O(|accessors(k)|); removing one (used by the genetic
+// baseline) rebuilds the object's cache in O(|accessors(k)| * |R_k|).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "drp/problem.hpp"
+#include "net/shortest_paths.hpp"
+
+namespace agtram::drp {
+
+class ReplicaPlacement {
+ public:
+  /// Primaries-only scheme (X_{P_k,k} = 1, everything else 0) — the paper's
+  /// "initial" network against which OTC savings are measured.
+  explicit ReplicaPlacement(const Problem& problem);
+
+  const Problem& problem() const noexcept { return *problem_; }
+
+  /// Replicators of object k (always contains the primary), sorted.
+  std::span<const ServerId> replicators(ObjectIndex k) const {
+    return replicators_[k];
+  }
+
+  bool is_replicator(ServerId i, ObjectIndex k) const;
+
+  /// Storage units consumed on server i (primaries + replicas).
+  std::uint64_t used_capacity(ServerId i) const { return used_[i]; }
+  std::uint64_t free_capacity(ServerId i) const {
+    return problem_->capacity[i] - used_[i];
+  }
+
+  /// Whether adding a replica of k on i is legal: not already a replicator
+  /// and enough free capacity.
+  bool can_replicate(ServerId i, ObjectIndex k) const;
+
+  /// Adds a replica; precondition: can_replicate(i, k).
+  void add_replica(ServerId i, ObjectIndex k);
+
+  /// Removes a replica; precondition: is_replicator(i,k) and i != primary.
+  void remove_replica(ServerId i, ObjectIndex k);
+
+  /// Nearest-replica distance from server i for object k (0 if i is itself
+  /// a replicator).  O(1) for accessors, O(|R_k|) otherwise.
+  net::Cost nn_distance(ServerId i, ObjectIndex k) const;
+
+  /// Identity of the nearest replicator (ties: lowest distance found first).
+  ServerId nn_server(ServerId i, ObjectIndex k) const;
+
+  /// Cached NN distance by accessor slot (see AccessMatrix::accessor_slot).
+  net::Cost nn_distance_by_slot(ObjectIndex k, std::size_t slot) const {
+    return nn_dist_[k][slot];
+  }
+
+  /// Total replica count including primaries.
+  std::size_t replica_count() const;
+
+  /// Replicas beyond the primaries (what the algorithms actually placed).
+  std::size_t extra_replica_count() const {
+    return replica_count() - problem_->object_count();
+  }
+
+  /// Checks every invariant (capacity, primary membership, NN cache
+  /// consistency); throws std::logic_error on violation.  Test hook — O(M*N).
+  void check_invariants() const;
+
+ private:
+  void rebuild_nn(ObjectIndex k);
+
+  const Problem* problem_;
+  std::vector<std::vector<ServerId>> replicators_;
+  std::vector<std::vector<net::Cost>> nn_dist_;   ///< per accessor slot
+  std::vector<std::vector<ServerId>> nn_node_;    ///< per accessor slot
+  std::vector<std::uint64_t> used_;
+};
+
+}  // namespace agtram::drp

@@ -1,0 +1,66 @@
+#include "drp/placement_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace agtram::drp {
+
+void write_placement(std::ostream& os, const ReplicaPlacement& placement) {
+  const Problem& p = placement.problem();
+  os << "# agtram replica scheme: " << placement.extra_replica_count()
+     << " extra replicas over " << p.object_count() << " objects\n";
+  for (ObjectIndex k = 0; k < p.object_count(); ++k) {
+    const auto replicators = placement.replicators(k);
+    if (replicators.size() <= 1) continue;  // primary only
+    os << k << ':';
+    for (const ServerId i : replicators) {
+      if (i != p.primary[k]) os << ' ' << i;
+    }
+    os << '\n';
+  }
+}
+
+ReplicaPlacement read_placement(std::istream& is, const Problem& problem) {
+  ReplicaPlacement placement(problem);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const auto fail = [&](const std::string& what) {
+      throw std::runtime_error("placement line " + std::to_string(line_number) +
+                               ": " + what);
+    };
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) fail("missing ':'");
+    std::size_t object = 0;
+    try {
+      object = std::stoul(line.substr(0, colon));
+    } catch (const std::exception&) {
+      fail("bad object index");
+    }
+    if (object >= problem.object_count()) fail("object index out of range");
+
+    std::istringstream servers(line.substr(colon + 1));
+    std::uint64_t server = 0;
+    while (servers >> server) {
+      if (server >= problem.server_count()) fail("server id out of range");
+      const auto i = static_cast<ServerId>(server);
+      const auto k = static_cast<ObjectIndex>(object);
+      if (placement.is_replicator(i, k)) fail("duplicate replica");
+      if (!placement.can_replicate(i, k)) fail("capacity violated");
+      placement.add_replica(i, k);
+    }
+    if (!servers.eof()) fail("bad server id");
+  }
+  return placement;
+}
+
+}  // namespace agtram::drp

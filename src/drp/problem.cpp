@@ -1,0 +1,56 @@
+#include "drp/problem.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace agtram::drp {
+
+std::vector<std::uint64_t> Problem::primary_load() const {
+  std::vector<std::uint64_t> load(server_count(), 0);
+  for (std::size_t k = 0; k < object_count(); ++k) {
+    load[primary[k]] += object_units[k];
+  }
+  return load;
+}
+
+void Problem::validate() const {
+  if (!distances) {
+    throw std::invalid_argument("Problem: missing distance matrix");
+  }
+  if (distances->node_count() != server_count()) {
+    throw std::invalid_argument("Problem: distance matrix / capacity size mismatch");
+  }
+  if (primary.size() != object_count()) {
+    throw std::invalid_argument("Problem: primary size != object count");
+  }
+  if (access.server_count() != server_count() ||
+      access.object_count() != object_count()) {
+    throw std::invalid_argument("Problem: access matrix dimensions mismatch");
+  }
+  for (std::size_t k = 0; k < object_count(); ++k) {
+    if (object_units[k] == 0) {
+      throw std::invalid_argument("Problem: zero-sized object");
+    }
+    if (primary[k] >= server_count()) {
+      throw std::invalid_argument("Problem: primary server out of range");
+    }
+  }
+  const auto load = primary_load();
+  for (std::size_t i = 0; i < server_count(); ++i) {
+    if (load[i] > capacity[i]) {
+      throw std::invalid_argument(
+          "Problem: server cannot hold its primary copies");
+    }
+  }
+}
+
+std::string Problem::summary() const {
+  std::ostringstream os;
+  os << "DRP[M=" << server_count() << ", N=" << object_count()
+     << ", nnz=" << access.nonzeros()
+     << ", reads=" << access.grand_total_reads()
+     << ", writes=" << access.grand_total_writes() << "]";
+  return os.str();
+}
+
+}  // namespace agtram::drp

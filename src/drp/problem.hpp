@@ -1,0 +1,57 @@
+// The Data Replication Problem instance (paper Section 2).
+//
+// M servers with storage capacities s_i, N objects with sizes o_k and fixed
+// primary servers P_k, the metric closure c(i,j), and sparse read/write
+// demand r_ik / w_ik.  The optimisation variable is the replication matrix
+// X (represented incrementally by drp::ReplicaPlacement); the objective is
+// the Object Transfer Cost implemented in drp::CostModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drp/access_matrix.hpp"
+#include "net/shortest_paths.hpp"
+
+namespace agtram::drp {
+
+struct Problem {
+  /// Shared, immutable metric closure c(i,j).
+  net::DistanceMatrixPtr distances;
+
+  /// o_k: object sizes in data units (>= 1).
+  std::vector<std::uint32_t> object_units;
+
+  /// P_k: the server holding the immovable primary copy of each object.
+  std::vector<ServerId> primary;
+
+  /// s_i: storage capacity of each server, in data units.  Instances built
+  /// by drp::build_problem always satisfy s_i >= (units of i's primaries),
+  /// i.e. the primaries-only placement is feasible.
+  std::vector<std::uint64_t> capacity;
+
+  /// r_ik / w_ik, sparse.
+  AccessMatrix access;
+
+  std::size_t server_count() const noexcept { return capacity.size(); }
+  std::size_t object_count() const noexcept { return object_units.size(); }
+
+  net::Cost distance(ServerId a, ServerId b) const {
+    return (*distances)(a, b);
+  }
+
+  /// Units of primary copies hosted by each server.
+  std::vector<std::uint64_t> primary_load() const;
+
+  /// Throws std::invalid_argument describing the first inconsistency:
+  /// size mismatches, out-of-range primaries, zero-sized objects, capacities
+  /// that cannot hold the primaries, or a distance matrix of the wrong
+  /// dimension.
+  void validate() const;
+
+  /// Human-readable one-line summary (for bench harness logs).
+  std::string summary() const;
+};
+
+}  // namespace agtram::drp

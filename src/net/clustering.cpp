@@ -1,0 +1,106 @@
+#include "net/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/prng.hpp"
+
+namespace agtram::net {
+
+std::vector<NodeId> Clustering::members(std::uint32_t region) const {
+  std::vector<NodeId> result;
+  for (NodeId node = 0; node < assignment.size(); ++node) {
+    if (assignment[node] == region) result.push_back(node);
+  }
+  return result;
+}
+
+namespace {
+
+/// Assigns every node to its nearest medoid; returns the within-distance.
+double assign_all(const DistanceMatrix& d, const std::vector<NodeId>& medoids,
+                  std::vector<std::uint32_t>& assignment) {
+  double total = 0.0;
+  for (NodeId node = 0; node < d.node_count(); ++node) {
+    std::uint32_t best_region = 0;
+    Cost best = kUnreachable;
+    for (std::uint32_t r = 0; r < medoids.size(); ++r) {
+      const Cost dist = d(node, medoids[r]);
+      if (dist < best) {
+        best = dist;
+        best_region = r;
+      }
+    }
+    assignment[node] = best_region;
+    total += static_cast<double>(best);
+  }
+  return total;
+}
+
+/// Best medoid for a fixed member set: the member minimising the summed
+/// distance to the others.
+NodeId best_medoid(const DistanceMatrix& d, const std::vector<NodeId>& members) {
+  NodeId best = members.front();
+  double best_total = std::numeric_limits<double>::max();
+  for (NodeId candidate : members) {
+    double total = 0.0;
+    for (NodeId other : members) {
+      total += static_cast<double>(d(candidate, other));
+    }
+    if (total < best_total) {
+      best_total = total;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Clustering cluster_servers(const DistanceMatrix& distances,
+                           const ClusteringConfig& config) {
+  if (config.regions == 0) {
+    throw std::invalid_argument("cluster_servers: need >= 1 region");
+  }
+  const std::size_t n = distances.node_count();
+  const std::uint32_t k =
+      std::min<std::uint32_t>(config.regions, static_cast<std::uint32_t>(n));
+
+  // Seed medoids: k distinct random nodes.
+  common::Rng rng(config.seed);
+  std::unordered_set<NodeId> chosen;
+  while (chosen.size() < k) {
+    chosen.insert(static_cast<NodeId>(rng.below(n)));
+  }
+  Clustering result;
+  result.medoids.assign(chosen.begin(), chosen.end());
+  std::sort(result.medoids.begin(), result.medoids.end());
+  result.assignment.resize(n);
+  result.total_within_distance =
+      assign_all(distances, result.medoids, result.assignment);
+
+  // Lloyd-style PAM refinement: recompute each region's medoid, reassign,
+  // stop at a fixed point (or the iteration cap).
+  for (std::uint32_t iter = 0; iter < config.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::uint32_t r = 0; r < k; ++r) {
+      const auto members = result.members(r);
+      if (members.empty()) continue;  // region emptied out: keep old medoid
+      const NodeId medoid = best_medoid(distances, members);
+      if (medoid != result.medoids[r]) {
+        result.medoids[r] = medoid;
+        changed = true;
+      }
+    }
+    const double total =
+        assign_all(distances, result.medoids, result.assignment);
+    if (!changed && total == result.total_within_distance) break;
+    result.total_within_distance = total;
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace agtram::net

@@ -1,0 +1,43 @@
+// Metric-space clustering of servers into regions.
+//
+// The paper's future-work section proposes "regional autonomous,
+// self-governed and self-repairing mechanisms ... regional or hierarchical
+// mechanisms".  The regional mechanism (src/core/regional.hpp) needs a
+// partition of the servers into latency-coherent regions; this module
+// provides k-medoids (PAM-style) over the metric closure — medoids double
+// as the natural hosts for the regional decision bodies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/shortest_paths.hpp"
+
+namespace agtram::net {
+
+struct Clustering {
+  /// region id of every node, in [0, medoids.size()).
+  std::vector<std::uint32_t> assignment;
+  /// the medoid node of each region (the regional centre).
+  std::vector<NodeId> medoids;
+  /// sum over nodes of the distance to their medoid.
+  double total_within_distance = 0.0;
+
+  std::size_t region_count() const noexcept { return medoids.size(); }
+
+  /// Members of one region, sorted ascending.
+  std::vector<NodeId> members(std::uint32_t region) const;
+};
+
+struct ClusteringConfig {
+  std::uint32_t regions = 4;
+  std::uint32_t max_iterations = 32;  ///< PAM refinement sweeps
+  std::uint64_t seed = 1;             ///< initial medoid choice
+};
+
+/// k-medoids over the metric closure.  Deterministic in the config; clamps
+/// the region count to the node count.  Throws on zero regions.
+Clustering cluster_servers(const DistanceMatrix& distances,
+                           const ClusteringConfig& config);
+
+}  // namespace agtram::net

@@ -1,0 +1,87 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace agtram::net {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {
+  assert(node_count > 0);
+}
+
+void Graph::add_edge(NodeId a, NodeId b, Cost cost) {
+  assert(a < node_count() && b < node_count());
+  if (a == b) return;
+  for (Edge& e : adjacency_[a]) {
+    if (e.to == b) {  // parallel edge: keep the cheaper one
+      if (cost < e.cost) {
+        e.cost = cost;
+        for (Edge& back : adjacency_[b]) {
+          if (back.to == a) back.cost = cost;
+        }
+      }
+      return;
+    }
+  }
+  adjacency_[a].push_back(Edge{b, cost});
+  adjacency_[b].push_back(Edge{a, cost});
+  ++edge_count_;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  assert(a < node_count() && b < node_count());
+  const auto& adj = adjacency_[a];
+  return std::any_of(adj.begin(), adj.end(),
+                     [b](const Edge& e) { return e.to == b; });
+}
+
+bool Graph::connected() const {
+  std::vector<bool> seen(node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adjacency_[u]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++visited;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return visited == node_count();
+}
+
+std::size_t Graph::make_connected(Cost patch_cost) {
+  std::vector<NodeId> component(node_count(), 0);
+  std::vector<NodeId> representatives;
+  std::vector<bool> seen(node_count(), false);
+  for (NodeId start = 0; start < node_count(); ++start) {
+    if (seen[start]) continue;
+    representatives.push_back(start);
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    seen[start] = true;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      component[u] = start;
+      for (const Edge& e : adjacency_[u]) {
+        if (!seen[e.to]) {
+          seen[e.to] = true;
+          frontier.push(e.to);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 1; i < representatives.size(); ++i) {
+    add_edge(representatives[i - 1], representatives[i], patch_cost);
+  }
+  return representatives.size() - 1;
+}
+
+}  // namespace agtram::net

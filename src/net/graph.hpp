@@ -1,0 +1,54 @@
+// Weighted undirected graph of servers.  The replica-placement algorithms
+// never touch the graph directly — they consume its metric closure (the
+// DistanceMatrix in shortest_paths.hpp) — but the topology generators and
+// the trace pipeline build instances on top of it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace agtram::net {
+
+using NodeId = std::uint32_t;
+using Cost = std::uint32_t;  ///< per-data-unit transfer cost of a link/path
+
+struct Edge {
+  NodeId to;
+  Cost cost;
+};
+
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Adds an undirected edge; parallel edges keep the cheaper cost.
+  /// Self-loops are ignored (cost to self is always 0).
+  void add_edge(NodeId a, NodeId b, Cost cost);
+
+  bool has_edge(NodeId a, NodeId b) const;
+
+  std::span<const Edge> neighbors(NodeId node) const {
+    return adjacency_[node];
+  }
+
+  std::size_t degree(NodeId node) const { return adjacency_[node].size(); }
+
+  /// True iff every node can reach every other node.
+  bool connected() const;
+
+  /// Adds minimum-cost "patch" edges chaining together connected components
+  /// so the graph becomes connected; returns the number of edges added.
+  /// Topology generators use this to guarantee a usable metric closure.
+  std::size_t make_connected(Cost patch_cost);
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace agtram::net

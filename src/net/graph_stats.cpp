@@ -1,0 +1,94 @@
+#include "net/graph_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agtram::net {
+
+DegreeStats degree_stats(const Graph& graph) {
+  DegreeStats stats;
+  const std::size_t n = graph.node_count();
+  if (n == 0) return stats;
+  stats.min = graph.degree(0);
+  double sum = 0.0;
+  std::size_t max_degree = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    const std::size_t d = graph.degree(i);
+    sum += static_cast<double>(d);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    max_degree = std::max(max_degree, d);
+  }
+  stats.mean = sum / static_cast<double>(n);
+  double m2 = 0.0;
+  stats.histogram.assign(max_degree + 1, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    const double delta = static_cast<double>(graph.degree(i)) - stats.mean;
+    m2 += delta * delta;
+    ++stats.histogram[graph.degree(i)];
+  }
+  stats.variance = n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+  return stats;
+}
+
+double clustering_coefficient(const Graph& graph) {
+  const std::size_t n = graph.node_count();
+  std::uint64_t triangles = 0;  // counted 3x (once per corner ordering below)
+  std::uint64_t triples = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto neighbors = graph.neighbors(u);
+    const std::size_t d = neighbors.size();
+    if (d < 2) continue;
+    triples += static_cast<std::uint64_t>(d) * (d - 1) / 2;
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a + 1; b < d; ++b) {
+        if (graph.has_edge(neighbors[a].to, neighbors[b].to)) ++triangles;
+      }
+    }
+  }
+  // Each triangle was found at all 3 corners; each corner contributes one
+  // closed triple, so the ratio is direct.
+  return triples == 0 ? 0.0
+                      : static_cast<double>(triangles) /
+                            static_cast<double>(triples);
+}
+
+double degree_power_law_slope(const Graph& graph) {
+  const DegreeStats stats = degree_stats(graph);
+  std::vector<double> xs, ys;
+  for (std::size_t degree = 1; degree < stats.histogram.size(); ++degree) {
+    if (stats.histogram[degree] == 0) continue;
+    xs.push_back(std::log(static_cast<double>(degree)));
+    ys.push_back(std::log(static_cast<double>(stats.histogram[degree])));
+  }
+  if (xs.size() < 3) return 0.0;
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(xs.size());
+  mean_y /= static_cast<double>(xs.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += (xs[i] - mean_x) * (ys[i] - mean_y);
+    den += (xs[i] - mean_x) * (xs[i] - mean_x);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double mean_edge_cost(const Graph& graph) {
+  double sum = 0.0;
+  std::size_t edges = 0;
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const Edge& e : graph.neighbors(u)) {
+      if (e.to > u) {  // count each undirected edge once
+        sum += static_cast<double>(e.cost);
+        ++edges;
+      }
+    }
+  }
+  return edges ? sum / static_cast<double>(edges) : 0.0;
+}
+
+}  // namespace agtram::net

@@ -1,0 +1,41 @@
+// Structural statistics of generated topologies.
+//
+// The topology generators substitute for GT-ITM and Inet (DESIGN.md); this
+// module provides the measurements that substantiate the substitution:
+// degree distributions (binomial for G(M,p), power-law for the Inet-style
+// generator), clustering, and a log-log power-law exponent fit.  Tests and
+// the topology ablation bench consume these.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace agtram::net {
+
+struct DegreeStats {
+  double mean = 0.0;
+  double variance = 0.0;
+  std::size_t min = 0;
+  std::size_t max = 0;
+  /// degree -> node count (index = degree).
+  std::vector<std::size_t> histogram;
+};
+
+DegreeStats degree_stats(const Graph& graph);
+
+/// Global clustering coefficient (3 x triangles / connected triples);
+/// 0 for degenerate graphs.
+double clustering_coefficient(const Graph& graph);
+
+/// Least-squares slope of log(count) over log(degree) for degrees with
+/// nonzero counts — ~ -2..-3 for preferential-attachment graphs, strongly
+/// concave (not a line at all) for binomial random graphs.  Returns 0 when
+/// fewer than 3 distinct degrees exist.
+double degree_power_law_slope(const Graph& graph);
+
+/// Mean link cost over all edges.
+double mean_edge_cost(const Graph& graph);
+
+}  // namespace agtram::net

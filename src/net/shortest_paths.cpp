@@ -1,0 +1,93 @@
+#include "net/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+
+namespace agtram::net {
+
+std::vector<Cost> dijkstra(const Graph& graph, NodeId source) {
+  std::vector<Cost> dist(graph.node_count(), kUnreachable);
+  using Item = std::pair<Cost, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;  // stale entry
+    for (const Edge& e : graph.neighbors(u)) {
+      const Cost candidate = d + e.cost;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        heap.emplace(candidate, e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+DistanceMatrix DistanceMatrix::compute(const Graph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<Cost> data(n * n, kUnreachable);
+  common::ThreadPool::shared().parallel_for(
+      0, n,
+      [&](std::size_t first, std::size_t last) {
+        for (std::size_t src = first; src < last; ++src) {
+          const auto row = dijkstra(graph, static_cast<NodeId>(src));
+          std::copy(row.begin(), row.end(), data.begin() + src * n);
+        }
+      },
+      /*min_grain=*/1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (data[i * n + j] == kUnreachable) {
+        throw std::runtime_error(
+            "DistanceMatrix::compute: graph is disconnected");
+      }
+    }
+  }
+  return DistanceMatrix(n, std::move(data));
+}
+
+DistanceMatrix DistanceMatrix::from_rows(std::size_t nodes,
+                                         std::vector<Cost> rows) {
+  if (rows.size() != nodes * nodes) {
+    throw std::invalid_argument("from_rows: size mismatch");
+  }
+  for (std::size_t i = 0; i < nodes; ++i) {
+    if (rows[i * nodes + i] != 0) {
+      throw std::invalid_argument("from_rows: non-zero diagonal");
+    }
+    for (std::size_t j = 0; j < nodes; ++j) {
+      if (rows[i * nodes + j] != rows[j * nodes + i]) {
+        throw std::invalid_argument("from_rows: asymmetric matrix");
+      }
+    }
+  }
+  return DistanceMatrix(nodes, std::move(rows));
+}
+
+Cost DistanceMatrix::diameter() const {
+  Cost best = 0;
+  for (Cost c : data_) best = std::max(best, c);
+  return best;
+}
+
+double DistanceMatrix::mean_distance() const {
+  if (nodes_ < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < nodes_; ++i) {
+    for (std::size_t j = i + 1; j < nodes_; ++j) {
+      sum += static_cast<double>(data_[i * nodes_ + j]);
+    }
+  }
+  const double pairs =
+      static_cast<double>(nodes_) * static_cast<double>(nodes_ - 1) / 2.0;
+  return sum / pairs;
+}
+
+}  // namespace agtram::net

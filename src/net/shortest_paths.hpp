@@ -1,0 +1,58 @@
+// All-pairs shortest-path metric closure c(i,j).
+//
+// The DRP cost model (paper Equations 1-4) is defined over path costs, not
+// links: "if the two servers are not directly connected ... the cost is given
+// by the sum of the costs of all the links in a chosen path".  We
+// materialise the full M x M matrix once (thread-parallel Dijkstra from each
+// source) and share it read-only across every algorithm; at the paper's
+// M = 3718 this is ~55 MB.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace agtram::net {
+
+inline constexpr Cost kUnreachable = std::numeric_limits<Cost>::max();
+
+/// Single-source Dijkstra; returns distances (kUnreachable when disconnected).
+std::vector<Cost> dijkstra(const Graph& graph, NodeId source);
+
+/// Immutable, row-major M x M distance matrix.
+class DistanceMatrix {
+ public:
+  /// Computes the metric closure of `graph`, running sources in parallel on
+  /// the shared thread pool.  Throws if the graph is disconnected.
+  static DistanceMatrix compute(const Graph& graph);
+
+  /// Builds directly from a row-major matrix (tests / hand-made instances).
+  /// Validates symmetry and a zero diagonal.
+  static DistanceMatrix from_rows(std::size_t nodes, std::vector<Cost> rows);
+
+  std::size_t node_count() const noexcept { return nodes_; }
+
+  Cost operator()(NodeId a, NodeId b) const {
+    return data_[static_cast<std::size_t>(a) * nodes_ + b];
+  }
+
+  /// Largest pairwise distance (network diameter in cost units).
+  Cost diameter() const;
+
+  /// Mean pairwise distance over distinct pairs.
+  double mean_distance() const;
+
+ private:
+  DistanceMatrix(std::size_t nodes, std::vector<Cost> data)
+      : nodes_(nodes), data_(std::move(data)) {}
+
+  std::size_t nodes_;
+  std::vector<Cost> data_;
+};
+
+using DistanceMatrixPtr = std::shared_ptr<const DistanceMatrix>;
+
+}  // namespace agtram::net

@@ -1,0 +1,32 @@
+// The semi-distributed execution of AGT-RAM: agents evaluate their candidate
+// lists concurrently on the shared thread pool (the PARFOR loops of
+// Figure 2) while a MessageBus accounts the protocol traffic.  The allocation
+// is byte-identical to the serial run — the centre reduces reports with a
+// deterministic tie-break — which tests assert.
+#pragma once
+
+#include "core/agt_ram.hpp"
+#include "runtime/message_bus.hpp"
+
+namespace agtram::runtime {
+
+struct DistributedConfig {
+  core::PaymentRule payment_rule = core::PaymentRule::SecondPrice;
+  /// Latency per metric-closure cost unit (copper-wire scale by default).
+  double seconds_per_cost_unit = 1e-4;
+  /// Pin the central body to a server; -1 picks the metric medoid.
+  std::int64_t centre = -1;
+};
+
+struct DistributedRunReport {
+  core::MechanismResult result;
+  MessageStats messages;
+  drp::ServerId centre;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the mechanism with parallel agents and full message accounting.
+DistributedRunReport run_distributed(const drp::Problem& problem,
+                                     const DistributedConfig& config = {});
+
+}  // namespace agtram::runtime

@@ -1,0 +1,72 @@
+#include "runtime/message_bus.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace agtram::runtime {
+
+MessageBus::MessageBus(const drp::Problem& problem, drp::ServerId centre,
+                       double seconds_per_cost_unit, WireFormat wire)
+    : problem_(&problem),
+      centre_(centre),
+      seconds_per_cost_unit_(seconds_per_cost_unit),
+      wire_(wire) {}
+
+double MessageBus::latency(drp::ServerId server) const {
+  return static_cast<double>(problem_->distance(server, centre_)) *
+         seconds_per_cost_unit_;
+}
+
+void MessageBus::on_round_begin(std::size_t) {
+  ++stats_.rounds;
+  round_slowest_report_ = 0.0;
+  round_live_agents_ = 0;
+}
+
+void MessageBus::on_report(drp::ServerId agent, const core::Report& report) {
+  ++round_live_agents_;
+  // Even an empty report is a protocol message ("nothing for me") so the
+  // centre can retire the agent from LS.
+  ++stats_.report_messages;
+  stats_.report_bytes += report.has_candidate ? wire_.report : 4;
+  round_slowest_report_ = std::max(round_slowest_report_, latency(agent));
+}
+
+void MessageBus::on_allocation(drp::ServerId winner, drp::ObjectIndex,
+                               double) {
+  ++stats_.allocation_messages;
+  stats_.allocation_bytes += wire_.allocation;
+  // Reports travel concurrently; the round cannot close before the slowest
+  // one lands, then the allocation goes back out to the winner.
+  stats_.simulated_seconds += round_slowest_report_ + latency(winner);
+}
+
+void MessageBus::on_broadcast(drp::ServerId, drp::ObjectIndex) {
+  // One broadcast fan-out to every agent that reported this round.
+  stats_.broadcast_messages += round_live_agents_;
+  stats_.broadcast_bytes +=
+      static_cast<std::uint64_t>(wire_.broadcast) * round_live_agents_;
+  // The fan-out completes when the farthest agent hears about OMAX; bound
+  // it by the diameter leg from the centre (conservative, O(1) to compute).
+  double slowest = round_slowest_report_;
+  stats_.simulated_seconds += slowest;
+}
+
+drp::ServerId MessageBus::pick_centre(const drp::Problem& problem) {
+  const std::size_t m = problem.server_count();
+  drp::ServerId best = 0;
+  double best_total = std::numeric_limits<double>::max();
+  for (drp::ServerId candidate = 0; candidate < m; ++candidate) {
+    double total = 0.0;
+    for (drp::ServerId other = 0; other < m; ++other) {
+      total += static_cast<double>(problem.distance(candidate, other));
+    }
+    if (total < best_total) {
+      best_total = total;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace agtram::runtime

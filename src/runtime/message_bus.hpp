@@ -1,0 +1,84 @@
+// Message accounting for the semi-distributed deployment model.
+//
+// The paper's central claim about control structure: "all the heavy
+// processing is done on the servers of the distributed system and the
+// central body is only required to take a binary decision".  This bus
+// observes a mechanism run and accounts every message the protocol of
+// Figure 2 would put on the wire:
+//
+//   round r:  each live agent  --(report: object id + valuation)-->  centre
+//             centre           --(allocation + payment)-->           winner
+//             centre           --(broadcast: OMAX)-->                all agents
+//
+// plus a latency model mapping the metric closure to per-message delay, so
+// benches can report simulated convergence time and the centre-vs-agents
+// traffic split that substantiates the scalability argument.
+#pragma once
+
+#include <cstdint>
+
+#include "core/agt_ram.hpp"
+#include "drp/problem.hpp"
+
+namespace agtram::runtime {
+
+struct MessageStats {
+  std::uint64_t report_messages = 0;     ///< agent -> centre
+  std::uint64_t report_bytes = 0;
+  std::uint64_t allocation_messages = 0; ///< centre -> winner (incl. payment)
+  std::uint64_t allocation_bytes = 0;
+  std::uint64_t broadcast_messages = 0;  ///< centre -> every live agent
+  std::uint64_t broadcast_bytes = 0;
+  std::size_t rounds = 0;
+
+  /// Simulated end-to-end protocol time: per round, the slowest report in
+  /// flight plus the slowest broadcast leg (reports travel in parallel).
+  double simulated_seconds = 0.0;
+
+  std::uint64_t total_messages() const noexcept {
+    return report_messages + allocation_messages + broadcast_messages;
+  }
+  std::uint64_t total_bytes() const noexcept {
+    return report_bytes + allocation_bytes + broadcast_bytes;
+  }
+};
+
+/// Wire-format sizes (bytes) for the three message kinds.
+struct WireFormat {
+  std::uint32_t report = 16;      ///< object id + fixed-point valuation
+  std::uint32_t allocation = 16;  ///< object id + payment
+  std::uint32_t broadcast = 12;   ///< object id + winner id
+};
+
+class MessageBus : public core::MechanismObserver {
+ public:
+  /// `centre` is the server hosting the central decision body;
+  /// `seconds_per_cost_unit` converts metric-closure cost into latency.
+  MessageBus(const drp::Problem& problem, drp::ServerId centre,
+             double seconds_per_cost_unit = 1e-4, WireFormat wire = {});
+
+  void on_round_begin(std::size_t round) override;
+  void on_report(drp::ServerId agent, const core::Report& report) override;
+  void on_allocation(drp::ServerId winner, drp::ObjectIndex object,
+                     double payment) override;
+  void on_broadcast(drp::ServerId winner, drp::ObjectIndex object) override;
+
+  const MessageStats& stats() const noexcept { return stats_; }
+  drp::ServerId centre() const noexcept { return centre_; }
+
+  /// Medoid of the metric closure: the natural place for the central body.
+  static drp::ServerId pick_centre(const drp::Problem& problem);
+
+ private:
+  double latency(drp::ServerId server) const;
+
+  const drp::Problem* problem_;
+  drp::ServerId centre_;
+  double seconds_per_cost_unit_;
+  WireFormat wire_;
+  MessageStats stats_;
+  double round_slowest_report_ = 0.0;
+  std::uint64_t round_live_agents_ = 0;
+};
+
+}  // namespace agtram::runtime

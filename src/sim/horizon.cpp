@@ -1,0 +1,133 @@
+#include "sim/horizon.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "core/agt_ram.hpp"
+#include "drp/cost_model.hpp"
+
+namespace agtram::sim {
+
+const char* to_string(HorizonPolicy policy) {
+  switch (policy) {
+    case HorizonPolicy::Stale: return "stale";
+    case HorizonPolicy::Rebuild: return "rebuild";
+    case HorizonPolicy::Adapt: return "adapt";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Re-hosts `scheme` (built against another demand snapshot of the same
+/// system) onto `problem`; replicas that no longer fit are dropped.
+drp::ReplicaPlacement carry_over(const drp::Problem& problem,
+                                 const drp::ReplicaPlacement& scheme) {
+  drp::ReplicaPlacement carried(problem);
+  for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
+    for (const drp::ServerId i : scheme.replicators(k)) {
+      if (i == problem.primary[k]) continue;
+      if (carried.can_replicate(i, k)) carried.add_replica(i, k);
+    }
+  }
+  return carried;
+}
+
+/// Storage units that differ between two schemes (replicas present in one
+/// but not the other) — the bytes a deployment must move.
+std::uint64_t churn_between(const drp::ReplicaPlacement& a,
+                            const drp::ReplicaPlacement& b) {
+  const drp::Problem& p = a.problem();
+  std::uint64_t churn = 0;
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    const auto ra = a.replicators(k);
+    const auto rb = b.replicators(k);
+    std::size_t ia = 0, ib = 0;
+    while (ia < ra.size() || ib < rb.size()) {
+      if (ib == rb.size() || (ia < ra.size() && ra[ia] < rb[ib])) {
+        churn += p.object_units[k];
+        ++ia;
+      } else if (ia == ra.size() || rb[ib] < ra[ia]) {
+        churn += p.object_units[k];
+        ++ib;
+      } else {
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+  return churn;
+}
+
+}  // namespace
+
+HorizonResult run_horizon(const drp::Problem& initial,
+                          const HorizonConfig& config) {
+  if (config.days == 0) throw std::invalid_argument("horizon needs >= 1 day");
+
+  HorizonResult result;
+  // Each day's Problem must outlive every placement built against it;
+  // std::deque::push_back never relocates existing elements, so references
+  // into `timeline` stay valid for the whole horizon.
+  std::deque<drp::Problem> timeline;
+  timeline.push_back(initial);
+  // Day 0 always plans fresh (there is nothing to carry over from).
+  drp::ReplicaPlacement scheme = core::run_agt_ram(timeline.back()).placement;
+
+  const auto record_day = [&](std::uint32_t day, double moved,
+                              std::uint64_t churn) {
+    DayRecord record;
+    record.day = day;
+    record.demand_moved = moved;
+    record.churn_units = churn;
+    const double initial_cost = drp::CostModel::initial_cost(timeline.back());
+    record.savings =
+        (initial_cost - drp::CostModel::total_cost(scheme)) / initial_cost;
+    const ReplayStats stats = replay(scheme);
+    record.mean_read_latency = stats.read_latency.mean;
+    record.local_read_fraction = stats.read_latency.local_fraction;
+    record.replicas = scheme.extra_replica_count();
+    result.days.push_back(record);
+  };
+
+  record_day(0, 0.0, 0);
+  for (std::uint32_t day = 1; day < config.days; ++day) {
+    drp::PerturbConfig drift = config.drift;
+    drift.seed = config.seed * 1000003ULL + day;
+    const drp::Problem& yesterday = timeline.back();
+    timeline.push_back(drp::perturb_demand(yesterday, drift));
+    const drp::Problem& today = timeline.back();
+    const double moved = drp::demand_shift_magnitude(yesterday, today);
+
+    drp::ReplicaPlacement carried = carry_over(today, scheme);
+    std::uint64_t churn = 0;
+    switch (config.policy) {
+      case HorizonPolicy::Stale:
+        scheme = std::move(carried);
+        break;
+      case HorizonPolicy::Rebuild: {
+        drp::ReplicaPlacement rebuilt = core::run_agt_ram(today).placement;
+        churn = churn_between(carried, rebuilt);
+        scheme = std::move(rebuilt);
+        break;
+      }
+      case HorizonPolicy::Adapt: {
+        const auto report =
+            core::adapt_placement(today, scheme, config.adaptive);
+        churn = report.units_evicted + report.units_added;
+        scheme = report.placement;
+        break;
+      }
+    }
+    result.total_churn_units += churn;
+    record_day(day, moved, churn);
+  }
+
+  for (const DayRecord& record : result.days) {
+    result.mean_savings += record.savings;
+  }
+  result.mean_savings /= static_cast<double>(result.days.size());
+  return result;
+}
+
+}  // namespace agtram::sim

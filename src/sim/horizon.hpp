@@ -1,0 +1,63 @@
+// Multi-day horizon simulation: the operational life of a replication
+// deployment under drifting demand.
+//
+// The paper positions AGT-RAM as "a protocol for automatic replication and
+// migration of objects in response to demand changes".  This driver makes
+// that operational claim testable end to end: starting from an initial
+// instance, each simulated day perturbs the demand (hotspot drift,
+// popularity churn, write re-targeting) and a pluggable placement policy
+// reacts; the driver records savings, user-perceived latency, and storage
+// churn day by day.  The ablation bench and the cdn_week example are thin
+// wrappers over this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "drp/perturb.hpp"
+#include "drp/problem.hpp"
+#include "sim/replay.hpp"
+
+namespace agtram::sim {
+
+/// How the deployment reacts to each day's demand.
+enum class HorizonPolicy {
+  Stale,    ///< plan once on day 0, never touch the scheme again
+  Rebuild,  ///< replan from scratch every day (quality ceiling, max churn)
+  Adapt,    ///< the paper's protocol: evict + warm re-allocate
+};
+
+const char* to_string(HorizonPolicy policy);
+
+struct HorizonConfig {
+  std::uint32_t days = 7;
+  HorizonPolicy policy = HorizonPolicy::Adapt;
+  /// Per-day demand drift (applied with day-varying seeds).
+  drp::PerturbConfig drift;
+  core::AdaptiveConfig adaptive;
+  std::uint64_t seed = 1;
+};
+
+struct DayRecord {
+  std::uint32_t day = 0;
+  double demand_moved = 0.0;     ///< L1 shift vs. the previous day
+  double savings = 0.0;          ///< vs. that day's primaries-only OTC
+  double mean_read_latency = 0.0;
+  double local_read_fraction = 0.0;
+  std::uint64_t churn_units = 0; ///< storage moved to react (0 for Stale)
+  std::size_t replicas = 0;
+};
+
+struct HorizonResult {
+  std::vector<DayRecord> days;
+  double mean_savings = 0.0;
+  std::uint64_t total_churn_units = 0;
+};
+
+/// Runs the horizon; deterministic in (problem, config).
+HorizonResult run_horizon(const drp::Problem& initial,
+                          const HorizonConfig& config);
+
+}  // namespace agtram::sim

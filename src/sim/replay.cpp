@@ -1,0 +1,124 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace agtram::sim {
+
+namespace {
+
+/// Request-weighted percentile over (latency, weight) samples.
+double weighted_percentile(std::vector<std::pair<double, std::uint64_t>>& s,
+                           std::uint64_t total, double q) {
+  if (s.empty() || total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q / 100.0 * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (const auto& [latency, weight] : s) {
+    seen += weight;
+    if (seen > target) return latency;
+  }
+  return s.back().first;
+}
+
+}  // namespace
+
+ReplayStats replay(const drp::ReplicaPlacement& placement) {
+  const drp::Problem& p = placement.problem();
+  ReplayStats stats;
+
+  std::vector<std::pair<double, std::uint64_t>> latency_samples;
+  double latency_sum = 0.0;
+  std::uint64_t local_reads = 0;
+  std::vector<std::uint64_t> served(p.server_count(), 0);
+
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    const double o = static_cast<double>(p.object_units[k]);
+    const drp::ServerId primary = p.primary[k];
+    std::uint64_t writes_seen = 0;
+
+    for (const auto& access : p.access.accessors(k)) {
+      // --- Reads: each is served by the nearest replicator.  The routing
+      // decision goes through nn_server (the protocol's NN table), and the
+      // travelled distance is looked up independently in the metric.
+      if (access.reads > 0) {
+        const drp::ServerId serving = placement.nn_server(access.server, k);
+        served[serving] += access.reads;
+        const auto hop = static_cast<double>(p.distance(access.server, serving));
+        stats.read_units += static_cast<double>(access.reads) * o * hop;
+        stats.read_requests += access.reads;
+        latency_samples.emplace_back(hop, access.reads);
+        latency_sum += hop * static_cast<double>(access.reads);
+        if (hop == 0.0) local_reads += access.reads;
+      }
+      // --- Writes: shipped to the primary...
+      if (access.writes > 0) {
+        stats.write_ship_units +=
+            static_cast<double>(access.writes) * o *
+            static_cast<double>(p.distance(access.server, primary));
+        stats.write_requests += access.writes;
+        writes_seen += access.writes;
+      }
+    }
+
+    // ... and broadcast from the primary to every *other* replicator; a
+    // writer that is itself a replicator does not receive its own update
+    // back (Equation 2's j != i term).
+    for (const drp::ServerId replicator : placement.replicators(k)) {
+      if (replicator == primary) continue;
+      const std::uint64_t incoming =
+          p.access.total_writes(k) - p.access.writes(replicator, k);
+      stats.broadcast_units += static_cast<double>(incoming) * o *
+                               static_cast<double>(p.distance(primary, replicator));
+    }
+    (void)writes_seen;
+  }
+
+  // Latency distribution (request-weighted).
+  std::sort(latency_samples.begin(), latency_samples.end());
+  if (stats.read_requests > 0) {
+    stats.read_latency.mean =
+        latency_sum / static_cast<double>(stats.read_requests);
+    stats.read_latency.p50 =
+        weighted_percentile(latency_samples, stats.read_requests, 50.0);
+    stats.read_latency.p90 =
+        weighted_percentile(latency_samples, stats.read_requests, 90.0);
+    stats.read_latency.p99 =
+        weighted_percentile(latency_samples, stats.read_requests, 99.0);
+    stats.read_latency.worst =
+        latency_samples.empty() ? 0.0 : latency_samples.back().first;
+    stats.read_latency.local_fraction =
+        static_cast<double>(local_reads) /
+        static_cast<double>(stats.read_requests);
+  }
+
+  // Server service-load distribution.
+  if (stats.read_requests > 0 && !served.empty()) {
+    std::sort(served.rbegin(), served.rend());
+    std::uint64_t total = 0;
+    for (const std::uint64_t s : served) total += s;
+    stats.server_load.mean_served =
+        static_cast<double>(total) / static_cast<double>(served.size());
+    stats.server_load.max_served = static_cast<double>(served.front());
+    stats.server_load.imbalance =
+        stats.server_load.mean_served > 0.0
+            ? stats.server_load.max_served / stats.server_load.mean_served
+            : 0.0;
+    const std::size_t top5 = std::max<std::size_t>(1, served.size() / 20);
+    std::uint64_t top5_total = 0;
+    for (std::size_t s = 0; s < top5; ++s) top5_total += served[s];
+    stats.server_load.top5_share =
+        static_cast<double>(top5_total) / static_cast<double>(total);
+  }
+  return stats;
+}
+
+double mean_latency_improvement(const drp::ReplicaPlacement& before,
+                                const drp::ReplicaPlacement& after) {
+  const double b = replay(before).read_latency.mean;
+  const double a = replay(after).read_latency.mean;
+  return a > 0.0 ? b / a : 0.0;
+}
+
+}  // namespace agtram::sim

@@ -1,0 +1,41 @@
+#include "trace/access_log.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace agtram::trace {
+
+void write_day_log(std::ostream& os, const DayLog& log) {
+  for (const Request& r : log.requests) {
+    os << log.day_index << ' ' << r.client << ' ' << r.object << ' '
+       << r.units << '\n';
+  }
+}
+
+DayLog read_day_log(std::istream& is) {
+  DayLog log;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::uint32_t day = 0;
+    Request r{};
+    if (!(fields >> day >> r.client >> r.object >> r.units)) {
+      throw std::runtime_error("malformed log line: " + line);
+    }
+    if (first) {
+      log.day_index = day;
+      first = false;
+    } else if (day != log.day_index) {
+      throw std::runtime_error("mixed day indices in one log");
+    }
+    log.requests.push_back(r);
+  }
+  return log;
+}
+
+}  // namespace agtram::trace

@@ -1,0 +1,98 @@
+#include "trace/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace agtram::trace {
+
+double estimate_zipf_exponent(std::vector<std::uint64_t> object_counts) {
+  std::sort(object_counts.rbegin(), object_counts.rend());
+  std::vector<double> xs, ys;
+  for (std::size_t rank = 0; rank < object_counts.size(); ++rank) {
+    if (object_counts[rank] < 2) break;  // the sparse tail biases the fit
+    xs.push_back(std::log(static_cast<double>(rank + 1)));
+    ys.push_back(std::log(static_cast<double>(object_counts[rank])));
+  }
+  if (xs.size() < 3) return 0.0;
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(xs.size());
+  mean_y /= static_cast<double>(xs.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += (xs[i] - mean_x) * (ys[i] - mean_y);
+    den += (xs[i] - mean_x) * (xs[i] - mean_x);
+  }
+  return den > 0.0 ? -num / den : 0.0;  // negated slope = Zipf exponent
+}
+
+WorkloadProfile characterize(const std::vector<DayLog>& days) {
+  WorkloadProfile profile;
+  std::unordered_map<ObjectId, std::uint64_t> object_counts;
+  std::unordered_map<ClientId, std::uint64_t> client_counts;
+  double units_sum = 0.0, units_m2 = 0.0;
+
+  for (const DayLog& day : days) {
+    profile.day_volumes.push_back(day.requests.size());
+    for (const Request& r : day.requests) {
+      ++profile.total_requests;
+      ++object_counts[r.object];
+      ++client_counts[r.client];
+      units_sum += static_cast<double>(r.units);
+    }
+  }
+  profile.distinct_objects = object_counts.size();
+  profile.distinct_clients = client_counts.size();
+  if (profile.total_requests == 0) return profile;
+
+  profile.mean_units =
+      units_sum / static_cast<double>(profile.total_requests);
+  for (const DayLog& day : days) {
+    for (const Request& r : day.requests) {
+      const double d = static_cast<double>(r.units) - profile.mean_units;
+      units_m2 += d * d;
+    }
+  }
+  const double units_var =
+      profile.total_requests > 1
+          ? units_m2 / static_cast<double>(profile.total_requests - 1)
+          : 0.0;
+  profile.units_cv =
+      profile.mean_units > 0.0 ? std::sqrt(units_var) / profile.mean_units
+                               : 0.0;
+
+  // Concentration shares.
+  std::vector<std::uint64_t> objects;
+  objects.reserve(object_counts.size());
+  for (const auto& [id, count] : object_counts) objects.push_back(count);
+  std::sort(objects.rbegin(), objects.rend());
+  const auto share_of_top = [&](const std::vector<std::uint64_t>& counts,
+                                double fraction) {
+    const std::size_t take = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(static_cast<double>(counts.size()) * fraction)));
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < std::min(take, counts.size()); ++i) {
+      sum += counts[i];
+    }
+    return static_cast<double>(sum) /
+           static_cast<double>(profile.total_requests);
+  };
+  profile.top1_object_share = share_of_top(objects, 0.01);
+  profile.top10_object_share = share_of_top(objects, 0.10);
+
+  std::vector<std::uint64_t> clients;
+  clients.reserve(client_counts.size());
+  for (const auto& [id, count] : client_counts) clients.push_back(count);
+  std::sort(clients.rbegin(), clients.rend());
+  profile.top10_client_share = share_of_top(clients, 0.10);
+
+  profile.zipf_exponent = estimate_zipf_exponent(std::move(objects));
+  return profile;
+}
+
+}  // namespace agtram::trace

@@ -1,0 +1,48 @@
+// Workload characterisation — the Arlitt & Jin analysis the paper's trace
+// preparation leans on (HPL-1999-35R1).
+//
+// Given day logs (synthetic or external), this module measures the
+// properties the generator is calibrated to: the Zipf popularity exponent
+// (log-log rank/frequency fit), traffic concentration (share of requests
+// absorbed by the hottest objects/clients), per-day volumes, and delivered
+// size statistics.  Tests close the loop by asserting that the generator's
+// configured exponent is recovered by the estimator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/access_log.hpp"
+
+namespace agtram::trace {
+
+struct WorkloadProfile {
+  std::uint64_t total_requests = 0;
+  std::size_t distinct_objects = 0;
+  std::size_t distinct_clients = 0;
+
+  /// Fitted Zipf exponent of the object popularity law (positive; ~0.8-1.4
+  /// for web workloads).
+  double zipf_exponent = 0.0;
+  /// Share of requests going to the top 1% / 10% of objects by rank.
+  double top1_object_share = 0.0;
+  double top10_object_share = 0.0;
+  /// Share of requests issued by the top 10% of clients.
+  double top10_client_share = 0.0;
+
+  /// Delivered units per request: mean and coefficient of variation.
+  double mean_units = 0.0;
+  double units_cv = 0.0;
+
+  /// Requests per day, in day order.
+  std::vector<std::uint64_t> day_volumes;
+};
+
+/// Full-profile measurement over a set of day logs.
+WorkloadProfile characterize(const std::vector<DayLog>& days);
+
+/// Standalone Zipf-exponent estimate from per-object request counts
+/// (descending rank/frequency log-log regression, ranks with >= 2 hits).
+double estimate_zipf_exponent(std::vector<std::uint64_t> object_counts);
+
+}  // namespace agtram::trace

@@ -1,0 +1,170 @@
+#include "trace/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/prng.hpp"
+
+namespace agtram::trace {
+
+using common::Rng;
+
+std::vector<ObjectId> objects_in_all_days(const std::vector<DayLog>& days) {
+  if (days.empty()) return {};
+  std::unordered_map<ObjectId, std::uint32_t> day_presence;
+  for (const DayLog& day : days) {
+    std::unordered_set<ObjectId> seen_today;
+    for (const Request& r : day.requests) seen_today.insert(r.object);
+    for (ObjectId o : seen_today) ++day_presence[o];
+  }
+  std::vector<ObjectId> result;
+  for (const auto& [object, count] : day_presence) {
+    if (count == days.size()) result.push_back(object);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<ClientId> top_clients(const std::vector<DayLog>& days,
+                                  std::uint32_t k) {
+  std::unordered_map<ClientId, std::uint64_t> totals;
+  for (const DayLog& day : days) {
+    for (const Request& r : day.requests) ++totals[r.client];
+  }
+  std::vector<std::pair<ClientId, std::uint64_t>> ranked(totals.begin(),
+                                                         totals.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  std::vector<ClientId> result;
+  result.reserve(ranked.size());
+  for (const auto& [client, count] : ranked) result.push_back(client);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::vector<std::uint32_t>> map_clients_to_servers(
+    const std::vector<ClientId>& clients, const PipelineConfig& cfg) {
+  if (cfg.servers == 0) throw std::invalid_argument("servers must be >= 1");
+  if (cfg.min_fanout == 0 || cfg.min_fanout > cfg.max_fanout) {
+    throw std::invalid_argument("require 1 <= min_fanout <= max_fanout");
+  }
+  Rng rng(cfg.seed);
+  std::vector<std::vector<std::uint32_t>> mapping(clients.size());
+  const std::uint32_t cap = std::min(cfg.max_fanout, cfg.servers);
+  const std::uint32_t floor = std::min(cfg.min_fanout, cap);
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const auto fanout = static_cast<std::uint32_t>(
+        rng.between(floor, cap));
+    std::unordered_set<std::uint32_t> chosen;
+    while (chosen.size() < fanout) {
+      chosen.insert(static_cast<std::uint32_t>(rng.below(cfg.servers)));
+    }
+    mapping[c].assign(chosen.begin(), chosen.end());
+    std::sort(mapping[c].begin(), mapping[c].end());
+  }
+  return mapping;
+}
+
+Workload run_pipeline(const std::vector<DayLog>& days,
+                      const PipelineConfig& cfg) {
+  Workload out;
+  if (days.empty()) return out;
+
+  // 1. Objects present in every day log, compacted to dense indices.
+  out.object_ids = objects_in_all_days(days);
+  std::unordered_map<ObjectId, std::uint32_t> object_index;
+  object_index.reserve(out.object_ids.size());
+  for (std::uint32_t k = 0; k < out.object_ids.size(); ++k) {
+    object_index.emplace(out.object_ids[k], k);
+  }
+
+  // 2. Top-K clients, compacted likewise.
+  const std::vector<ClientId> clients = top_clients(days, cfg.top_clients);
+  std::unordered_map<ClientId, std::uint32_t> client_index;
+  client_index.reserve(clients.size());
+  for (std::uint32_t c = 0; c < clients.size(); ++c) {
+    client_index.emplace(clients[c], c);
+  }
+
+  // 3. Per-object delivered-size statistics (Welford) and per
+  //    (client, object) request counts over the surviving records.
+  const std::size_t n = out.object_ids.size();
+  std::vector<std::uint64_t> size_count(n, 0);
+  std::vector<double> size_mean(n, 0.0), size_m2(n, 0.0);
+  // Sparse (client, object) counts: flat key c * n + k.
+  std::unordered_map<std::uint64_t, std::uint64_t> demand;
+  for (const DayLog& day : days) {
+    for (const Request& r : day.requests) {
+      const auto oit = object_index.find(r.object);
+      if (oit == object_index.end()) continue;
+      const std::uint32_t k = oit->second;
+      ++size_count[k];
+      const double delta = static_cast<double>(r.units) - size_mean[k];
+      size_mean[k] += delta / static_cast<double>(size_count[k]);
+      size_m2[k] += delta * (static_cast<double>(r.units) - size_mean[k]);
+
+      const auto cit = client_index.find(r.client);
+      if (cit == client_index.end()) continue;
+      ++demand[static_cast<std::uint64_t>(cit->second) * n + k];
+      ++out.total_requests;
+    }
+  }
+
+  out.object_units.resize(n);
+  out.size_variance.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.object_units[k] = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(size_mean[k])));
+    out.size_variance[k] =
+        size_count[k] > 1
+            ? size_m2[k] / static_cast<double>(size_count[k] - 1)
+            : 0.0;
+  }
+
+  // 4. Client -> servers (1-to-many) mapping, then spread each client's
+  //    per-object demand across its servers as evenly as possible, with the
+  //    remainder assigned pseudo-randomly (deterministic in the seed).
+  const auto mapping = map_clients_to_servers(clients, cfg);
+  std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> per_object(n);
+  Rng rng(cfg.seed ^ 0xabcdef1234567890ULL);
+  for (const auto& [key, count] : demand) {
+    const auto c = static_cast<std::uint32_t>(key / n);
+    const auto k = static_cast<std::uint32_t>(key % n);
+    const auto& servers = mapping[c];
+    const std::uint64_t base = count / servers.size();
+    std::uint64_t remainder = count % servers.size();
+    for (std::uint32_t s : servers) {
+      std::uint64_t share = base;
+      if (remainder > 0 && rng.chance(0.5)) {
+        ++share;
+        --remainder;
+      }
+      if (share > 0) per_object[k][s] += share;
+    }
+    // Any leftover goes to the client's first server.
+    if (remainder > 0) per_object[k][servers.front()] += remainder;
+  }
+
+  out.reads.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    auto& rows = out.reads[k];
+    rows.reserve(per_object[k].size());
+    for (const auto& [server, reads] : per_object[k]) {
+      rows.push_back(ServerReads{server, reads});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const ServerReads& a, const ServerReads& b) {
+                return a.server < b.server;
+              });
+  }
+  return out;
+}
+
+}  // namespace agtram::trace

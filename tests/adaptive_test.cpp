@@ -1,0 +1,233 @@
+// Tests for the adaptive replication/migration protocol and the demand
+// perturbation substrate.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "core/agt_ram.hpp"
+#include "drp/cost_model.hpp"
+#include "drp/perturb.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+
+// --------------------------------------------------------------- perturb
+
+TEST(Perturb, PreservesEverythingButDemand) {
+  const drp::Problem base = testutil::small_instance(301, 20, 60);
+  drp::PerturbConfig cfg;
+  cfg.seed = 9;
+  const drp::Problem shifted = drp::perturb_demand(base, cfg);
+  EXPECT_EQ(shifted.server_count(), base.server_count());
+  EXPECT_EQ(shifted.object_count(), base.object_count());
+  EXPECT_EQ(shifted.object_units, base.object_units);
+  EXPECT_EQ(shifted.primary, base.primary);
+  EXPECT_EQ(shifted.capacity, base.capacity);
+  EXPECT_EQ(shifted.distances.get(), base.distances.get());
+  EXPECT_NO_THROW(shifted.validate());
+}
+
+TEST(Perturb, ActuallyMovesDemand) {
+  const drp::Problem base = testutil::small_instance(302, 20, 60);
+  drp::PerturbConfig cfg;
+  cfg.shift_fraction = 0.5;
+  cfg.seed = 10;
+  const drp::Problem shifted = drp::perturb_demand(base, cfg);
+  EXPECT_GT(drp::demand_shift_magnitude(base, shifted), 0.1);
+}
+
+TEST(Perturb, ZeroIntensityIsNearIdentity) {
+  const drp::Problem base = testutil::small_instance(303, 20, 60);
+  drp::PerturbConfig cfg;
+  cfg.shift_fraction = 0.0;
+  cfg.churn_fraction = 0.0;
+  cfg.write_retarget_fraction = 0.0;
+  const drp::Problem same = drp::perturb_demand(base, cfg);
+  EXPECT_DOUBLE_EQ(drp::demand_shift_magnitude(base, same), 0.0);
+  EXPECT_EQ(same.access.grand_total_writes(),
+            base.access.grand_total_writes());
+}
+
+TEST(Perturb, DeterministicInSeed) {
+  const drp::Problem base = testutil::small_instance(304, 20, 60);
+  drp::PerturbConfig cfg;
+  cfg.seed = 11;
+  const drp::Problem a = drp::perturb_demand(base, cfg);
+  const drp::Problem b = drp::perturb_demand(base, cfg);
+  EXPECT_DOUBLE_EQ(drp::demand_shift_magnitude(a, b), 0.0);
+}
+
+TEST(Perturb, InvalidFractionsThrow) {
+  const drp::Problem base = testutil::small_instance(305, 12, 30);
+  drp::PerturbConfig cfg;
+  cfg.shift_fraction = 1.5;
+  EXPECT_THROW(drp::perturb_demand(base, cfg), std::invalid_argument);
+}
+
+TEST(Perturb, ChurnChangesReadVolume) {
+  const drp::Problem base = testutil::small_instance(306, 20, 60);
+  drp::PerturbConfig cfg;
+  cfg.shift_fraction = 0.0;
+  cfg.churn_fraction = 1.0;
+  cfg.write_retarget_fraction = 0.0;
+  cfg.seed = 12;
+  const drp::Problem churned = drp::perturb_demand(base, cfg);
+  EXPECT_NE(churned.access.grand_total_reads(),
+            base.access.grand_total_reads());
+}
+
+// ------------------------------------------------------ retention pricing
+
+TEST(Retention, MatchesEvictionCostDelta) {
+  // Dropping a replica must change the holder's local cost by exactly the
+  // retention value.
+  const drp::Problem p = testutil::line3_problem();
+  drp::ReplicaPlacement placement(p);
+  placement.add_replica(1, 0);
+  // S1's reads (10 x 2 units) would travel to S0 (distance 1) without the
+  // copy; the subscription it sheds is zero (S1 is the only writer).
+  EXPECT_DOUBLE_EQ(core::retention_value(placement, 1, 0), 20.0);
+  placement.add_replica(2, 0);
+  // With S1 holding a copy, S2's next-nearest is S1 at distance 2:
+  // 4 * 2 * 2 - (1 - 0) * 2 * 3 = 16 - 6 = 10.
+  EXPECT_DOUBLE_EQ(core::retention_value(placement, 2, 0), 10.0);
+}
+
+TEST(Retention, NonReplicaThrows) {
+  const drp::Problem p = testutil::line3_problem();
+  drp::ReplicaPlacement placement(p);
+  EXPECT_THROW(core::retention_value(placement, 1, 0), std::logic_error);
+  EXPECT_THROW(core::retention_value(placement, 0, 0), std::logic_error);
+}
+
+TEST(Eviction, DropsOnlyUnprofitableReplicas) {
+  const drp::Problem p = testutil::line3_problem();
+  drp::ReplicaPlacement placement(p);
+  placement.add_replica(1, 0);   // retention 20 > 0, keep
+  placement.add_replica(1, 1);   // S1 has no reads on O1: pure broadcast cost
+  EXPECT_EQ(core::evict_unprofitable(placement), 1u);
+  EXPECT_TRUE(placement.is_replicator(1, 0));
+  EXPECT_FALSE(placement.is_replicator(1, 1));
+  // A second sweep is a no-op (fixed point).
+  EXPECT_EQ(core::evict_unprofitable(placement), 0u);
+}
+
+TEST(Eviction, MechanismOutputIsEvictionStable) {
+  // Everything AGT-RAM places has positive value at placement time and the
+  // broadcast price never rises, yet later replicas can strand earlier
+  // ones (their reads reroute); the sweep must at most trim, never panic.
+  const drp::Problem p = testutil::small_instance(311, 24, 80);
+  auto result = core::run_agt_ram(p);
+  const double before = drp::CostModel::total_cost(result.placement);
+  core::evict_unprofitable(result.placement);
+  EXPECT_NO_THROW(result.placement.check_invariants());
+  EXPECT_LE(drp::CostModel::total_cost(result.placement), before + 1e-6);
+}
+
+// -------------------------------------------------------------- adaptive
+
+TEST(Adaptive, NoChangeNoMigration) {
+  const drp::Problem p = testutil::small_instance(312, 24, 80);
+  const auto old_run = core::run_agt_ram(p);
+  const auto report = core::adapt_placement(p, old_run.placement);
+  EXPECT_EQ(report.evicted + report.added, 0u)
+      << "stable demand must not churn replicas";
+  EXPECT_EQ(report.retained, old_run.placement.extra_replica_count());
+}
+
+TEST(Adaptive, TracksDemandShift) {
+  const drp::Problem base = testutil::small_instance(313, 24, 80, 0.06);
+  const auto old_run = core::run_agt_ram(base);
+
+  drp::PerturbConfig shift;
+  shift.shift_fraction = 0.5;
+  shift.seed = 77;
+  const drp::Problem shifted = drp::perturb_demand(base, shift);
+
+  const auto report = core::adapt_placement(shifted, old_run.placement);
+  EXPECT_NO_THROW(report.placement.check_invariants());
+  EXPECT_GT(report.evicted + report.added, 0u) << "demand moved, so must replicas";
+
+  // The migrated scheme must be as good as replanning from scratch.
+  const double replanned =
+      drp::CostModel::total_cost(core::run_agt_ram(shifted).placement);
+  const double migrated = drp::CostModel::total_cost(report.placement);
+  EXPECT_NEAR(migrated, replanned, 0.05 * replanned);
+
+  // ... and far better than freezing the stale scheme.
+  drp::ReplicaPlacement stale(shifted);
+  for (drp::ObjectIndex k = 0; k < shifted.object_count(); ++k) {
+    for (const drp::ServerId i : old_run.placement.replicators(k)) {
+      if (i != shifted.primary[k] && stale.can_replicate(i, k)) {
+        stale.add_replica(i, k);
+      }
+    }
+  }
+  EXPECT_LT(migrated, drp::CostModel::total_cost(stale) + 1e-6);
+}
+
+TEST(Adaptive, MigrationIsCheaperThanRebuild) {
+  // Under a mild shift, most replicas survive: the storage churn must be
+  // well below tearing everything down and rebuilding.
+  const drp::Problem base = testutil::small_instance(314, 24, 80, 0.06);
+  const auto old_run = core::run_agt_ram(base);
+
+  drp::PerturbConfig shift;
+  shift.shift_fraction = 0.1;
+  shift.churn_fraction = 0.05;
+  shift.seed = 78;
+  const drp::Problem shifted = drp::perturb_demand(base, shift);
+  const auto report = core::adapt_placement(shifted, old_run.placement);
+
+  EXPECT_GT(report.retained, old_run.placement.extra_replica_count() / 2);
+  EXPECT_LT(report.added, old_run.placement.extra_replica_count());
+}
+
+TEST(Adaptive, MismatchedInstancesThrow) {
+  const drp::Problem a = testutil::small_instance(315, 24, 80);
+  const drp::Problem b = testutil::small_instance(316, 24, 81);
+  const auto run = core::run_agt_ram(a);
+  EXPECT_THROW(core::adapt_placement(b, run.placement),
+               std::invalid_argument);
+}
+
+TEST(Adaptive, IterationCapRespected) {
+  const drp::Problem base = testutil::small_instance(317, 24, 80);
+  const auto old_run = core::run_agt_ram(base);
+  drp::PerturbConfig shift;
+  shift.shift_fraction = 0.6;
+  shift.seed = 79;
+  const drp::Problem shifted = drp::perturb_demand(base, shift);
+  core::AdaptiveConfig cfg;
+  cfg.max_iterations = 1;
+  const auto report = core::adapt_placement(shifted, old_run.placement, cfg);
+  EXPECT_LE(report.iterations, 1u);
+}
+
+TEST(Adaptive, WarmStartEqualsColdStartOnFreshProblem) {
+  // Warm-starting from the primaries-only scheme must reproduce the plain
+  // mechanism exactly.
+  const drp::Problem p = testutil::small_instance(318, 24, 80);
+  const auto cold = core::run_agt_ram(p);
+  const auto warm = core::run_agt_ram_from(p, core::AgtRamConfig{},
+                                           drp::ReplicaPlacement(p));
+  ASSERT_EQ(cold.rounds.size(), warm.rounds.size());
+  for (std::size_t r = 0; r < cold.rounds.size(); ++r) {
+    EXPECT_EQ(cold.rounds[r].winner, warm.rounds[r].winner);
+    EXPECT_EQ(cold.rounds[r].object, warm.rounds[r].object);
+  }
+}
+
+TEST(Adaptive, RestrictedParticipantsOnlyAllocateForThemselves) {
+  const drp::Problem p = testutil::small_instance(319, 24, 80);
+  const std::vector<drp::ServerId> participants{2, 5, 9};
+  const auto result = core::run_agt_ram_from(
+      p, core::AgtRamConfig{}, drp::ReplicaPlacement(p), &participants);
+  for (const auto& round : result.rounds) {
+    EXPECT_TRUE(round.winner == 2 || round.winner == 5 || round.winner == 9);
+  }
+  EXPECT_NO_THROW(result.placement.check_invariants());
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Tests for the workload characterisation module — closing the calibration
+// loop: the synthetic generator must exhibit the statistics the real World
+// Cup '98 trace was reported to have, as measured by our own estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/characterize.hpp"
+#include "trace/worldcup.hpp"
+
+namespace {
+
+using namespace agtram::trace;
+
+TEST(ZipfEstimate, RecoversExactPowerLaw) {
+  // Perfect Zipf counts: count(rank) = C / rank^s.
+  for (double s : {0.8, 1.0, 1.3}) {
+    std::vector<std::uint64_t> counts;
+    for (std::size_t rank = 1; rank <= 200; ++rank) {
+      counts.push_back(static_cast<std::uint64_t>(
+          1e6 / std::pow(static_cast<double>(rank), s)));
+    }
+    EXPECT_NEAR(estimate_zipf_exponent(counts), s, 0.05) << "s=" << s;
+  }
+}
+
+TEST(ZipfEstimate, DegenerateInputs) {
+  EXPECT_EQ(estimate_zipf_exponent({}), 0.0);
+  EXPECT_EQ(estimate_zipf_exponent({5}), 0.0);
+  EXPECT_EQ(estimate_zipf_exponent({1, 1, 1}), 0.0);  // all below 2 hits
+}
+
+TEST(Characterize, GeneratorMatchesConfiguredExponent) {
+  WorldCupConfig cfg;
+  cfg.days = 4;
+  cfg.object_universe = 2000;
+  cfg.core_objects = 10;  // keep the forced core from flattening the law
+  cfg.clients = 200;
+  cfg.requests_per_day = 150000;
+  cfg.popularity_exponent = 1.1;
+  cfg.seed = 21;
+  const auto profile = characterize(generate_worldcup_trace(cfg));
+  EXPECT_NEAR(profile.zipf_exponent, 1.1, 0.2);
+}
+
+TEST(Characterize, BasicCountsAndVolumes) {
+  WorldCupConfig cfg;
+  cfg.days = 3;
+  cfg.object_universe = 100;
+  cfg.core_objects = 50;
+  cfg.clients = 30;
+  cfg.requests_per_day = 5000;
+  cfg.seed = 22;
+  const auto days = generate_worldcup_trace(cfg);
+  const auto profile = characterize(days);
+  std::uint64_t expected = 0;
+  for (const auto& day : days) expected += day.requests.size();
+  EXPECT_EQ(profile.total_requests, expected);
+  ASSERT_EQ(profile.day_volumes.size(), 3u);
+  EXPECT_LE(profile.distinct_objects, 100u);
+  EXPECT_LE(profile.distinct_clients, 30u);
+  EXPECT_GT(profile.mean_units, 0.0);
+  EXPECT_GT(profile.units_cv, 0.0);
+}
+
+TEST(Characterize, TrafficIsConcentrated) {
+  WorldCupConfig cfg;
+  cfg.days = 2;
+  cfg.object_universe = 1000;
+  cfg.core_objects = 10;
+  cfg.clients = 100;
+  cfg.requests_per_day = 50000;
+  cfg.popularity_exponent = 1.1;
+  cfg.seed = 23;
+  const auto profile = characterize(generate_worldcup_trace(cfg));
+  // Web-workload signature: the hot head dominates.
+  EXPECT_GT(profile.top1_object_share, 0.15);
+  EXPECT_GT(profile.top10_object_share, 0.45);
+  EXPECT_GT(profile.top10_client_share, 0.15);
+  EXPECT_LT(profile.top1_object_share, profile.top10_object_share);
+}
+
+TEST(Characterize, EmptyInput) {
+  const auto profile = characterize({});
+  EXPECT_EQ(profile.total_requests, 0u);
+  EXPECT_EQ(profile.zipf_exponent, 0.0);
+}
+
+}  // namespace

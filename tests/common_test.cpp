@@ -1,0 +1,376 @@
+// Unit tests for src/common: PRNG, distributions, stats, thread pool,
+// table/CSV output, and the CLI parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/distributions.hpp"
+#include "common/prng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using namespace agtram::common;
+
+// ---------------------------------------------------------------- PRNG
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(12);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(42);
+  Rng childA = parent.fork(1);
+  Rng childB = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (childA() == childB());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(42), p2(42);
+  Rng c1 = p1.fork(9), c2 = p2.fork(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+}
+
+// ------------------------------------------------------- distributions
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(100, 0.9);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) sum += zipf.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfIsMonotoneDecreasing) {
+  ZipfSampler zipf(50, 1.1);
+  for (std::size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_LE(zipf.pmf(i), zipf.pmf(i - 1));
+  }
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (std::size_t r = 0; r < 20; ++r) {
+    const double expected = zipf.pmf(r) * n;
+    EXPECT_NEAR(counts[r], expected, 5.0 * std::sqrt(expected) + 10.0)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, HigherExponentConcentratesMass) {
+  ZipfSampler flat(100, 0.5), steep(100, 1.5);
+  EXPECT_LT(flat.pmf(0), steep.pmf(0));
+}
+
+TEST(LognormalSampler, MedianIsExpMu) {
+  LognormalSampler dist(2.0, 0.7);
+  Rng rng(6);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) sample.push_back(dist(rng));
+  EXPECT_NEAR(percentile(sample, 50.0), std::exp(2.0), 0.25);
+}
+
+TEST(LognormalSampler, AllPositive) {
+  LognormalSampler dist(0.0, 2.0);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(dist(rng), 0.0);
+}
+
+TEST(BoundedPareto, StaysInBounds) {
+  BoundedParetoSampler dist(1.2, 1.0, 500.0);
+  Rng rng(8);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist(rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 500.0 + 1e-9);
+  }
+}
+
+TEST(BoundedPareto, IsHeavyTailedTowardsLowerBound) {
+  BoundedParetoSampler dist(1.5, 1.0, 1000.0);
+  Rng rng(9);
+  int below10 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) below10 += (dist(rng) < 10.0);
+  EXPECT_GT(below10, n * 8 / 10);  // most mass near the lower bound
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> xs{1.5, -2.0, 7.25, 0.0, 3.5, 3.5};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_EQ(stats.min(), -2.0);
+  EXPECT_EQ(stats.max(), 7.25);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(10);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_EQ(percentile(xs, 0), 1.0);
+  EXPECT_EQ(percentile(xs, 100), 5.0);
+  EXPECT_EQ(percentile(xs, 50), 3.0);
+  EXPECT_NEAR(percentile(xs, 25), 2.0, 1e-12);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_EQ(percentile({}, 50), 0.0); }
+
+TEST(Correlation, PerfectAndInverse) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> up{2, 4, 6, 8}, down{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateIsZero) {
+  std::vector<double> xs{1, 2, 3}, flat{5, 5, 5};
+  EXPECT_EQ(correlation(xs, flat), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps into bucket 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(42.0);  // clamps into last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.bucket_low(1), 2.0);
+  EXPECT_EQ(h.bucket_high(1), 4.0);
+}
+
+// --------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t a, std::size_t b) {
+    for (std::size_t i = a; i < b; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, TinyRangeRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 3, [&](std::size_t a, std::size_t b) {
+    sum += static_cast<int>(b - a);
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().thread_count(), 1u);
+}
+
+// --------------------------------------------------------------- table
+
+TEST(TableTest, PrintsAlignedCells) {
+  Table t({"alg", "value"});
+  t.add_row({"Greedy", "1.5"});
+  t.add_row({"AGT-RAM", "10.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("AGT-RAM"), std::string::npos);
+  EXPECT_NE(out.find("Greedy"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);  // box rules
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.5), "50.0%");
+}
+
+// ----------------------------------------------------------------- cli
+
+TEST(CliTest, DefaultsAndOverrides) {
+  Cli cli("test");
+  cli.add_flag("alpha", "1.5", "a flag");
+  cli.add_flag("name", "x", "another");
+  const char* argv[] = {"prog", "--alpha", "2.5"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_double("alpha"), 2.5);
+  EXPECT_EQ(cli.get("name"), "x");
+}
+
+TEST(CliTest, EqualsSyntax) {
+  Cli cli("test");
+  cli.add_flag("n", "1", "count");
+  const char* argv[] = {"prog", "--n=42"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("n"), 42);
+}
+
+TEST(CliTest, HelpRequestedDistinguishedFromErrors) {
+  Cli help_cli("test");
+  const char* help_argv[] = {"prog", "--help"};
+  EXPECT_FALSE(help_cli.parse(2, help_argv));
+  EXPECT_TRUE(help_cli.help_requested());
+
+  Cli error_cli("test");
+  const char* bad_argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(error_cli.parse(3, bad_argv));
+  EXPECT_FALSE(error_cli.help_requested());
+}
+
+TEST(CliTest, UnknownFlagFails) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(CliTest, MissingValueFails) {
+  Cli cli("test");
+  cli.add_flag("x", "0", "x");
+  const char* argv[] = {"prog", "--x"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, DoubleList) {
+  Cli cli("test");
+  cli.add_flag("caps", "0.1,0.2,0.3", "list");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  const auto caps = cli.get_double_list("caps");
+  ASSERT_EQ(caps.size(), 3u);
+  EXPECT_EQ(caps[1], 0.2);
+}
+
+TEST(CliTest, BoolParsing) {
+  Cli cli("test");
+  cli.add_flag("flag", "false", "b");
+  const char* argv[] = {"prog", "--flag", "true"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_TRUE(cli.get_bool("flag"));
+}
+
+}  // namespace

@@ -1,0 +1,264 @@
+// Tests for the OTC cost engine (Equations 1-5): exact hand-computed
+// oracles on the line3 fixture, plus incremental-vs-recompute consistency
+// properties on generated instances.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/prng.hpp"
+#include "drp/cost_model.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+using namespace agtram::drp;
+
+// Hand-derived values for testutil::line3_problem() (see test_helpers.hpp):
+//   initial object costs: O0 = 46, O1 = 78, total = 124.
+//   After replicating O0 at S1: O0 = 18.
+//   After replicating O1 at S0: O1 = 33.
+
+TEST(CostOracle, InitialPerObjectCosts) {
+  const Problem p = testutil::line3_problem();
+  const ReplicaPlacement placement(p);
+  EXPECT_DOUBLE_EQ(CostModel::object_cost(placement, 0), 46.0);
+  EXPECT_DOUBLE_EQ(CostModel::object_cost(placement, 1), 78.0);
+  EXPECT_DOUBLE_EQ(CostModel::total_cost(placement), 124.0);
+  EXPECT_DOUBLE_EQ(CostModel::initial_cost(p), 124.0);
+}
+
+TEST(CostOracle, CostAfterReplicationAtReader) {
+  const Problem p = testutil::line3_problem();
+  ReplicaPlacement placement(p);
+  placement.add_replica(1, 0);
+  // S1 now pays only its write shipping (1*2*1 = 2) and zero broadcast
+  // (it is the only writer); S2's reads reroute to S1: 4*2*2 = 16.
+  EXPECT_DOUBLE_EQ(CostModel::object_cost(placement, 0), 18.0);
+  EXPECT_DOUBLE_EQ(CostModel::total_cost(placement), 18.0 + 78.0);
+}
+
+TEST(CostOracle, CostAfterReplicationWithBroadcastPrice) {
+  const Problem p = testutil::line3_problem();
+  ReplicaPlacement placement(p);
+  placement.add_replica(0, 1);
+  // S0: write shipping 2*3*3 = 18 plus broadcast receipt (3-2)*3*3 = 9;
+  // S1: write shipping 1*3*2 = 6.
+  EXPECT_DOUBLE_EQ(CostModel::object_cost(placement, 1), 33.0);
+}
+
+TEST(CostOracle, AgentBenefits) {
+  const Problem p = testutil::line3_problem();
+  const ReplicaPlacement placement(p);
+  EXPECT_DOUBLE_EQ(CostModel::agent_benefit(placement, 1, 0), 20.0);
+  EXPECT_DOUBLE_EQ(CostModel::agent_benefit(placement, 2, 0), 18.0);
+  EXPECT_DOUBLE_EQ(CostModel::agent_benefit(placement, 0, 1), 45.0);
+  // S1 reads nothing from O1 but would subscribe to 2 broadcast writes.
+  EXPECT_DOUBLE_EQ(CostModel::agent_benefit(placement, 1, 1), -12.0);
+}
+
+TEST(CostOracle, GlobalBenefits) {
+  const Problem p = testutil::line3_problem();
+  const ReplicaPlacement placement(p);
+  // Replicating O0 at S1 also reroutes S2's reads (saving 8).
+  EXPECT_DOUBLE_EQ(CostModel::global_benefit(placement, 1, 0), 28.0);
+  EXPECT_DOUBLE_EQ(CostModel::global_benefit(placement, 2, 0), 18.0);
+  EXPECT_DOUBLE_EQ(CostModel::global_benefit(placement, 0, 1), 45.0);
+}
+
+TEST(CostOracle, AgentBenefitNeverExceedsGlobalReadSavings) {
+  // agent benefit counts only the agent's own reads; global adds the other
+  // readers' savings on top of the same broadcast price.
+  const Problem p = testutil::line3_problem();
+  const ReplicaPlacement placement(p);
+  EXPECT_LE(CostModel::agent_benefit(placement, 1, 0),
+            CostModel::global_benefit(placement, 1, 0));
+  EXPECT_LE(CostModel::agent_benefit(placement, 2, 0),
+            CostModel::global_benefit(placement, 2, 0));
+}
+
+TEST(CostOracle, ReplicatorWithoutDemandPaysFullBroadcast) {
+  // 3 servers on a line; one object, primary S0, S1 reads 5 / writes 2,
+  // S2 has no demand at all.  If S2 replicates anyway, it subscribes to
+  // the full update broadcast: 2 * o * c(0, 2).
+  Problem p;
+  p.distances = std::make_shared<const net::DistanceMatrix>(
+      net::DistanceMatrix::from_rows(3, {0, 1, 3, 1, 0, 2, 3, 2, 0}));
+  p.object_units = {4};
+  p.primary = {0};
+  p.capacity = {10, 10, 10};
+  std::vector<std::vector<Access>> rows(1);
+  rows[0] = {{1, 5, 2}};
+  p.access = AccessMatrix::build(3, 1, std::move(rows));
+  p.validate();
+
+  ReplicaPlacement placement(p);
+  const double before = CostModel::total_cost(placement);
+  // before: S1 reads 5*4*1 = 20, writes 2*4*1 = 8 -> 28.
+  EXPECT_DOUBLE_EQ(before, 28.0);
+  placement.add_replica(2, 0);
+  // S2's replica does not help S1 (c(1,2)=2 > 1) and costs 2*4*3 = 24.
+  EXPECT_DOUBLE_EQ(CostModel::total_cost(placement), 28.0 + 24.0);
+}
+
+TEST(CostModelTest, SavingsOfInitialPlacementIsZero) {
+  const Problem p = testutil::line3_problem();
+  EXPECT_DOUBLE_EQ(CostModel::savings(ReplicaPlacement(p)), 0.0);
+}
+
+TEST(CostModelTest, SavingsMatchesCostRatio) {
+  const Problem p = testutil::line3_problem();
+  ReplicaPlacement placement(p);
+  placement.add_replica(1, 0);
+  EXPECT_NEAR(CostModel::savings(placement), (124.0 - 96.0) / 124.0, 1e-12);
+}
+
+// ------------------------------------------------ incremental properties
+
+class IncrementalConsistency : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IncrementalConsistency, GlobalBenefitEqualsActualCostDelta) {
+  const Problem p = testutil::small_instance(GetParam());
+  ReplicaPlacement placement(p);
+  common::Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto i = static_cast<ServerId>(rng.below(p.server_count()));
+    const auto k = static_cast<ObjectIndex>(rng.below(p.object_count()));
+    if (!placement.can_replicate(i, k)) continue;
+    const double before = CostModel::total_cost(placement);
+    const double predicted = CostModel::global_benefit(placement, i, k);
+    placement.add_replica(i, k);
+    const double after = CostModel::total_cost(placement);
+    EXPECT_NEAR(before - after, predicted, 1e-6 * std::max(1.0, before));
+    if (rng.chance(0.5)) placement.remove_replica(i, k);  // vary the state
+  }
+}
+
+TEST_P(IncrementalConsistency, AgentBenefitEqualsLocalCostDelta) {
+  const Problem p = testutil::small_instance(GetParam() + 100);
+  ReplicaPlacement placement(p);
+  common::Rng rng(GetParam() * 17 + 3);
+
+  const auto local_cost = [&p, &placement](ServerId i, ObjectIndex k) {
+    const double o = static_cast<double>(p.object_units[k]);
+    const double ship = static_cast<double>(p.access.writes(i, k)) * o *
+                        static_cast<double>(p.distance(i, p.primary[k]));
+    if (placement.is_replicator(i, k)) {
+      return ship + (static_cast<double>(p.access.total_writes(k)) -
+                     static_cast<double>(p.access.writes(i, k))) *
+                        o *
+                        static_cast<double>(p.distance(p.primary[k], i));
+    }
+    return ship + static_cast<double>(p.access.reads(i, k)) * o *
+                      static_cast<double>(placement.nn_distance(i, k));
+  };
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto i = static_cast<ServerId>(rng.below(p.server_count()));
+    const auto k = static_cast<ObjectIndex>(rng.below(p.object_count()));
+    if (!placement.can_replicate(i, k)) continue;
+    const double before = local_cost(i, k);
+    const double predicted = CostModel::agent_benefit(placement, i, k);
+    placement.add_replica(i, k);
+    EXPECT_NEAR(before - local_cost(i, k), predicted, 1e-9);
+  }
+}
+
+TEST_P(IncrementalConsistency, TotalCostEqualsSumOfObjectCosts) {
+  const Problem p = testutil::small_instance(GetParam() + 200);
+  ReplicaPlacement placement(p);
+  common::Rng rng(GetParam());
+  for (int step = 0; step < 30; ++step) {
+    const auto i = static_cast<ServerId>(rng.below(p.server_count()));
+    const auto k = static_cast<ObjectIndex>(rng.below(p.object_count()));
+    if (placement.can_replicate(i, k)) placement.add_replica(i, k);
+  }
+  double sum = 0.0;
+  for (ObjectIndex k = 0; k < p.object_count(); ++k) {
+    sum += CostModel::object_cost(placement, k);
+  }
+  EXPECT_NEAR(CostModel::total_cost(placement), sum, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalConsistency,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------- dense reference evaluator
+
+// A third, deliberately naive implementation of Equation 4: dense O(M*N)
+// loops over every (server, object) cell, no sparse structures, no NN
+// caches — the most literal transcription of the paper's formula.  The
+// production engine and the request-replay simulator must both agree with
+// it on arbitrary placements.
+double dense_reference_cost(const ReplicaPlacement& placement) {
+  const Problem& p = placement.problem();
+  double total = 0.0;
+  for (ObjectIndex k = 0; k < p.object_count(); ++k) {
+    const double o = static_cast<double>(p.object_units[k]);
+    const ServerId primary = p.primary[k];
+    const double w_k = static_cast<double>(p.access.total_writes(k));
+    for (ServerId i = 0; i < p.server_count(); ++i) {
+      const double r_ik = static_cast<double>(p.access.reads(i, k));
+      const double w_ik = static_cast<double>(p.access.writes(i, k));
+      // Every writer ships its updates to the primary.
+      total += w_ik * o * static_cast<double>(p.distance(i, primary));
+      if (placement.is_replicator(i, k)) {
+        // Replicators receive everyone else's update broadcasts.
+        total += (w_k - w_ik) * o *
+                 static_cast<double>(p.distance(primary, i));
+      } else {
+        // Non-replicators read from the literally nearest replicator.
+        net::Cost nn = net::kUnreachable;
+        for (ServerId j = 0; j < p.server_count(); ++j) {
+          if (placement.is_replicator(j, k)) {
+            nn = std::min(nn, p.distance(i, j));
+          }
+        }
+        total += r_ik * o * static_cast<double>(nn);
+      }
+    }
+  }
+  return total;
+}
+
+class DenseReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DenseReference, ProductionEngineMatchesNaiveFormula) {
+  const Problem p = testutil::small_instance(GetParam(), 14, 36, 0.08);
+  ReplicaPlacement placement(p);
+  common::Rng rng(GetParam() * 97 + 1);
+  // Check at the initial scheme and after every few random mutations.
+  EXPECT_NEAR(CostModel::total_cost(placement), dense_reference_cost(placement),
+              1e-6);
+  for (int step = 0; step < 60; ++step) {
+    const auto i = static_cast<ServerId>(rng.below(p.server_count()));
+    const auto k = static_cast<ObjectIndex>(rng.below(p.object_count()));
+    if (rng.chance(0.25) && placement.is_replicator(i, k) &&
+        p.primary[k] != i) {
+      placement.remove_replica(i, k);
+    } else if (placement.can_replicate(i, k)) {
+      placement.add_replica(i, k);
+    }
+    if (step % 10 == 9) {
+      const double expected = dense_reference_cost(placement);
+      EXPECT_NEAR(CostModel::total_cost(placement), expected,
+                  1e-9 * std::max(1.0, expected));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseReference,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(DenseReferenceLine3, MatchesHandComputedOracle) {
+  const Problem p = testutil::line3_problem();
+  ReplicaPlacement placement(p);
+  EXPECT_DOUBLE_EQ(dense_reference_cost(placement), 124.0);
+  placement.add_replica(1, 0);
+  placement.add_replica(0, 1);
+  EXPECT_DOUBLE_EQ(dense_reference_cost(placement), 18.0 + 33.0);
+  EXPECT_DOUBLE_EQ(CostModel::total_cost(placement), 51.0);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Edge cases and configuration corners across modules — the inputs a
+// downstream user will eventually feed in.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baselines/aestar.hpp"
+#include "baselines/auctions.hpp"
+#include "baselines/gra.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "core/agt_ram.hpp"
+#include "drp/cost_model.hpp"
+#include "runtime/event_sim.hpp"
+#include "trace/pipeline.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+
+// ----------------------------------------------------------- common misc
+
+TEST(TimerTest, MeasuresElapsedTimeMonotonically) {
+  common::Timer timer;
+  const double t0 = timer.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double t1 = timer.seconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GT(t1, t0);
+  EXPECT_NEAR(timer.millis(), timer.seconds() * 1e3, 1.0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), t1);
+}
+
+TEST(LogTest, LevelThresholdIsSticky) {
+  const common::LogLevel before = common::log_level();
+  common::set_log_level(common::LogLevel::Error);
+  EXPECT_EQ(common::log_level(), common::LogLevel::Error);
+  // Suppressed and emitted paths both must not crash.
+  common::log_debug() << "below threshold, dropped";
+  common::log_error() << "";  // empty messages are dropped too
+  common::set_log_level(before);
+}
+
+// ------------------------------------------------------- tiny dimensions
+
+TEST(EdgeCase, SingleServerInstance) {
+  // M = 1: every object's primary is the only server; no agent has any
+  // candidate and every algorithm must terminate immediately.
+  drp::Problem p;
+  p.distances = std::make_shared<const net::DistanceMatrix>(
+      net::DistanceMatrix::from_rows(1, {0}));
+  p.object_units = {2, 3};
+  p.primary = {0, 0};
+  p.capacity = {100};
+  std::vector<std::vector<drp::Access>> rows(2);
+  rows[0] = {{0, 10, 1}};
+  rows[1] = {{0, 4, 0}};
+  p.access = drp::AccessMatrix::build(1, 2, std::move(rows));
+  p.validate();
+
+  const auto result = core::run_agt_ram(p);
+  EXPECT_EQ(result.rounds.size(), 0u);
+  // All demand is local: zero read/ship distance, zero OTC.
+  EXPECT_DOUBLE_EQ(drp::CostModel::total_cost(result.placement), 0.0);
+}
+
+TEST(EdgeCase, ObjectNobodyAccesses) {
+  drp::Problem p = testutil::line3_problem();
+  // Append a third object with no demand at all.
+  p.object_units.push_back(1);
+  p.primary.push_back(1);
+  std::vector<std::vector<drp::Access>> rows(3);
+  rows[0] = {{1, 10, 1}, {2, 4, 0}};
+  rows[1] = {{0, 6, 2}, {1, 0, 1}};
+  rows[2] = {};
+  p.access = drp::AccessMatrix::build(3, 3, std::move(rows));
+  p.validate();
+
+  const auto result = core::run_agt_ram(p);
+  EXPECT_NO_THROW(result.placement.check_invariants());
+  // The orphan object contributes nothing and attracts no replicas.
+  EXPECT_EQ(result.placement.replicators(2).size(), 1u);
+}
+
+TEST(EdgeCase, ZeroCapacityHeadroom) {
+  drp::Problem p = testutil::line3_problem();
+  p.capacity = {2, 0, 3};  // exactly the primary loads, nothing spare
+  p.validate();
+  const auto result = core::run_agt_ram(p);
+  EXPECT_EQ(result.rounds.size(), 0u);
+  EXPECT_DOUBLE_EQ(drp::CostModel::savings(result.placement), 0.0);
+}
+
+// ------------------------------------------------------- config corners
+
+TEST(EdgeCase, GraWithOversizedElitism) {
+  const drp::Problem p = testutil::small_instance(801, 12, 30);
+  baselines::GraConfig cfg;
+  cfg.population = 4;
+  cfg.elites = 100;  // clamped internally
+  cfg.generations = 3;
+  EXPECT_NO_THROW(baselines::run_gra(p, cfg).check_invariants());
+}
+
+TEST(EdgeCase, AuctionsWithMinimalClocks) {
+  const drp::Problem p = testutil::small_instance(802, 12, 30);
+  baselines::EnglishAuctionConfig ea;
+  ea.price_steps = 1;  // clamped to 2
+  EXPECT_NO_THROW(baselines::run_english_auction(p, ea).check_invariants());
+  baselines::DutchAuctionConfig da;
+  da.price_steps = 1;
+  da.shade_lo = da.shade_hi = 0.9;
+  EXPECT_NO_THROW(baselines::run_dutch_auction(p, da).check_invariants());
+}
+
+TEST(EdgeCase, AeStarWithSingletonOpenList) {
+  const drp::Problem p = testutil::small_instance(803, 12, 30);
+  baselines::AeStarConfig cfg;
+  cfg.max_open = 1;
+  cfg.branching = 1;
+  cfg.max_expansions = 5;
+  const auto placement = baselines::run_aestar(p, cfg);
+  EXPECT_NO_THROW(placement.check_invariants());
+  EXPECT_LE(drp::CostModel::total_cost(placement),
+            drp::CostModel::initial_cost(p));
+}
+
+TEST(EdgeCase, PipelineWithSingleServer) {
+  trace::DayLog day{0, {{0, 0, 4}, {1, 1, 6}}};
+  trace::PipelineConfig cfg;
+  cfg.servers = 1;
+  cfg.min_fanout = 1;
+  cfg.max_fanout = 8;  // clamped to the server count
+  const trace::Workload wl = trace::run_pipeline({day}, cfg);
+  for (const auto& rows : wl.reads) {
+    for (const auto& r : rows) EXPECT_EQ(r.server, 0u);
+  }
+}
+
+TEST(EdgeCase, ProtocolSimulatorWithPinnedCentre) {
+  const drp::Problem p = testutil::small_instance(804, 12, 30);
+  const auto trace = runtime::simulate_protocol(p, runtime::ProtocolModel{}, 3);
+  EXPECT_GT(trace.makespan_seconds, 0.0);
+  EXPECT_GT(trace.replicas_placed, 0u);
+}
+
+TEST(EdgeCase, StrategyReturningZeroClaims) {
+  // A pathological strategy that zeroes every claim: the mechanism still
+  // terminates (claims of 0 are reported; values stay positive so rounds
+  // proceed on ties) and the placement stays feasible.
+  const drp::Problem p = testutil::small_instance(805, 12, 30);
+  core::AgtRamConfig cfg;
+  cfg.strategy = [](drp::ServerId, double) { return 0.0; };
+  const auto result = core::run_agt_ram(p, cfg);
+  EXPECT_NO_THROW(result.placement.check_invariants());
+}
+
+TEST(EdgeCase, MaxRoundsOneAllocatesGlobalArgmax) {
+  const drp::Problem p = testutil::line3_problem();
+  core::AgtRamConfig cfg;
+  cfg.max_rounds = 1;
+  const auto result = core::run_agt_ram(p, cfg);
+  ASSERT_EQ(result.rounds.size(), 1u);
+  EXPECT_EQ(result.rounds[0].winner, 0u);  // S0's 45 is the global max
+  EXPECT_EQ(result.rounds[0].object, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Tests for the discrete-event protocol simulator.
+#include <gtest/gtest.h>
+
+#include "core/agt_ram.hpp"
+#include "core/regional.hpp"
+#include "drp/cost_model.hpp"
+#include "runtime/event_sim.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+using runtime::ProtocolModel;
+using runtime::ProtocolTrace;
+
+TEST(EventSim, PlacesExactlyWhatTheMechanismPlaces) {
+  const drp::Problem p = testutil::small_instance(501, 24, 80);
+  const auto mechanism = core::run_agt_ram(p);
+  const ProtocolTrace trace = runtime::simulate_protocol(p);
+  EXPECT_EQ(trace.replicas_placed, mechanism.rounds.size());
+  // Allocation rounds plus the terminating all-empty round.
+  EXPECT_EQ(trace.rounds, mechanism.rounds.size() + 1);
+}
+
+TEST(EventSim, ZeroCostModelYieldsZeroMakespan) {
+  const drp::Problem p = testutil::small_instance(502, 16, 40);
+  ProtocolModel model;
+  model.seconds_per_cost_unit = 0.0;
+  model.message_overhead = 0.0;
+  model.seconds_per_evaluation = 0.0;
+  model.seconds_per_report_at_centre = 0.0;
+  const ProtocolTrace trace = runtime::simulate_protocol(p, model);
+  EXPECT_DOUBLE_EQ(trace.makespan_seconds, 0.0);
+  EXPECT_GT(trace.replicas_placed, 0u);
+}
+
+TEST(EventSim, MakespanDecomposesIntoParts) {
+  const drp::Problem p = testutil::small_instance(503, 20, 60);
+  const ProtocolTrace trace = runtime::simulate_protocol(p);
+  EXPECT_GT(trace.makespan_seconds, 0.0);
+  EXPECT_NEAR(trace.network_seconds + trace.compute_seconds +
+                  trace.centre_seconds,
+              trace.makespan_seconds, 1e-9 * trace.makespan_seconds + 1e-12);
+  EXPECT_GT(trace.network_seconds, 0.0);
+  EXPECT_GT(trace.compute_seconds, 0.0);
+}
+
+TEST(EventSim, LatencyScalesLinearly) {
+  const drp::Problem p = testutil::small_instance(504, 20, 60);
+  ProtocolModel slow;
+  ProtocolModel fast = slow;
+  fast.seconds_per_cost_unit = slow.seconds_per_cost_unit / 2.0;
+  fast.message_overhead = slow.message_overhead / 2.0;
+  fast.seconds_per_evaluation = slow.seconds_per_evaluation / 2.0;
+  fast.seconds_per_report_at_centre = slow.seconds_per_report_at_centre / 2.0;
+  const double slow_time =
+      runtime::simulate_protocol(p, slow).makespan_seconds;
+  const double fast_time =
+      runtime::simulate_protocol(p, fast).makespan_seconds;
+  EXPECT_NEAR(fast_time, slow_time / 2.0, 1e-9 * slow_time);
+}
+
+TEST(EventSim, StragglersSlowTheBarrier) {
+  const drp::Problem p = testutil::small_instance(505, 24, 80);
+  ProtocolModel calm;
+  ProtocolModel straggly = calm;
+  straggly.straggler_factor = 4.0;
+  EXPECT_GT(runtime::simulate_protocol(p, straggly).makespan_seconds,
+            runtime::simulate_protocol(p, calm).makespan_seconds);
+}
+
+TEST(EventSim, MessageLossCostsRetransmissions) {
+  const drp::Problem p = testutil::small_instance(506, 20, 60);
+  ProtocolModel lossless;
+  ProtocolModel lossy = lossless;
+  lossy.loss_probability = 0.05;
+  const ProtocolTrace clean = runtime::simulate_protocol(p, lossless);
+  const ProtocolTrace noisy = runtime::simulate_protocol(p, lossy);
+  EXPECT_EQ(clean.messages_lost, 0u);
+  EXPECT_GT(noisy.messages_lost, 0u);
+  EXPECT_EQ(noisy.messages_lost, noisy.retransmissions);
+  EXPECT_GT(noisy.makespan_seconds, clean.makespan_seconds);
+  // Loss affects timing, never correctness.
+  EXPECT_EQ(noisy.replicas_placed, clean.replicas_placed);
+}
+
+TEST(EventSim, DeterministicInSeed) {
+  const drp::Problem p = testutil::small_instance(507, 20, 60);
+  ProtocolModel model;
+  model.straggler_factor = 2.0;
+  model.loss_probability = 0.02;
+  const auto a = runtime::simulate_protocol(p, model);
+  const auto b = runtime::simulate_protocol(p, model);
+  EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+}
+
+TEST(EventSim, RegionalProtocolOverlapsRounds) {
+  // R regions progress concurrently: the regional makespan must undercut
+  // the flat protocol's on the same instance.
+  const drp::Problem p = testutil::small_instance(508, 32, 120, 0.06);
+  const double flat = runtime::simulate_protocol(p).makespan_seconds;
+  const double regional =
+      runtime::simulate_regional_protocol(p, 4).makespan_seconds;
+  EXPECT_LT(regional, flat);
+}
+
+TEST(EventSim, RegionalPlacesSameReplicaVolumeAsRegionalMechanism) {
+  const drp::Problem p = testutil::small_instance(509, 24, 80);
+  core::RegionalConfig cfg;
+  cfg.regions = 4;
+  cfg.seed = 1;  // match the DES default model seed
+  const auto mechanism = core::run_regional(p, cfg);
+  const auto trace = runtime::simulate_regional_protocol(p, 4);
+  EXPECT_EQ(trace.replicas_placed, mechanism.replicas_placed());
+}
+
+TEST(EventSim, AsyncRegionalTracksBarrierAndBeatsFlat) {
+  // The free-running variant's allocation path differs slightly from the
+  // barrier variant's (events interleave differently), so strict
+  // dominance does not hold realisation-by-realisation — but it must stay
+  // in the same neighbourhood, and both must clearly undercut the flat
+  // single-centre protocol.
+  const drp::Problem p = testutil::small_instance(511, 32, 120, 0.06);
+  const double flat = runtime::simulate_protocol(p).makespan_seconds;
+  for (const std::uint32_t regions : {2u, 4u, 8u}) {
+    const double barrier =
+        runtime::simulate_regional_protocol(p, regions).makespan_seconds;
+    const double async =
+        runtime::simulate_regional_protocol_async(p, regions).makespan_seconds;
+    EXPECT_LE(async, barrier * 1.10) << regions << " regions";
+    EXPECT_LT(async, flat) << regions << " regions";
+  }
+}
+
+TEST(EventSim, AsyncShinesUnderStragglers) {
+  // The barrier holds every region hostage to the slowest round of the
+  // epoch; free-running regions absorb stragglers locally.  With heavy
+  // straggler inflation the async makespan must win clearly.
+  const drp::Problem p = testutil::small_instance(514, 32, 120, 0.06);
+  runtime::ProtocolModel model;
+  model.straggler_factor = 8.0;
+  const double barrier =
+      runtime::simulate_regional_protocol(p, 8, model).makespan_seconds;
+  const double async =
+      runtime::simulate_regional_protocol_async(p, 8, model).makespan_seconds;
+  EXPECT_LT(async, barrier);
+}
+
+TEST(EventSim, AsyncPlacesTheSameReplicaVolume) {
+  const drp::Problem p = testutil::small_instance(512, 24, 80);
+  const auto barrier = runtime::simulate_regional_protocol(p, 4);
+  const auto async = runtime::simulate_regional_protocol_async(p, 4);
+  EXPECT_EQ(async.replicas_placed, barrier.replicas_placed);
+}
+
+TEST(EventSim, AsyncIsDeterministic) {
+  const drp::Problem p = testutil::small_instance(513, 24, 80);
+  runtime::ProtocolModel model;
+  model.straggler_factor = 1.5;
+  const auto a = runtime::simulate_regional_protocol_async(p, 4, model);
+  const auto b = runtime::simulate_regional_protocol_async(p, 4, model);
+  EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+}
+
+TEST(EventSim, MoreRegionsNeverSlowTheProtocolDown) {
+  const drp::Problem p = testutil::small_instance(510, 32, 120, 0.06);
+  double last = runtime::simulate_regional_protocol(p, 1).makespan_seconds;
+  for (std::uint32_t r : {2u, 4u, 8u}) {
+    const double makespan =
+        runtime::simulate_regional_protocol(p, r).makespan_seconds;
+    EXPECT_LT(makespan, last * 1.15) << r << " regions";
+    last = makespan;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Tests for the extended comparison set (selfish caching, local search,
+// simulated annealing), the cooperative regional game, and the economics
+// report.
+#include <gtest/gtest.h>
+
+#include "baselines/annealing.hpp"
+#include "baselines/local_search.hpp"
+#include "baselines/registry.hpp"
+#include "baselines/selfish_caching.hpp"
+#include "core/agt_ram.hpp"
+#include "core/economics.hpp"
+#include "core/regional.hpp"
+#include "drp/cost_model.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+using namespace agtram::baselines;
+
+double cost(const drp::ReplicaPlacement& placement) {
+  return drp::CostModel::total_cost(placement);
+}
+
+// ------------------------------------------------------- selfish caching
+
+TEST(SelfishCaching, ReachesPureNashEquilibrium) {
+  const drp::Problem p = testutil::small_instance(601, 24, 80);
+  const auto result = run_selfish_caching(p);
+  EXPECT_TRUE(result.equilibrium_reached);
+  EXPECT_NO_THROW(result.placement.check_invariants());
+  // Equilibrium: no server has a profitable unilateral replication left.
+  for (drp::ServerId i = 0; i < p.server_count(); ++i) {
+    for (const auto& access : p.access.server_objects(i)) {
+      if (access.reads == 0) continue;
+      if (!result.placement.can_replicate(i, access.object)) continue;
+      EXPECT_LE(
+          drp::CostModel::agent_benefit(result.placement, i, access.object),
+          1e-9);
+    }
+  }
+}
+
+TEST(SelfishCaching, EquilibriumMatchesMechanismFixedPointQuality) {
+  // The mechanism's allocation is itself a pure Nash equilibrium of the
+  // same game; without capacity contention the two coincide in value.
+  const drp::Problem p = testutil::small_instance(602, 24, 80, 0.1);
+  const double nash = cost(run_selfish_caching(p).placement);
+  const double mechanism = cost(core::run_agt_ram(p).placement);
+  EXPECT_NEAR(nash, mechanism, 0.03 * mechanism);
+}
+
+TEST(SelfishCaching, DeterministicInSeedAndSweepCap) {
+  const drp::Problem p = testutil::small_instance(603, 20, 60);
+  SelfishCachingConfig cfg;
+  cfg.seed = 5;
+  EXPECT_DOUBLE_EQ(cost(run_selfish_caching(p, cfg).placement),
+                   cost(run_selfish_caching(p, cfg).placement));
+  cfg.max_sweeps = 1;
+  const auto capped = run_selfish_caching(p, cfg);
+  EXPECT_LE(capped.sweeps, 1u);
+}
+
+// ---------------------------------------------------------- local search
+
+TEST(LocalSearch, ImprovesOnItsSelfishSeed) {
+  const drp::Problem p = testutil::small_instance(604, 20, 60);
+  LocalSearchConfig cfg;
+  cfg.seed = 7;
+  SelfishCachingConfig seed_cfg;
+  seed_cfg.seed = cfg.seed ^ 0xdecaf;
+  const double seed_cost = cost(run_selfish_caching(p, seed_cfg).placement);
+  const double searched = cost(run_local_search(p, cfg));
+  EXPECT_LE(searched, seed_cost + 1e-9);
+}
+
+TEST(LocalSearch, FeasibleAndDeterministic) {
+  const drp::Problem p = testutil::small_instance(605, 20, 60);
+  LocalSearchConfig cfg;
+  cfg.seed = 8;
+  cfg.max_proposals = 5000;
+  const auto a = run_local_search(p, cfg);
+  const auto b = run_local_search(p, cfg);
+  EXPECT_NO_THROW(a.check_invariants());
+  EXPECT_DOUBLE_EQ(cost(a), cost(b));
+}
+
+// ------------------------------------------------------------- annealing
+
+TEST(Annealing, FeasibleAndNoWorseThanInitial) {
+  const drp::Problem p = testutil::small_instance(606, 20, 60);
+  AnnealingConfig cfg;
+  cfg.seed = 9;
+  cfg.proposals = 8000;
+  const auto placement = run_annealing(p, cfg);
+  EXPECT_NO_THROW(placement.check_invariants());
+  EXPECT_LE(cost(placement), drp::CostModel::initial_cost(p) + 1e-9);
+}
+
+TEST(Annealing, MoreProposalsDoNotHurt) {
+  const drp::Problem p = testutil::small_instance(607, 20, 60);
+  AnnealingConfig small_cfg, large_cfg;
+  small_cfg.seed = large_cfg.seed = 10;
+  small_cfg.proposals = 500;
+  large_cfg.proposals = 15000;
+  // Not strictly monotone (different proposal streams), but the incumbent
+  // with 30x the budget must not be meaningfully worse.
+  EXPECT_LE(cost(run_annealing(p, large_cfg)),
+            cost(run_annealing(p, small_cfg)) * 1.02);
+}
+
+// ------------------------------------------------------ extended registry
+
+TEST(ExtendedRegistry, ContainsNineRunnableMethods) {
+  const auto algorithms = extended_algorithms();
+  ASSERT_EQ(algorithms.size(), 9u);
+  EXPECT_EQ(algorithms[6].name, "Selfish");
+  EXPECT_EQ(algorithms[7].name, "LocalSearch");
+  EXPECT_EQ(algorithms[8].name, "SA");
+  const drp::Problem p = testutil::small_instance(608, 16, 50);
+  const double initial = drp::CostModel::initial_cost(p);
+  for (const auto& algorithm : algorithms) {
+    SCOPED_TRACE(algorithm.name);
+    const auto placement = algorithm.run(p, 3);
+    EXPECT_NO_THROW(placement.check_invariants());
+    EXPECT_LE(cost(placement), initial * 1.0001);
+  }
+  EXPECT_NO_THROW(find_algorithm("SA"));
+}
+
+// --------------------------------------------------- cooperative regions
+
+TEST(CooperativeRegional, FeasibleAndImproves) {
+  const drp::Problem p = testutil::small_instance(609, 24, 80);
+  const auto result = core::run_regional_cooperative(p);
+  EXPECT_NO_THROW(result.placement.check_invariants());
+  EXPECT_LT(cost(result.placement), drp::CostModel::initial_cost(p));
+  EXPECT_GT(result.replicas_placed(), 0u);
+}
+
+TEST(CooperativeRegional, NoChargesInsideCoalitions) {
+  const drp::Problem p = testutil::small_instance(610, 24, 80);
+  const auto result = core::run_regional_cooperative(p);
+  for (const auto& region : result.regions) {
+    EXPECT_DOUBLE_EQ(region.charges, 0.0);
+  }
+}
+
+TEST(CooperativeRegional, BeatsOrMatchesNonCooperativeRegions) {
+  // Pooling information within a region (hub placement, joint welfare)
+  // weakly dominates each member acting on private benefit alone.
+  const drp::Problem p = testutil::small_instance(611, 32, 120, 0.06);
+  core::RegionalConfig cfg;
+  cfg.regions = 4;
+  const double cooperative =
+      cost(core::run_regional_cooperative(p, cfg).placement);
+  const double selfish = cost(core::run_regional(p, cfg).placement);
+  EXPECT_LE(cooperative, selfish * 1.02);
+}
+
+TEST(CooperativeRegional, FailedRegionsExcluded) {
+  const drp::Problem p = testutil::small_instance(612, 24, 80);
+  core::RegionalConfig cfg;
+  cfg.regions = 4;
+  cfg.failed_regions = {2};
+  const auto result = core::run_regional_cooperative(p, cfg);
+  EXPECT_TRUE(result.regions[2].failed);
+  EXPECT_EQ(result.regions[2].replicas_placed, 0u);
+}
+
+// ------------------------------------------------------------- economics
+
+TEST(Economics, ReportIsInternallyConsistent) {
+  const drp::Problem p = testutil::small_instance(613, 24, 80);
+  const auto result = core::run_agt_ram(p);
+  const auto econ = core::economics_report(result);
+  EXPECT_EQ(econ.rounds, result.rounds.size());
+  EXPECT_GT(econ.welfare, 0.0);
+  EXPECT_GE(econ.charges, 0.0);
+  EXPECT_LE(econ.charges, econ.welfare + 1e-9);  // second <= first, per round
+  EXPECT_NEAR(econ.total_surplus, econ.welfare - econ.charges, 1e-6);
+  EXPECT_GE(econ.frugality_ratio, 0.0);
+  EXPECT_LE(econ.frugality_ratio, 1.0 + 1e-9);
+  EXPECT_GE(econ.utility_gini, 0.0);
+  EXPECT_LE(econ.utility_gini, 1.0);
+  EXPECT_GE(econ.mean_dominance, 1.0);
+  EXPECT_GT(econ.winning_agents, 0u);
+  EXPECT_LE(econ.winning_agents, p.server_count());
+}
+
+TEST(Economics, NoPaymentRuleHasZeroCharges) {
+  const drp::Problem p = testutil::small_instance(614, 20, 60);
+  core::AgtRamConfig cfg;
+  cfg.payment_rule = core::PaymentRule::None;
+  const auto econ = core::economics_report(core::run_agt_ram(p, cfg));
+  EXPECT_DOUBLE_EQ(econ.charges, 0.0);
+  EXPECT_DOUBLE_EQ(econ.frugality_ratio, 0.0);
+}
+
+TEST(Economics, EmptyRunIsAllZeros) {
+  const drp::Problem p = testutil::line3_problem();
+  const core::MechanismResult result{drp::ReplicaPlacement(p), {}, {}};
+  const auto econ = core::economics_report(result);
+  EXPECT_DOUBLE_EQ(econ.welfare, 0.0);
+  EXPECT_DOUBLE_EQ(econ.utility_gini, 0.0);
+  EXPECT_EQ(econ.winning_agents, 0u);
+}
+
+}  // namespace

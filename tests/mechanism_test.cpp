@@ -1,0 +1,282 @@
+// Tests for the core mechanism: agents, AGT-RAM rounds, payments, and the
+// axiom audits (truthfulness, utilitarianism).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/agent.hpp"
+#include "core/agt_ram.hpp"
+#include "core/audit.hpp"
+#include "core/payments.hpp"
+#include "drp/cost_model.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+using namespace agtram::core;
+
+// -------------------------------------------------------------- agents
+
+TEST(AgentTest, CandidateListExcludesOwnPrimariesAndPureWriters) {
+  const drp::Problem p = testutil::line3_problem();
+  // S1 reads O0 (candidate) and only writes O1 (excluded): one candidate.
+  Agent s1(p, 1);
+  EXPECT_EQ(s1.remaining_candidates(), 1u);
+  // S0 is O0's primary and reads O1: one candidate.
+  Agent s0(p, 0);
+  EXPECT_EQ(s0.remaining_candidates(), 1u);
+  // S2 is O1's primary and reads O0: one candidate.
+  Agent s2(p, 2);
+  EXPECT_EQ(s2.remaining_candidates(), 1u);
+}
+
+TEST(AgentTest, ReportMatchesCostModelValuation) {
+  const drp::Problem p = testutil::line3_problem();
+  const drp::ReplicaPlacement placement(p);
+  Agent s2(p, 2);
+  const Report report = s2.make_report(placement, nullptr);
+  ASSERT_TRUE(report.has_candidate);
+  EXPECT_EQ(report.object, 0u);
+  EXPECT_DOUBLE_EQ(report.true_value, 18.0);
+  EXPECT_DOUBLE_EQ(report.claimed_value, 18.0);
+}
+
+TEST(AgentTest, StrategyDistortsClaimOnly) {
+  const drp::Problem p = testutil::line3_problem();
+  const drp::ReplicaPlacement placement(p);
+  Agent s2(p, 2);
+  const Report report =
+      s2.make_report(placement, [](drp::ServerId, double v) { return 2 * v; });
+  ASSERT_TRUE(report.has_candidate);
+  EXPECT_DOUBLE_EQ(report.true_value, 18.0);
+  EXPECT_DOUBLE_EQ(report.claimed_value, 36.0);
+}
+
+TEST(AgentTest, RetiresWhenCandidatesDrainAway) {
+  const drp::Problem p = testutil::line3_problem();
+  drp::ReplicaPlacement placement(p);
+  Agent s2(p, 2);
+  placement.add_replica(2, 0);  // someone placed S2's only candidate on it
+  const Report report = s2.make_report(placement, nullptr);
+  EXPECT_FALSE(report.has_candidate);
+  EXPECT_TRUE(s2.retired());
+}
+
+TEST(AgentTest, ReportValueNeverIncreasesAcrossRounds) {
+  const drp::Problem p = testutil::small_instance(55);
+  drp::ReplicaPlacement placement(p);
+  std::vector<Agent> agents;
+  for (drp::ServerId i = 0; i < p.server_count(); ++i) agents.emplace_back(p, i);
+  std::vector<double> last(p.server_count(),
+                           std::numeric_limits<double>::infinity());
+  common::Rng rng(5);
+  for (int round = 0; round < 40; ++round) {
+    for (auto& agent : agents) {
+      const Report r = agent.make_report(placement, nullptr);
+      if (!r.has_candidate) continue;
+      EXPECT_LE(r.true_value, last[agent.id()] * (1 + 1e-9));
+      last[agent.id()] = r.true_value;
+    }
+    // Mutate the placement adversarially and retry.
+    const auto i = static_cast<drp::ServerId>(rng.below(p.server_count()));
+    const auto k = static_cast<drp::ObjectIndex>(rng.below(p.object_count()));
+    if (placement.can_replicate(i, k)) placement.add_replica(i, k);
+  }
+}
+
+// ------------------------------------------------------------ payments
+
+TEST(Payments, SecondPriceIgnoresWinnerReport) {
+  const std::vector<double> reports{10.0, 7.0, 3.0};
+  EXPECT_DOUBLE_EQ(compute_payment(PaymentRule::SecondPrice, reports, 0), 7.0);
+  EXPECT_DOUBLE_EQ(compute_payment(PaymentRule::SecondPrice, reports, 1), 10.0);
+}
+
+TEST(Payments, SecondPriceSingleBidderPaysZero) {
+  const std::vector<double> reports{10.0};
+  EXPECT_DOUBLE_EQ(compute_payment(PaymentRule::SecondPrice, reports, 0), 0.0);
+}
+
+TEST(Payments, FirstPriceAndNone) {
+  const std::vector<double> reports{10.0, 7.0};
+  EXPECT_DOUBLE_EQ(compute_payment(PaymentRule::FirstPrice, reports, 0), 10.0);
+  EXPECT_DOUBLE_EQ(compute_payment(PaymentRule::None, reports, 0), 0.0);
+}
+
+TEST(Payments, ParseRoundTrip) {
+  for (auto rule : {PaymentRule::SecondPrice, PaymentRule::FirstPrice,
+                    PaymentRule::None}) {
+    EXPECT_EQ(parse_payment_rule(to_string(rule)), rule);
+  }
+  EXPECT_THROW(parse_payment_rule("barter"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- AGT-RAM
+
+TEST(AgtRam, Line3AllocationIsValueOrdered) {
+  const drp::Problem p = testutil::line3_problem();
+  const MechanismResult result = run_agt_ram(p);
+  // Initial valuations: S0/O1 = 45, S1/O0 = 20, S2/O0 = 18.  After S1 wins
+  // O0, S2's NN for O0 improves to 2, decaying its valuation to
+  // 4*2*2 - 1*2*3 = 10 — still positive, so S2 replicates last, unopposed.
+  ASSERT_EQ(result.rounds.size(), 3u);
+  EXPECT_EQ(result.rounds[0].winner, 0u);
+  EXPECT_EQ(result.rounds[0].object, 1u);
+  EXPECT_DOUBLE_EQ(result.rounds[0].true_value, 45.0);
+  EXPECT_DOUBLE_EQ(result.rounds[0].payment, 20.0);  // second best
+  EXPECT_EQ(result.rounds[1].winner, 1u);
+  EXPECT_EQ(result.rounds[1].object, 0u);
+  EXPECT_DOUBLE_EQ(result.rounds[1].payment, 18.0);  // S2's standing bid
+  EXPECT_EQ(result.rounds[2].winner, 2u);
+  EXPECT_DOUBLE_EQ(result.rounds[2].true_value, 10.0);
+  EXPECT_DOUBLE_EQ(result.rounds[2].payment, 0.0);  // no competition left
+}
+
+TEST(AgtRam, PlacementSatisfiesInvariantsAndImproves) {
+  const drp::Problem p = testutil::small_instance(61);
+  const MechanismResult result = run_agt_ram(p);
+  EXPECT_NO_THROW(result.placement.check_invariants());
+  EXPECT_LE(drp::CostModel::total_cost(result.placement),
+            drp::CostModel::initial_cost(p));
+}
+
+TEST(AgtRam, EveryRoundHasPositiveTrueValue) {
+  const drp::Problem p = testutil::small_instance(62);
+  const MechanismResult result = run_agt_ram(p);
+  ASSERT_FALSE(result.rounds.empty());
+  for (const RoundRecord& r : result.rounds) {
+    EXPECT_GT(r.true_value, 0.0);
+    EXPECT_GE(r.payment, 0.0);
+    EXPECT_LE(r.payment, r.claimed_value + 1e-9);  // second <= first
+  }
+}
+
+TEST(AgtRam, CostDecreasesMonotonicallyAcrossRounds) {
+  // Replay the mechanism's allocation sequence and verify each step lowers
+  // the winner's own cost (its true value is its local cost reduction).
+  const drp::Problem p = testutil::small_instance(63);
+  const MechanismResult result = run_agt_ram(p);
+  drp::ReplicaPlacement replay(p);
+  for (const RoundRecord& r : result.rounds) {
+    const double value = drp::CostModel::agent_benefit(replay, r.winner, r.object);
+    EXPECT_NEAR(value, r.true_value, 1e-6 * std::max(1.0, value));
+    replay.add_replica(r.winner, r.object);
+  }
+}
+
+TEST(AgtRam, ParallelAgentsProduceIdenticalAllocation) {
+  const drp::Problem p = testutil::small_instance(64, 24, 80);
+  AgtRamConfig serial_cfg;
+  AgtRamConfig parallel_cfg;
+  parallel_cfg.parallel_agents = true;
+  const MechanismResult serial = run_agt_ram(p, serial_cfg);
+  const MechanismResult parallel = run_agt_ram(p, parallel_cfg);
+  ASSERT_EQ(serial.rounds.size(), parallel.rounds.size());
+  for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+    EXPECT_EQ(serial.rounds[r].winner, parallel.rounds[r].winner);
+    EXPECT_EQ(serial.rounds[r].object, parallel.rounds[r].object);
+    EXPECT_DOUBLE_EQ(serial.rounds[r].payment, parallel.rounds[r].payment);
+  }
+}
+
+TEST(AgtRam, MaxRoundsCapRespected) {
+  const drp::Problem p = testutil::small_instance(65);
+  AgtRamConfig cfg;
+  cfg.max_rounds = 5;
+  const MechanismResult result = run_agt_ram(p, cfg);
+  EXPECT_LE(result.rounds.size(), 5u);
+}
+
+TEST(AgtRam, AgentOutcomesAreConsistent) {
+  const drp::Problem p = testutil::small_instance(66);
+  const MechanismResult result = run_agt_ram(p);
+  std::vector<AgentOutcome> expected(p.server_count());
+  for (const RoundRecord& r : result.rounds) {
+    expected[r.winner].payments += r.payment;
+    expected[r.winner].true_value += r.true_value;
+    expected[r.winner].objects_won += 1;
+  }
+  for (drp::ServerId i = 0; i < p.server_count(); ++i) {
+    EXPECT_DOUBLE_EQ(result.agents[i].payments, expected[i].payments);
+    EXPECT_DOUBLE_EQ(result.agents[i].true_value, expected[i].true_value);
+    EXPECT_EQ(result.agents[i].objects_won, expected[i].objects_won);
+    EXPECT_DOUBLE_EQ(result.agents[i].utility(),
+                     expected[i].true_value - expected[i].payments);
+  }
+}
+
+// --------------------------------------------------------------- audits
+
+TEST(Audit, RoundAuditorAcceptsSecondPriceRun) {
+  const drp::Problem p = testutil::small_instance(71);
+  RoundAuditor auditor(PaymentRule::SecondPrice);
+  AgtRamConfig cfg;
+  cfg.observer = &auditor;
+  EXPECT_NO_THROW(run_agt_ram(p, cfg));
+  EXPECT_GT(auditor.rounds_audited(), 0u);
+}
+
+TEST(Audit, RoundAuditorAcceptsFirstPriceRun) {
+  const drp::Problem p = testutil::small_instance(72);
+  RoundAuditor auditor(PaymentRule::FirstPrice);
+  AgtRamConfig cfg;
+  cfg.payment_rule = PaymentRule::FirstPrice;
+  cfg.observer = &auditor;
+  EXPECT_NO_THROW(run_agt_ram(p, cfg));
+}
+
+TEST(Audit, UtilitarianDiscrepancyIsZero) {
+  const drp::Problem p = testutil::small_instance(73);
+  EXPECT_DOUBLE_EQ(utilitarian_discrepancy(run_agt_ram(p)), 0.0);
+}
+
+class Truthfulness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Truthfulness, SecondPriceOneShotDominance) {
+  // The exact property of Lemma 1 / Theorem 5 (both proved one-shot): with
+  // all other reports fixed, no distortion of an agent's claim can improve
+  // its round utility under the second-price rule.
+  const drp::Problem p = testutil::small_instance(GetParam(), 14, 40, 0.08);
+  const std::vector<double> distortions{0.25, 0.5, 0.8, 1.25, 2.0, 4.0};
+  const auto trials =
+      audit_one_shot_truthfulness(p, PaymentRule::SecondPrice, distortions);
+  ASSERT_FALSE(trials.empty());
+  for (const OneShotTrial& t : trials) {
+    EXPECT_GE(t.margin(), -1e-9)
+        << "agent " << t.agent << " gained by distorting x" << t.distortion;
+    EXPECT_GE(t.truthful_utility, -1e-9);  // truth-telling never loses money
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Truthfulness, ::testing::Values(81, 82, 83));
+
+TEST(Audit, FirstPriceIsManipulableByUnderProjection) {
+  // Under first-price the winner is charged its own claim, so a truthful
+  // winner nets zero and shading the claim (while still winning) pockets
+  // the difference — the manipulation Axiom 5's second-price rule kills.
+  const drp::Problem p = testutil::small_instance(84, 14, 40, 0.08);
+  const auto trials =
+      audit_one_shot_truthfulness(p, PaymentRule::FirstPrice, {0.5, 0.9});
+  bool some_agent_gains = false;
+  for (const OneShotTrial& t : trials) {
+    if (t.deviant_utility > t.truthful_utility + 1e-9) some_agent_gains = true;
+  }
+  EXPECT_TRUE(some_agent_gains);
+}
+
+TEST(Audit, TruthfulParticipationIsIndividuallyRational) {
+  // In the full sequential game a truthful winner pays the second-best
+  // standing report, which its own (maximal) report weakly exceeds — so no
+  // truthful agent ever ends with negative utility.
+  const drp::Problem p = testutil::small_instance(85, 20, 60, 0.08);
+  const MechanismResult result = run_agt_ram(p);
+  for (const AgentOutcome& outcome : result.agents) {
+    EXPECT_GE(outcome.utility(), -1e-9);
+  }
+  for (const RoundRecord& r : result.rounds) {
+    EXPECT_LE(r.payment, r.claimed_value + 1e-9);
+  }
+}
+
+}  // namespace

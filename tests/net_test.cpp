@@ -1,0 +1,276 @@
+// Unit tests for src/net: graph primitives, topology generators, and the
+// shortest-path metric closure.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/graph.hpp"
+#include "net/shortest_paths.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace agtram::net;
+
+// --------------------------------------------------------------- graph
+
+TEST(GraphTest, AddEdgeIsUndirected) {
+  Graph g(3);
+  g.add_edge(0, 2, 5);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(GraphTest, SelfLoopIgnored) {
+  Graph g(2);
+  g.add_edge(1, 1, 3);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(GraphTest, ParallelEdgeKeepsCheaper) {
+  Graph g(2);
+  g.add_edge(0, 1, 9);
+  g.add_edge(0, 1, 4);
+  g.add_edge(0, 1, 7);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].cost, 4u);
+  EXPECT_EQ(g.neighbors(1)[0].cost, 4u);
+}
+
+TEST(GraphTest, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2, 1);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(GraphTest, MakeConnectedPatchesComponents) {
+  Graph g(6);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  // nodes 4, 5 are isolated singletons
+  const std::size_t added = g.make_connected(7);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(added, 3u);  // 4 components -> 3 patch edges
+}
+
+TEST(GraphTest, MakeConnectedOnConnectedGraphIsNoop) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  EXPECT_EQ(g.make_connected(5), 0u);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+// ------------------------------------------------------------ dijkstra
+
+TEST(Dijkstra, HandComputedDistances) {
+  //   0 --1-- 1 --1-- 2
+  //    \------5------/
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, 5);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);  // via node 1, not the direct 5-cost edge
+}
+
+TEST(Dijkstra, UnreachableNodes) {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+// ----------------------------------------------------- distance matrix
+
+TEST(DistanceMatrixTest, MatchesDijkstraRows) {
+  TopologyConfig cfg;
+  cfg.nodes = 40;
+  cfg.edge_probability = 0.2;
+  cfg.seed = 5;
+  const Graph g = generate_topology(cfg);
+  const DistanceMatrix dm = DistanceMatrix::compute(g);
+  for (NodeId src : {NodeId{0}, NodeId{17}, NodeId{39}}) {
+    const auto row = dijkstra(g, src);
+    for (NodeId j = 0; j < 40; ++j) EXPECT_EQ(dm(src, j), row[j]);
+  }
+}
+
+TEST(DistanceMatrixTest, MetricProperties) {
+  TopologyConfig cfg;
+  cfg.nodes = 30;
+  cfg.seed = 6;
+  const Graph g = generate_topology(cfg);
+  const DistanceMatrix dm = DistanceMatrix::compute(g);
+  for (NodeId i = 0; i < 30; ++i) {
+    EXPECT_EQ(dm(i, i), 0u);
+    for (NodeId j = 0; j < 30; ++j) {
+      EXPECT_EQ(dm(i, j), dm(j, i));  // symmetry
+      for (NodeId k = 0; k < 30; ++k) {
+        EXPECT_LE(dm(i, j), dm(i, k) + dm(k, j));  // triangle inequality
+      }
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, DisconnectedGraphThrows) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(DistanceMatrix::compute(g), std::runtime_error);
+}
+
+TEST(DistanceMatrixTest, FromRowsValidation) {
+  EXPECT_NO_THROW(DistanceMatrix::from_rows(2, {0, 3, 3, 0}));
+  EXPECT_THROW(DistanceMatrix::from_rows(2, {0, 3, 3}), std::invalid_argument);
+  EXPECT_THROW(DistanceMatrix::from_rows(2, {1, 3, 3, 0}),
+               std::invalid_argument);  // non-zero diagonal
+  EXPECT_THROW(DistanceMatrix::from_rows(2, {0, 3, 4, 0}),
+               std::invalid_argument);  // asymmetric
+}
+
+TEST(DistanceMatrixTest, DiameterAndMean) {
+  const DistanceMatrix dm = DistanceMatrix::from_rows(3, {0, 1, 3,  //
+                                                          1, 0, 2,  //
+                                                          3, 2, 0});
+  EXPECT_EQ(dm.diameter(), 3u);
+  EXPECT_NEAR(dm.mean_distance(), (1 + 3 + 2) / 3.0, 1e-12);
+}
+
+// ------------------------------------------------- topology generators
+
+TEST(TopologyTest, ParseKindRoundTrip) {
+  EXPECT_EQ(parse_topology_kind("random"), TopologyKind::FlatRandom);
+  EXPECT_EQ(parse_topology_kind("waxman"), TopologyKind::Waxman);
+  EXPECT_EQ(parse_topology_kind("transit-stub"), TopologyKind::TransitStub);
+  EXPECT_EQ(parse_topology_kind("power-law"), TopologyKind::PowerLaw);
+  EXPECT_EQ(parse_topology_kind("inet"), TopologyKind::PowerLaw);
+  EXPECT_THROW(parse_topology_kind("mesh"), std::invalid_argument);
+  for (auto kind : {TopologyKind::FlatRandom, TopologyKind::Waxman,
+                    TopologyKind::TransitStub, TopologyKind::PowerLaw}) {
+    EXPECT_EQ(parse_topology_kind(to_string(kind)), kind);
+  }
+}
+
+class TopologyKindTest : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(TopologyKindTest, GeneratesConnectedGraphOfRequestedSize) {
+  TopologyConfig cfg;
+  cfg.kind = GetParam();
+  cfg.nodes = 80;
+  cfg.seed = 21;
+  const Graph g = generate_topology(cfg);
+  EXPECT_EQ(g.node_count(), 80u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_GE(g.edge_count(), 79u);  // at least a spanning tree
+}
+
+TEST_P(TopologyKindTest, DeterministicInSeed) {
+  TopologyConfig cfg;
+  cfg.kind = GetParam();
+  cfg.nodes = 50;
+  cfg.seed = 33;
+  const Graph a = generate_topology(cfg);
+  const Graph b = generate_topology(cfg);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId i = 0; i < 50; ++i) {
+    ASSERT_EQ(a.degree(i), b.degree(i));
+    for (std::size_t e = 0; e < a.neighbors(i).size(); ++e) {
+      EXPECT_EQ(a.neighbors(i)[e].to, b.neighbors(i)[e].to);
+      EXPECT_EQ(a.neighbors(i)[e].cost, b.neighbors(i)[e].cost);
+    }
+  }
+}
+
+TEST_P(TopologyKindTest, DifferentSeedsDiffer) {
+  TopologyConfig cfg;
+  cfg.kind = GetParam();
+  cfg.nodes = 60;
+  cfg.seed = 1;
+  const Graph a = generate_topology(cfg);
+  cfg.seed = 2;
+  const Graph b = generate_topology(cfg);
+  bool differs = a.edge_count() != b.edge_count();
+  for (NodeId i = 0; !differs && i < 60; ++i) {
+    differs = a.degree(i) != b.degree(i);
+  }
+  EXPECT_TRUE(differs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TopologyKindTest,
+                         ::testing::Values(TopologyKind::FlatRandom,
+                                           TopologyKind::Waxman,
+                                           TopologyKind::TransitStub,
+                                           TopologyKind::PowerLaw),
+                         [](const auto& param_info) {
+                           std::string name = to_string(param_info.param);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TopologyTest, FlatRandomEdgeDensityTracksProbability) {
+  TopologyConfig cfg;
+  cfg.nodes = 100;
+  cfg.seed = 4;
+  for (double p : {0.4, 0.6, 0.8}) {
+    cfg.edge_probability = p;
+    const Graph g = generate_topology(cfg);
+    const double max_edges = 100.0 * 99.0 / 2.0;
+    const double density = static_cast<double>(g.edge_count()) / max_edges;
+    EXPECT_NEAR(density, p, 0.05) << "p=" << p;
+  }
+}
+
+TEST(TopologyTest, PowerLawHasHubs) {
+  TopologyConfig cfg;
+  cfg.kind = TopologyKind::PowerLaw;
+  cfg.nodes = 300;
+  cfg.attachment_edges = 2;
+  cfg.seed = 12;
+  const Graph g = generate_topology(cfg);
+  std::size_t max_degree = 0;
+  for (NodeId i = 0; i < 300; ++i) max_degree = std::max(max_degree, g.degree(i));
+  // Preferential attachment should grow hubs far above the mean degree (~4).
+  EXPECT_GE(max_degree, 20u);
+}
+
+TEST(TopologyTest, InvalidConfigsThrow) {
+  TopologyConfig cfg;
+  cfg.nodes = 0;
+  EXPECT_THROW(generate_topology(cfg), std::invalid_argument);
+  cfg.nodes = 10;
+  cfg.min_cost = 0;
+  EXPECT_THROW(generate_topology(cfg), std::invalid_argument);
+  cfg.min_cost = 5;
+  cfg.max_cost = 2;
+  EXPECT_THROW(generate_topology(cfg), std::invalid_argument);
+  cfg.max_cost = 10;
+  cfg.edge_probability = 0.0;
+  EXPECT_THROW(generate_topology(cfg), std::invalid_argument);
+}
+
+TEST(TopologyTest, CostsWithinConfiguredBand) {
+  TopologyConfig cfg;
+  cfg.nodes = 50;
+  cfg.min_cost = 3;
+  cfg.max_cost = 9;
+  cfg.seed = 77;
+  const Graph g = generate_topology(cfg);
+  for (NodeId i = 0; i < 50; ++i) {
+    for (const Edge& e : g.neighbors(i)) {
+      EXPECT_GE(e.cost, 3u);
+      EXPECT_LE(e.cost, 9u);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+// Tests for the regional/hierarchical extension: k-medoids clustering and
+// the regional mechanism (paper Section 7 future work).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/agt_ram.hpp"
+#include "core/regional.hpp"
+#include "drp/cost_model.hpp"
+#include "net/clustering.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+
+// ------------------------------------------------------------ clustering
+
+TEST(Clustering, PartitionsAllNodes) {
+  const drp::Problem p = testutil::small_instance(201, 30, 60);
+  net::ClusteringConfig cfg;
+  cfg.regions = 5;
+  const net::Clustering c = net::cluster_servers(*p.distances, cfg);
+  EXPECT_EQ(c.region_count(), 5u);
+  EXPECT_EQ(c.assignment.size(), 30u);
+  std::size_t covered = 0;
+  for (std::uint32_t r = 0; r < 5; ++r) covered += c.members(r).size();
+  EXPECT_EQ(covered, 30u);
+}
+
+TEST(Clustering, EveryNodeAssignedToNearestMedoid) {
+  const drp::Problem p = testutil::small_instance(202, 24, 50);
+  net::ClusteringConfig cfg;
+  cfg.regions = 4;
+  const net::Clustering c = net::cluster_servers(*p.distances, cfg);
+  for (net::NodeId node = 0; node < 24; ++node) {
+    const net::Cost own = (*p.distances)(node, c.medoids[c.assignment[node]]);
+    for (std::uint32_t r = 0; r < c.region_count(); ++r) {
+      EXPECT_LE(own, (*p.distances)(node, c.medoids[r]));
+    }
+  }
+}
+
+TEST(Clustering, MedoidBelongsToItsRegion) {
+  const drp::Problem p = testutil::small_instance(203, 24, 50);
+  net::ClusteringConfig cfg;
+  cfg.regions = 3;
+  const net::Clustering c = net::cluster_servers(*p.distances, cfg);
+  for (std::uint32_t r = 0; r < c.region_count(); ++r) {
+    EXPECT_EQ(c.assignment[c.medoids[r]], r);
+  }
+}
+
+TEST(Clustering, DeterministicAndSeedSensitive) {
+  const drp::Problem p = testutil::small_instance(204, 24, 50);
+  net::ClusteringConfig cfg;
+  cfg.regions = 4;
+  const auto a = net::cluster_servers(*p.distances, cfg);
+  const auto b = net::cluster_servers(*p.distances, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.medoids, b.medoids);
+}
+
+TEST(Clustering, ClampsRegionsToNodeCount) {
+  const drp::Problem p = testutil::line3_problem();
+  net::ClusteringConfig cfg;
+  cfg.regions = 10;
+  const auto c = net::cluster_servers(*p.distances, cfg);
+  EXPECT_EQ(c.region_count(), 3u);
+  EXPECT_EQ(c.total_within_distance, 0.0);  // every node is its own medoid
+}
+
+TEST(Clustering, ZeroRegionsThrows) {
+  const drp::Problem p = testutil::line3_problem();
+  net::ClusteringConfig cfg;
+  cfg.regions = 0;
+  EXPECT_THROW(net::cluster_servers(*p.distances, cfg), std::invalid_argument);
+}
+
+TEST(Clustering, MoreRegionsReduceWithinDistance) {
+  const drp::Problem p = testutil::small_instance(205, 32, 50);
+  net::ClusteringConfig few, many;
+  few.regions = 2;
+  many.regions = 8;
+  EXPECT_LE(net::cluster_servers(*p.distances, many).total_within_distance,
+            net::cluster_servers(*p.distances, few).total_within_distance);
+}
+
+// -------------------------------------------------------------- regional
+
+TEST(Regional, ConvergesToFeasibleImprovingScheme) {
+  const drp::Problem p = testutil::small_instance(211, 24, 80);
+  const core::RegionalResult result = core::run_regional(p);
+  EXPECT_NO_THROW(result.placement.check_invariants());
+  EXPECT_LE(drp::CostModel::total_cost(result.placement),
+            drp::CostModel::initial_cost(p));
+  EXPECT_GT(result.replicas_placed(), 0u);
+  EXPECT_EQ(result.replicas_placed(), result.placement.extra_replica_count());
+}
+
+TEST(Regional, QualityMatchesFlatMechanism) {
+  // The regional decomposition converges towards the same
+  // no-positive-candidate fixed point as the flat mechanism.
+  const drp::Problem p = testutil::small_instance(212, 32, 100, 0.06);
+  const double flat =
+      drp::CostModel::total_cost(core::run_agt_ram(p).placement);
+  const double regional =
+      drp::CostModel::total_cost(core::run_regional(p).placement);
+  EXPECT_NEAR(regional, flat, 0.05 * flat);
+}
+
+TEST(Regional, FewerEpochsThanFlatRounds) {
+  // R regions allocate concurrently: the epoch count must undercut the
+  // flat mechanism's round count by roughly the region parallelism.
+  const drp::Problem p = testutil::small_instance(213, 32, 120, 0.06);
+  const auto flat = core::run_agt_ram(p);
+  core::RegionalConfig cfg;
+  cfg.regions = 4;
+  const auto regional = core::run_regional(p, cfg);
+  EXPECT_LT(regional.epochs, flat.rounds.size());
+}
+
+TEST(Regional, FailedRegionAllocatesNothing) {
+  const drp::Problem p = testutil::small_instance(214, 24, 80);
+  core::RegionalConfig cfg;
+  cfg.regions = 4;
+  cfg.failed_regions = {1};
+  const auto result = core::run_regional(p, cfg);
+  EXPECT_TRUE(result.regions[1].failed);
+  EXPECT_EQ(result.regions[1].replicas_placed, 0u);
+  // No replica may sit on a failed region's member (beyond primaries).
+  const auto members = result.clustering.members(1);
+  const std::set<net::NodeId> failed_servers(members.begin(), members.end());
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    for (const drp::ServerId i : result.placement.replicators(k)) {
+      if (i == p.primary[k]) continue;
+      EXPECT_FALSE(failed_servers.contains(i));
+    }
+  }
+}
+
+TEST(Regional, FailureDegradesGracefully) {
+  // Killing one of four regions must not kill the system: the remaining
+  // regions keep most of the healthy run's savings.
+  const drp::Problem p = testutil::small_instance(215, 32, 120, 0.06);
+  const double initial = drp::CostModel::initial_cost(p);
+  core::RegionalConfig healthy;
+  healthy.regions = 4;
+  core::RegionalConfig degraded = healthy;
+  degraded.failed_regions = {0};
+  const double healthy_savings =
+      (initial -
+       drp::CostModel::total_cost(core::run_regional(p, healthy).placement)) /
+      initial;
+  const double degraded_savings =
+      (initial -
+       drp::CostModel::total_cost(core::run_regional(p, degraded).placement)) /
+      initial;
+  EXPECT_GT(degraded_savings, 0.0);
+  EXPECT_LE(degraded_savings, healthy_savings + 1e-9);
+  EXPECT_GT(degraded_savings, healthy_savings * 0.4);
+}
+
+TEST(Regional, MaxEpochsCapRespected) {
+  const drp::Problem p = testutil::small_instance(216, 24, 80);
+  core::RegionalConfig cfg;
+  cfg.max_epochs = 3;
+  const auto result = core::run_regional(p, cfg);
+  EXPECT_LE(result.epochs, 3u);
+  EXPECT_LE(result.replicas_placed(), 3u * cfg.regions);
+}
+
+// ---------------------------------------------------- hierarchical (2-level)
+
+TEST(Hierarchical, AllocationEquivalentToFlatMechanism) {
+  // The argmax of regional argmaxes is the global argmax, so the two-level
+  // mechanism must reproduce the flat allocation sequence exactly.
+  const drp::Problem p = testutil::small_instance(218, 32, 120, 0.06);
+  const auto flat = core::run_agt_ram(p);
+  core::RegionalConfig cfg;
+  cfg.regions = 4;
+  const auto hier = core::run_hierarchical(p, cfg);
+  ASSERT_EQ(flat.rounds.size(), hier.rounds.size());
+  for (std::size_t r = 0; r < flat.rounds.size(); ++r) {
+    EXPECT_EQ(flat.rounds[r].winner, hier.rounds[r].winner) << "round " << r;
+    EXPECT_EQ(flat.rounds[r].object, hier.rounds[r].object) << "round " << r;
+  }
+}
+
+TEST(Hierarchical, ChargesNeverExceedFlatSecondPrice) {
+  // The flat runner-up can hide inside the winner's own region, so the
+  // top-level second price is weakly cheaper, round by round.
+  const drp::Problem p = testutil::small_instance(219, 32, 120, 0.06);
+  const auto flat = core::run_agt_ram(p);
+  core::RegionalConfig cfg;
+  cfg.regions = 4;
+  const auto hier = core::run_hierarchical(p, cfg);
+  ASSERT_EQ(flat.rounds.size(), hier.rounds.size());
+  for (std::size_t r = 0; r < flat.rounds.size(); ++r) {
+    EXPECT_LE(hier.rounds[r].payment, flat.rounds[r].payment + 1e-9);
+  }
+}
+
+TEST(Hierarchical, TopCentreComparesAtMostRegionsPerRound) {
+  const drp::Problem p = testutil::small_instance(220, 24, 80);
+  core::RegionalConfig cfg;
+  cfg.regions = 4;
+  const auto hier = core::run_hierarchical(p, cfg);
+  EXPECT_LE(hier.top_level_reports, hier.rounds.size() * 4 + 4);
+  EXPECT_GT(hier.top_level_reports, 0u);
+}
+
+TEST(Hierarchical, FailedRegionsNeverWin) {
+  const drp::Problem p = testutil::small_instance(221, 24, 80);
+  core::RegionalConfig cfg;
+  cfg.regions = 4;
+  cfg.failed_regions = {0};
+  const auto hier = core::run_hierarchical(p, cfg);
+  for (const auto& round : hier.rounds) {
+    EXPECT_NE(hier.clustering.assignment[round.winner], 0u);
+  }
+  EXPECT_NO_THROW(hier.placement.check_invariants());
+}
+
+TEST(Regional, RegionStatsAreConsistent) {
+  const drp::Problem p = testutil::small_instance(217, 24, 80);
+  core::RegionalConfig cfg;
+  cfg.regions = 3;
+  const auto result = core::run_regional(p, cfg);
+  std::uint32_t members = 0;
+  for (const auto& region : result.regions) {
+    members += region.member_count;
+    EXPECT_GE(region.charges, 0.0);
+    EXPECT_LT(region.centre, p.server_count());
+  }
+  EXPECT_EQ(members, p.server_count());
+}
+
+}  // namespace

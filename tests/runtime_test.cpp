@@ -1,0 +1,103 @@
+// Tests for the semi-distributed runtime: message accounting, centre
+// selection, and serial/distributed allocation equivalence.
+#include <gtest/gtest.h>
+
+#include "core/agt_ram.hpp"
+#include "drp/cost_model.hpp"
+#include "runtime/distributed_mechanism.hpp"
+#include "runtime/message_bus.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+using namespace agtram::runtime;
+
+TEST(MessageBusTest, PickCentreIsMetricMedoid) {
+  // line3 distances: S1 minimises the distance sum (1 + 2 = 3).
+  const drp::Problem p = testutil::line3_problem();
+  EXPECT_EQ(MessageBus::pick_centre(p), 1u);
+}
+
+TEST(MessageBusTest, CountsProtocolTraffic) {
+  const drp::Problem p = testutil::line3_problem();
+  MessageBus bus(p, MessageBus::pick_centre(p));
+  core::AgtRamConfig cfg;
+  cfg.observer = &bus;
+  const auto result = core::run_agt_ram(p, cfg);
+
+  const MessageStats& stats = bus.stats();
+  // The protocol runs one extra terminating round in which every remaining
+  // agent reports "nothing for me" and no allocation happens.
+  EXPECT_GE(stats.rounds, result.rounds.size());
+  EXPECT_LE(stats.rounds, result.rounds.size() + 1);
+  EXPECT_EQ(stats.allocation_messages, result.rounds.size());
+  // Every live agent reports every round; at least one report per round.
+  EXPECT_GE(stats.report_messages, stats.rounds);
+  // Broadcast fan-out reaches each live agent of the round.
+  EXPECT_GE(stats.broadcast_messages, stats.rounds);
+  EXPECT_GT(stats.total_bytes(), 0u);
+  EXPECT_GT(stats.simulated_seconds, 0.0);
+  EXPECT_EQ(stats.total_messages(), stats.report_messages +
+                                         stats.allocation_messages +
+                                         stats.broadcast_messages);
+}
+
+TEST(MessageBusTest, ByteAccountingMatchesWireFormat) {
+  const drp::Problem p = testutil::line3_problem();
+  WireFormat wire;
+  wire.report = 20;
+  wire.allocation = 24;
+  wire.broadcast = 16;
+  MessageBus bus(p, 0, 1e-4, wire);
+  core::AgtRamConfig cfg;
+  cfg.observer = &bus;
+  core::run_agt_ram(p, cfg);
+  const MessageStats& stats = bus.stats();
+  // Reports are 20 bytes when carrying a candidate, 4 bytes when empty.
+  EXPECT_LE(stats.report_bytes, stats.report_messages * 20);
+  EXPECT_GE(stats.report_bytes, stats.report_messages * 4);
+  EXPECT_EQ(stats.allocation_bytes, stats.allocation_messages * 24);
+  EXPECT_EQ(stats.broadcast_bytes, stats.broadcast_messages * 16);
+}
+
+TEST(DistributedTest, MatchesSerialAllocation) {
+  const drp::Problem p = testutil::small_instance(121, 24, 80);
+  const auto serial = core::run_agt_ram(p);
+  const auto distributed = run_distributed(p);
+  ASSERT_EQ(serial.rounds.size(), distributed.result.rounds.size());
+  for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+    EXPECT_EQ(serial.rounds[r].winner, distributed.result.rounds[r].winner);
+    EXPECT_EQ(serial.rounds[r].object, distributed.result.rounds[r].object);
+  }
+  EXPECT_DOUBLE_EQ(drp::CostModel::total_cost(serial.placement),
+                   drp::CostModel::total_cost(distributed.result.placement));
+}
+
+TEST(DistributedTest, ReportFieldsPopulated) {
+  const drp::Problem p = testutil::small_instance(122);
+  const auto report = run_distributed(p);
+  EXPECT_LT(report.centre, p.server_count());
+  EXPECT_GT(report.messages.rounds, 0u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(DistributedTest, PinnedCentreIsUsed) {
+  const drp::Problem p = testutil::small_instance(123);
+  DistributedConfig cfg;
+  cfg.centre = 3;
+  EXPECT_EQ(run_distributed(p, cfg).centre, 3u);
+}
+
+TEST(DistributedTest, CentreTrafficIsScalarPerAgentPerRound) {
+  // The semi-distributed claim: the centre receives one scalar report per
+  // live agent per round and emits one binary decision — its inbound
+  // message count must equal the number of (round, live agent) pairs, not
+  // grow with N.
+  const drp::Problem p = testutil::small_instance(124, 16, 120);
+  const auto report = run_distributed(p);
+  EXPECT_LE(report.messages.report_messages,
+            report.messages.rounds * p.server_count());
+}
+
+}  // namespace

@@ -1,0 +1,34 @@
+// End-to-end smoke: build a small instance, run every algorithm, and check
+// basic sanity so that any gross regression fails fast before the detailed
+// per-module suites run.
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "drp/builder.hpp"
+#include "drp/cost_model.hpp"
+
+namespace {
+
+using namespace agtram;
+
+TEST(Smoke, EveryAlgorithmImprovesOrMatchesInitialCost) {
+  drp::InstanceSpec spec;
+  spec.servers = 24;
+  spec.objects = 60;
+  spec.seed = 404;
+  spec.instance.capacity_fraction = 0.3;
+  spec.instance.rw_ratio = 0.9;
+  const drp::Problem problem = drp::make_instance(spec);
+  const double initial = drp::CostModel::initial_cost(problem);
+  ASSERT_GT(initial, 0.0);
+
+  for (const auto& algorithm : baselines::all_algorithms()) {
+    SCOPED_TRACE(algorithm.name);
+    const drp::ReplicaPlacement placement = algorithm.run(problem, 7);
+    EXPECT_NO_THROW(placement.check_invariants());
+    const double cost = drp::CostModel::total_cost(placement);
+    EXPECT_LE(cost, initial * 1.0001);
+  }
+}
+
+}  // namespace
