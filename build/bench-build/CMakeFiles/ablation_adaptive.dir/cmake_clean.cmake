@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptive"
+  "../bench/ablation_adaptive.pdb"
+  "CMakeFiles/ablation_adaptive.dir/ablation_adaptive.cpp.o"
+  "CMakeFiles/ablation_adaptive.dir/ablation_adaptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

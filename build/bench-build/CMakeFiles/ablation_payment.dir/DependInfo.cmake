@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_payment.cpp" "bench-build/CMakeFiles/ablation_payment.dir/ablation_payment.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_payment.dir/ablation_payment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/agtram_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/agtram_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/agtram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/agtram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/drp/CMakeFiles/agtram_drp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/agtram_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agtram_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/agtram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

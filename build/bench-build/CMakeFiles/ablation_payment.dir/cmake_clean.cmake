@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_payment"
+  "../bench/ablation_payment.pdb"
+  "CMakeFiles/ablation_payment.dir/ablation_payment.cpp.o"
+  "CMakeFiles/ablation_payment.dir/ablation_payment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regional"
+  "../bench/ablation_regional.pdb"
+  "CMakeFiles/ablation_regional.dir/ablation_regional.cpp.o"
+  "CMakeFiles/ablation_regional.dir/ablation_regional.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_runtime"
+  "../bench/ablation_runtime.pdb"
+  "CMakeFiles/ablation_runtime.dir/ablation_runtime.cpp.o"
+  "CMakeFiles/ablation_runtime.dir/ablation_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_updates"
+  "../bench/ablation_updates.pdb"
+  "CMakeFiles/ablation_updates.dir/ablation_updates.cpp.o"
+  "CMakeFiles/ablation_updates.dir/ablation_updates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

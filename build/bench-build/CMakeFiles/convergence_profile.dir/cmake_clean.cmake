@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/convergence_profile"
+  "../bench/convergence_profile.pdb"
+  "CMakeFiles/convergence_profile.dir/convergence_profile.cpp.o"
+  "CMakeFiles/convergence_profile.dir/convergence_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

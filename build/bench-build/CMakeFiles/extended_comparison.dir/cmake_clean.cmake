@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extended_comparison"
+  "../bench/extended_comparison.pdb"
+  "CMakeFiles/extended_comparison.dir/extended_comparison.cpp.o"
+  "CMakeFiles/extended_comparison.dir/extended_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_capacity"
+  "../bench/fig3_capacity.pdb"
+  "CMakeFiles/fig3_capacity.dir/fig3_capacity.cpp.o"
+  "CMakeFiles/fig3_capacity.dir/fig3_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

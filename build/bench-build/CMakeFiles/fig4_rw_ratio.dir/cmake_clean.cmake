@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_rw_ratio"
+  "../bench/fig4_rw_ratio.pdb"
+  "CMakeFiles/fig4_rw_ratio.dir/fig4_rw_ratio.cpp.o"
+  "CMakeFiles/fig4_rw_ratio.dir/fig4_rw_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rw_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/latency_profile"
+  "../bench/latency_profile.pdb"
+  "CMakeFiles/latency_profile.dir/latency_profile.cpp.o"
+  "CMakeFiles/latency_profile.dir/latency_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_exec_time"
+  "../bench/table1_exec_time.pdb"
+  "CMakeFiles/table1_exec_time.dir/table1_exec_time.cpp.o"
+  "CMakeFiles/table1_exec_time.dir/table1_exec_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

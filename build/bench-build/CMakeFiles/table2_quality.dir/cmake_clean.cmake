@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_quality"
+  "../bench/table2_quality.pdb"
+  "CMakeFiles/table2_quality.dir/table2_quality.cpp.o"
+  "CMakeFiles/table2_quality.dir/table2_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

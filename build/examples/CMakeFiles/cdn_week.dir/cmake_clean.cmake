@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_week.dir/cdn_week.cpp.o"
+  "CMakeFiles/cdn_week.dir/cdn_week.cpp.o.d"
+  "cdn_week"
+  "cdn_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_worldcup.dir/cdn_worldcup.cpp.o"
+  "CMakeFiles/cdn_worldcup.dir/cdn_worldcup.cpp.o.d"
+  "cdn_worldcup"
+  "cdn_worldcup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_worldcup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_failover.dir/regional_failover.cpp.o"
+  "CMakeFiles/regional_failover.dir/regional_failover.cpp.o.d"
+  "regional_failover"
+  "regional_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

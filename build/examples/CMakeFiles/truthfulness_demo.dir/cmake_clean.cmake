@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truthfulness_demo.dir/truthfulness_demo.cpp.o"
+  "CMakeFiles/truthfulness_demo.dir/truthfulness_demo.cpp.o.d"
+  "truthfulness_demo"
+  "truthfulness_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truthfulness_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aestar.cpp" "src/baselines/CMakeFiles/agtram_baselines.dir/aestar.cpp.o" "gcc" "src/baselines/CMakeFiles/agtram_baselines.dir/aestar.cpp.o.d"
+  "/root/repo/src/baselines/annealing.cpp" "src/baselines/CMakeFiles/agtram_baselines.dir/annealing.cpp.o" "gcc" "src/baselines/CMakeFiles/agtram_baselines.dir/annealing.cpp.o.d"
+  "/root/repo/src/baselines/auctions.cpp" "src/baselines/CMakeFiles/agtram_baselines.dir/auctions.cpp.o" "gcc" "src/baselines/CMakeFiles/agtram_baselines.dir/auctions.cpp.o.d"
+  "/root/repo/src/baselines/brute_force.cpp" "src/baselines/CMakeFiles/agtram_baselines.dir/brute_force.cpp.o" "gcc" "src/baselines/CMakeFiles/agtram_baselines.dir/brute_force.cpp.o.d"
+  "/root/repo/src/baselines/gra.cpp" "src/baselines/CMakeFiles/agtram_baselines.dir/gra.cpp.o" "gcc" "src/baselines/CMakeFiles/agtram_baselines.dir/gra.cpp.o.d"
+  "/root/repo/src/baselines/greedy.cpp" "src/baselines/CMakeFiles/agtram_baselines.dir/greedy.cpp.o" "gcc" "src/baselines/CMakeFiles/agtram_baselines.dir/greedy.cpp.o.d"
+  "/root/repo/src/baselines/local_search.cpp" "src/baselines/CMakeFiles/agtram_baselines.dir/local_search.cpp.o" "gcc" "src/baselines/CMakeFiles/agtram_baselines.dir/local_search.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/baselines/CMakeFiles/agtram_baselines.dir/registry.cpp.o" "gcc" "src/baselines/CMakeFiles/agtram_baselines.dir/registry.cpp.o.d"
+  "/root/repo/src/baselines/selfish_caching.cpp" "src/baselines/CMakeFiles/agtram_baselines.dir/selfish_caching.cpp.o" "gcc" "src/baselines/CMakeFiles/agtram_baselines.dir/selfish_caching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agtram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agtram_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/drp/CMakeFiles/agtram_drp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/agtram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/agtram_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

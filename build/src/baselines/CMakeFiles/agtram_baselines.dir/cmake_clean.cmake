@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_baselines.dir/aestar.cpp.o"
+  "CMakeFiles/agtram_baselines.dir/aestar.cpp.o.d"
+  "CMakeFiles/agtram_baselines.dir/annealing.cpp.o"
+  "CMakeFiles/agtram_baselines.dir/annealing.cpp.o.d"
+  "CMakeFiles/agtram_baselines.dir/auctions.cpp.o"
+  "CMakeFiles/agtram_baselines.dir/auctions.cpp.o.d"
+  "CMakeFiles/agtram_baselines.dir/brute_force.cpp.o"
+  "CMakeFiles/agtram_baselines.dir/brute_force.cpp.o.d"
+  "CMakeFiles/agtram_baselines.dir/gra.cpp.o"
+  "CMakeFiles/agtram_baselines.dir/gra.cpp.o.d"
+  "CMakeFiles/agtram_baselines.dir/greedy.cpp.o"
+  "CMakeFiles/agtram_baselines.dir/greedy.cpp.o.d"
+  "CMakeFiles/agtram_baselines.dir/local_search.cpp.o"
+  "CMakeFiles/agtram_baselines.dir/local_search.cpp.o.d"
+  "CMakeFiles/agtram_baselines.dir/registry.cpp.o"
+  "CMakeFiles/agtram_baselines.dir/registry.cpp.o.d"
+  "CMakeFiles/agtram_baselines.dir/selfish_caching.cpp.o"
+  "CMakeFiles/agtram_baselines.dir/selfish_caching.cpp.o.d"
+  "libagtram_baselines.a"
+  "libagtram_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_common.dir/cli.cpp.o"
+  "CMakeFiles/agtram_common.dir/cli.cpp.o.d"
+  "CMakeFiles/agtram_common.dir/log.cpp.o"
+  "CMakeFiles/agtram_common.dir/log.cpp.o.d"
+  "CMakeFiles/agtram_common.dir/stats.cpp.o"
+  "CMakeFiles/agtram_common.dir/stats.cpp.o.d"
+  "CMakeFiles/agtram_common.dir/table.cpp.o"
+  "CMakeFiles/agtram_common.dir/table.cpp.o.d"
+  "CMakeFiles/agtram_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/agtram_common.dir/thread_pool.cpp.o.d"
+  "libagtram_common.a"
+  "libagtram_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

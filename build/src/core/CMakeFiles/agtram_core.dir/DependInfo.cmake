@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/agtram_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/agtram_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/agtram_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/agtram_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/agt_ram.cpp" "src/core/CMakeFiles/agtram_core.dir/agt_ram.cpp.o" "gcc" "src/core/CMakeFiles/agtram_core.dir/agt_ram.cpp.o.d"
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/agtram_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/agtram_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/economics.cpp" "src/core/CMakeFiles/agtram_core.dir/economics.cpp.o" "gcc" "src/core/CMakeFiles/agtram_core.dir/economics.cpp.o.d"
+  "/root/repo/src/core/payments.cpp" "src/core/CMakeFiles/agtram_core.dir/payments.cpp.o" "gcc" "src/core/CMakeFiles/agtram_core.dir/payments.cpp.o.d"
+  "/root/repo/src/core/regional.cpp" "src/core/CMakeFiles/agtram_core.dir/regional.cpp.o" "gcc" "src/core/CMakeFiles/agtram_core.dir/regional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agtram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agtram_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/drp/CMakeFiles/agtram_drp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/agtram_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

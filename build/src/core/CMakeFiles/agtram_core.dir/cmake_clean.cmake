@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_core.dir/adaptive.cpp.o"
+  "CMakeFiles/agtram_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/agtram_core.dir/agent.cpp.o"
+  "CMakeFiles/agtram_core.dir/agent.cpp.o.d"
+  "CMakeFiles/agtram_core.dir/agt_ram.cpp.o"
+  "CMakeFiles/agtram_core.dir/agt_ram.cpp.o.d"
+  "CMakeFiles/agtram_core.dir/audit.cpp.o"
+  "CMakeFiles/agtram_core.dir/audit.cpp.o.d"
+  "CMakeFiles/agtram_core.dir/economics.cpp.o"
+  "CMakeFiles/agtram_core.dir/economics.cpp.o.d"
+  "CMakeFiles/agtram_core.dir/payments.cpp.o"
+  "CMakeFiles/agtram_core.dir/payments.cpp.o.d"
+  "CMakeFiles/agtram_core.dir/regional.cpp.o"
+  "CMakeFiles/agtram_core.dir/regional.cpp.o.d"
+  "libagtram_core.a"
+  "libagtram_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

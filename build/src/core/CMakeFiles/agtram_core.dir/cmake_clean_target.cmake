@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagtram_core.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drp/access_matrix.cpp" "src/drp/CMakeFiles/agtram_drp.dir/access_matrix.cpp.o" "gcc" "src/drp/CMakeFiles/agtram_drp.dir/access_matrix.cpp.o.d"
+  "/root/repo/src/drp/builder.cpp" "src/drp/CMakeFiles/agtram_drp.dir/builder.cpp.o" "gcc" "src/drp/CMakeFiles/agtram_drp.dir/builder.cpp.o.d"
+  "/root/repo/src/drp/cost_model.cpp" "src/drp/CMakeFiles/agtram_drp.dir/cost_model.cpp.o" "gcc" "src/drp/CMakeFiles/agtram_drp.dir/cost_model.cpp.o.d"
+  "/root/repo/src/drp/perturb.cpp" "src/drp/CMakeFiles/agtram_drp.dir/perturb.cpp.o" "gcc" "src/drp/CMakeFiles/agtram_drp.dir/perturb.cpp.o.d"
+  "/root/repo/src/drp/placement.cpp" "src/drp/CMakeFiles/agtram_drp.dir/placement.cpp.o" "gcc" "src/drp/CMakeFiles/agtram_drp.dir/placement.cpp.o.d"
+  "/root/repo/src/drp/placement_io.cpp" "src/drp/CMakeFiles/agtram_drp.dir/placement_io.cpp.o" "gcc" "src/drp/CMakeFiles/agtram_drp.dir/placement_io.cpp.o.d"
+  "/root/repo/src/drp/problem.cpp" "src/drp/CMakeFiles/agtram_drp.dir/problem.cpp.o" "gcc" "src/drp/CMakeFiles/agtram_drp.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agtram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agtram_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/agtram_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_drp.dir/access_matrix.cpp.o"
+  "CMakeFiles/agtram_drp.dir/access_matrix.cpp.o.d"
+  "CMakeFiles/agtram_drp.dir/builder.cpp.o"
+  "CMakeFiles/agtram_drp.dir/builder.cpp.o.d"
+  "CMakeFiles/agtram_drp.dir/cost_model.cpp.o"
+  "CMakeFiles/agtram_drp.dir/cost_model.cpp.o.d"
+  "CMakeFiles/agtram_drp.dir/perturb.cpp.o"
+  "CMakeFiles/agtram_drp.dir/perturb.cpp.o.d"
+  "CMakeFiles/agtram_drp.dir/placement.cpp.o"
+  "CMakeFiles/agtram_drp.dir/placement.cpp.o.d"
+  "CMakeFiles/agtram_drp.dir/placement_io.cpp.o"
+  "CMakeFiles/agtram_drp.dir/placement_io.cpp.o.d"
+  "CMakeFiles/agtram_drp.dir/problem.cpp.o"
+  "CMakeFiles/agtram_drp.dir/problem.cpp.o.d"
+  "libagtram_drp.a"
+  "libagtram_drp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_drp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/clustering.cpp" "src/net/CMakeFiles/agtram_net.dir/clustering.cpp.o" "gcc" "src/net/CMakeFiles/agtram_net.dir/clustering.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/agtram_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/agtram_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/graph_io.cpp" "src/net/CMakeFiles/agtram_net.dir/graph_io.cpp.o" "gcc" "src/net/CMakeFiles/agtram_net.dir/graph_io.cpp.o.d"
+  "/root/repo/src/net/graph_stats.cpp" "src/net/CMakeFiles/agtram_net.dir/graph_stats.cpp.o" "gcc" "src/net/CMakeFiles/agtram_net.dir/graph_stats.cpp.o.d"
+  "/root/repo/src/net/shortest_paths.cpp" "src/net/CMakeFiles/agtram_net.dir/shortest_paths.cpp.o" "gcc" "src/net/CMakeFiles/agtram_net.dir/shortest_paths.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/agtram_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/agtram_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agtram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_net.dir/clustering.cpp.o"
+  "CMakeFiles/agtram_net.dir/clustering.cpp.o.d"
+  "CMakeFiles/agtram_net.dir/graph.cpp.o"
+  "CMakeFiles/agtram_net.dir/graph.cpp.o.d"
+  "CMakeFiles/agtram_net.dir/graph_io.cpp.o"
+  "CMakeFiles/agtram_net.dir/graph_io.cpp.o.d"
+  "CMakeFiles/agtram_net.dir/graph_stats.cpp.o"
+  "CMakeFiles/agtram_net.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/agtram_net.dir/shortest_paths.cpp.o"
+  "CMakeFiles/agtram_net.dir/shortest_paths.cpp.o.d"
+  "CMakeFiles/agtram_net.dir/topology.cpp.o"
+  "CMakeFiles/agtram_net.dir/topology.cpp.o.d"
+  "libagtram_net.a"
+  "libagtram_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

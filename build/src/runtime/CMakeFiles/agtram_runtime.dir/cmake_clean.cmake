@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_runtime.dir/distributed_mechanism.cpp.o"
+  "CMakeFiles/agtram_runtime.dir/distributed_mechanism.cpp.o.d"
+  "CMakeFiles/agtram_runtime.dir/event_sim.cpp.o"
+  "CMakeFiles/agtram_runtime.dir/event_sim.cpp.o.d"
+  "CMakeFiles/agtram_runtime.dir/message_bus.cpp.o"
+  "CMakeFiles/agtram_runtime.dir/message_bus.cpp.o.d"
+  "libagtram_runtime.a"
+  "libagtram_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_sim.dir/horizon.cpp.o"
+  "CMakeFiles/agtram_sim.dir/horizon.cpp.o.d"
+  "CMakeFiles/agtram_sim.dir/replay.cpp.o"
+  "CMakeFiles/agtram_sim.dir/replay.cpp.o.d"
+  "libagtram_sim.a"
+  "libagtram_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

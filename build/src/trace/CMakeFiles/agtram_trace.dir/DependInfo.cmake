@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/access_log.cpp" "src/trace/CMakeFiles/agtram_trace.dir/access_log.cpp.o" "gcc" "src/trace/CMakeFiles/agtram_trace.dir/access_log.cpp.o.d"
+  "/root/repo/src/trace/characterize.cpp" "src/trace/CMakeFiles/agtram_trace.dir/characterize.cpp.o" "gcc" "src/trace/CMakeFiles/agtram_trace.dir/characterize.cpp.o.d"
+  "/root/repo/src/trace/pipeline.cpp" "src/trace/CMakeFiles/agtram_trace.dir/pipeline.cpp.o" "gcc" "src/trace/CMakeFiles/agtram_trace.dir/pipeline.cpp.o.d"
+  "/root/repo/src/trace/worldcup.cpp" "src/trace/CMakeFiles/agtram_trace.dir/worldcup.cpp.o" "gcc" "src/trace/CMakeFiles/agtram_trace.dir/worldcup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agtram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agtram_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

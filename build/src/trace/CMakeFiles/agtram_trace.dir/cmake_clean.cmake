@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_trace.dir/access_log.cpp.o"
+  "CMakeFiles/agtram_trace.dir/access_log.cpp.o.d"
+  "CMakeFiles/agtram_trace.dir/characterize.cpp.o"
+  "CMakeFiles/agtram_trace.dir/characterize.cpp.o.d"
+  "CMakeFiles/agtram_trace.dir/pipeline.cpp.o"
+  "CMakeFiles/agtram_trace.dir/pipeline.cpp.o.d"
+  "CMakeFiles/agtram_trace.dir/worldcup.cpp.o"
+  "CMakeFiles/agtram_trace.dir/worldcup.cpp.o.d"
+  "libagtram_trace.a"
+  "libagtram_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_characterize.dir/characterize_test.cpp.o"
+  "CMakeFiles/test_characterize.dir/characterize_test.cpp.o.d"
+  "test_characterize"
+  "test_characterize.pdb"
+  "test_characterize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coverage_gaps.dir/coverage_gaps_test.cpp.o"
+  "CMakeFiles/test_coverage_gaps.dir/coverage_gaps_test.cpp.o.d"
+  "test_coverage_gaps"
+  "test_coverage_gaps.pdb"
+  "test_coverage_gaps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coverage_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

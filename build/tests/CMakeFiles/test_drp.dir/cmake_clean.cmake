@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drp.dir/drp_test.cpp.o"
+  "CMakeFiles/test_drp.dir/drp_test.cpp.o.d"
+  "test_drp"
+  "test_drp.pdb"
+  "test_drp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_baselines.dir/extended_baselines_test.cpp.o"
+  "CMakeFiles/test_extended_baselines.dir/extended_baselines_test.cpp.o.d"
+  "test_extended_baselines"
+  "test_extended_baselines.pdb"
+  "test_extended_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_stats.dir/graph_stats_test.cpp.o"
+  "CMakeFiles/test_graph_stats.dir/graph_stats_test.cpp.o.d"
+  "test_graph_stats"
+  "test_graph_stats.pdb"
+  "test_graph_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_horizon.dir/horizon_test.cpp.o"
+  "CMakeFiles/test_horizon.dir/horizon_test.cpp.o.d"
+  "test_horizon"
+  "test_horizon.pdb"
+  "test_horizon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mechanism.dir/mechanism_test.cpp.o"
+  "CMakeFiles/test_mechanism.dir/mechanism_test.cpp.o.d"
+  "test_mechanism"
+  "test_mechanism.pdb"
+  "test_mechanism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regional.dir/regional_test.cpp.o"
+  "CMakeFiles/test_regional.dir/regional_test.cpp.o.d"
+  "test_regional"
+  "test_regional.pdb"
+  "test_regional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_solver.dir/solver.cpp.o"
+  "CMakeFiles/agtram_solver.dir/solver.cpp.o.d"
+  "agtram_solver"
+  "agtram_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_topogen.dir/topogen.cpp.o"
+  "CMakeFiles/agtram_topogen.dir/topogen.cpp.o.d"
+  "agtram_topogen"
+  "agtram_topogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_topogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agtram_tracegen.dir/tracegen.cpp.o"
+  "CMakeFiles/agtram_tracegen.dir/tracegen.cpp.o.d"
+  "agtram_tracegen"
+  "agtram_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agtram_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
