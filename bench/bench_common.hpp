@@ -17,9 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/registry.hpp"
 #include "common/cli.hpp"
@@ -29,6 +32,89 @@
 #include "drp/cost_model.hpp"
 
 namespace agtram::bench {
+
+/// Default sink for machine-readable mechanism results; successive PRs
+/// append their runs' numbers here (manually, by re-running the bench) to
+/// build a perf trajectory without parsing pretty-printed tables.
+inline constexpr const char* kMechanismJsonPath = "BENCH_mechanism.json";
+
+/// Minimal JSON emitter for bench results: a flat array of records under a
+/// top-level object.  No external dependency, string values escaped, numbers
+/// rendered with %.9g (doubles survive a round-trip at bench precision).
+class JsonWriter {
+ public:
+  class Record {
+   public:
+    Record& field(const std::string& key, const std::string& value) {
+      append_key(key);
+      body_ += '"';
+      body_ += escape(value);
+      body_ += '"';
+      return *this;
+    }
+    Record& field(const std::string& key, const char* value) {
+      return field(key, std::string(value));
+    }
+    Record& field(const std::string& key, double value) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.9g", value);
+      append_key(key);
+      body_ += buf;
+      return *this;
+    }
+    Record& field(const std::string& key, std::uint64_t value) {
+      append_key(key);
+      body_ += std::to_string(value);
+      return *this;
+    }
+    Record& field(const std::string& key, bool value) {
+      append_key(key);
+      body_ += value ? "true" : "false";
+      return *this;
+    }
+
+   private:
+    friend class JsonWriter;
+    static std::string escape(const std::string& raw) {
+      std::string out;
+      out.reserve(raw.size());
+      for (const char c : raw) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control
+        out += c;
+      }
+      return out;
+    }
+    void append_key(const std::string& key) {
+      body_ += body_.empty() ? "{" : ", ";
+      body_ += '"';
+      body_ += escape(key);
+      body_ += "\": ";
+    }
+    std::string body_;
+  };
+
+  void add(Record record) { records_.push_back(std::move(record)); }
+  std::size_t size() const noexcept { return records_.size(); }
+
+  /// Writes {"source": ..., "results": [...]} to `path`; returns success.
+  bool write_file(const std::string& path, const std::string& source) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"source\": \"" << Record::escape(source)
+        << "\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const std::string& body = records_[i].body_;
+      out << "    " << (body.empty() ? "{" : body.c_str()) << "}"
+          << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::vector<Record> records_;
+};
 
 inline constexpr double kCapacityPerPercent = 0.0005;
 

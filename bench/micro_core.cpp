@@ -1,9 +1,19 @@
 // Google-benchmark microbenchmarks for the performance-critical primitives:
 // the metric closure, the incremental cost engine, NN maintenance, and a
 // full mechanism round.  These guard the complexity claims behind Table 1
-// (AGT-RAM's near-linear rounds via the lazy heaps).
+// (AGT-RAM's near-linear rounds via the lazy heaps and the dirty-set
+// incremental evaluation).  After the registered benchmarks run, main()
+// times an incremental-vs-naive head-to-head on the largest shipped
+// configuration and writes the numbers to BENCH_mechanism.json so the perf
+// trajectory is machine-readable across PRs.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+#include <utility>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
 #include "core/agent.hpp"
 #include "core/agt_ram.hpp"
 #include "drp/builder.hpp"
@@ -142,6 +152,145 @@ void BM_MechanismRoundsParallel(benchmark::State& state) {
 BENCHMARK(BM_MechanismRoundsParallel)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Dispersed-demand variant of the 256 x 2560 instance: every server stays
+// live with its own candidate list while each object's reader set stays
+// small — the paper's large-M regime, and the one the dirty-set incremental
+// path is built for (see DESIGN.md).
+const drp::Problem& dispersed_instance(std::uint32_t servers,
+                                       std::uint32_t objects) {
+  static std::map<std::pair<std::uint32_t, std::uint32_t>, drp::Problem>
+      cache;
+  const auto key = std::make_pair(servers, objects);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    drp::InstanceSpec spec;
+    spec.servers = servers;
+    spec.objects = objects;
+    spec.seed = 42;
+    spec.demand = drp::DemandModel::Dispersed;
+    spec.readers_per_object = 8.0;
+    spec.instance.capacity_fraction = 0.01;
+    spec.instance.rw_ratio = 0.9;
+    it = cache.emplace(key, drp::make_instance(spec)).first;
+  }
+  return it->second;
+}
+
+void BM_MechanismIncremental(benchmark::State& state) {
+  const drp::Problem& p = state.range(1) != 0 ? dispersed_instance(256, 2560)
+                                              : cached_instance(256, 2560);
+  core::AgtRamConfig cfg;
+  cfg.incremental_reports = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_agt_ram(p, cfg));
+  }
+  state.SetLabel(std::string(cfg.incremental_reports ? "incremental"
+                                                     : "naive") +
+                 (state.range(1) != 0 ? "/dispersed" : "/trace"));
+}
+BENCHMARK(BM_MechanismIncremental)
+    ->Args({0, 0})->Args({1, 0})->Args({0, 1})->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Machine-readable trajectory: incremental-vs-naive on the largest shipped
+// configuration (the 256 x 2560 instance the mechanism benchmarks above
+// share), one record per (incremental, parallel) mode plus the speedups.
+
+struct ModeOutcome {
+  double seconds = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t reports = 0;
+};
+
+ModeOutcome time_mechanism(const drp::Problem& p, bool incremental,
+                           bool parallel, int repetitions) {
+  core::AgtRamConfig cfg;
+  cfg.incremental_reports = incremental;
+  cfg.parallel_agents = parallel;
+  ModeOutcome best;
+  best.seconds = 1e30;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    common::Timer timer;
+    const core::MechanismResult result = core::run_agt_ram(p, cfg);
+    const double seconds = timer.seconds();
+    if (seconds < best.seconds) {
+      best.seconds = seconds;
+      best.rounds = result.rounds.size();
+      best.evaluations = result.candidate_evaluations;
+      best.reports = result.reports_computed;
+    }
+  }
+  return best;
+}
+
+void write_mechanism_trajectory(const char* path) {
+  constexpr std::uint32_t kServers = 256;
+  constexpr std::uint32_t kObjects = 2560;
+
+  bench::JsonWriter json;
+  for (const bool dispersed : {false, true}) {
+    const char* demand = dispersed ? "dispersed" : "trace";
+    const drp::Problem& p = dispersed ? dispersed_instance(kServers, kObjects)
+                                      : cached_instance(kServers, kObjects);
+    ModeOutcome outcomes[2][2];  // [incremental][parallel]
+    for (const bool incremental : {false, true}) {
+      for (const bool parallel : {false, true}) {
+        const ModeOutcome o =
+            time_mechanism(p, incremental, parallel, /*repetitions=*/3);
+        outcomes[incremental ? 1 : 0][parallel ? 1 : 0] = o;
+        bench::JsonWriter::Record record;
+        record.field("benchmark", "mechanism_full_run")
+            .field("servers", static_cast<std::uint64_t>(kServers))
+            .field("objects", static_cast<std::uint64_t>(kObjects))
+            .field("demand", demand)
+            .field("incremental_reports", incremental)
+            .field("parallel_agents", parallel)
+            .field("seconds", o.seconds)
+            .field("rounds", o.rounds)
+            .field("candidate_evaluations", o.evaluations)
+            .field("reports_computed", o.reports);
+        json.add(std::move(record));
+        std::printf("mechanism %s/%s/%s: %.4fs, %llu rounds, %llu reports\n",
+                    demand, incremental ? "incremental" : "naive",
+                    parallel ? "parallel" : "serial", o.seconds,
+                    static_cast<unsigned long long>(o.rounds),
+                    static_cast<unsigned long long>(o.reports));
+      }
+    }
+    for (const bool parallel : {false, true}) {
+      const double naive = outcomes[0][parallel ? 1 : 0].seconds;
+      const double incremental = outcomes[1][parallel ? 1 : 0].seconds;
+      const double speedup = incremental > 0.0 ? naive / incremental : 0.0;
+      bench::JsonWriter::Record record;
+      record.field("benchmark", "mechanism_incremental_speedup")
+          .field("servers", static_cast<std::uint64_t>(kServers))
+          .field("objects", static_cast<std::uint64_t>(kObjects))
+          .field("demand", demand)
+          .field("parallel_agents", parallel)
+          .field("naive_seconds", naive)
+          .field("incremental_seconds", incremental)
+          .field("speedup", speedup);
+      json.add(std::move(record));
+      std::printf("speedup (%s, %s): %.2fx\n", demand,
+                  parallel ? "parallel" : "serial", speedup);
+    }
+  }
+  if (json.write_file(path, "micro_core")) {
+    std::printf("mechanism trajectory written to %s\n", path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_mechanism_trajectory(agtram::bench::kMechanismJsonPath);
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/agt_ram.hpp"
 
 int main(int argc, char** argv) {
   using namespace agtram;
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
   cli.add_flag("rw", "0.85", "read fraction");
   cli.add_flag("m-grid", "250,300,372", "server counts (paper: 2500,3000,3718)");
   cli.add_flag("n-grid", "1500,2000,2500", "object counts (paper: 15k,20k,25k)");
+  cli.add_flag("json", bench::kMechanismJsonPath,
+               "write per-cell wall times as JSON here ('' disables)");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   const double capacity = cli.get_double("capacity");
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
                   "in seconds [C=" + common::Table::num(capacity, 0) +
                   "%, R/W=" + common::Table::num(rw, 2) + "]");
 
+  bench::JsonWriter json;
   for (const double m : m_grid) {
     for (const double n : n_grid) {
       const bench::Dims dims{static_cast<std::uint32_t>(m),
@@ -61,7 +65,36 @@ int main(int argc, char** argv) {
         slowest = std::max(slowest, outcome.seconds);
         fastest = std::min(fastest, outcome.seconds);
         if (algorithm.name == "AGT-RAM") agtram_seconds = outcome.seconds;
+        bench::JsonWriter::Record record;
+        record.field("benchmark", "table1_exec_time")
+            .field("servers", static_cast<std::uint64_t>(dims.servers))
+            .field("objects", static_cast<std::uint64_t>(dims.objects))
+            .field("algorithm", algorithm.name)
+            .field("seconds", outcome.seconds)
+            .field("savings", outcome.savings)
+            .field("replicas", static_cast<std::uint64_t>(outcome.replicas));
+        json.add(std::move(record));
       }
+
+      // JSON-only extra: AGT-RAM's two report-evaluation paths head to head
+      // (the printed table keeps the paper's algorithm columns untouched).
+      for (const bool incremental : {false, true}) {
+        core::AgtRamConfig cfg;
+        cfg.incremental_reports = incremental;
+        common::Timer timer;
+        const core::MechanismResult result = core::run_agt_ram(problem, cfg);
+        bench::JsonWriter::Record record;
+        record.field("benchmark", "table1_agt_ram_paths")
+            .field("servers", static_cast<std::uint64_t>(dims.servers))
+            .field("objects", static_cast<std::uint64_t>(dims.objects))
+            .field("incremental_reports", incremental)
+            .field("seconds", timer.seconds())
+            .field("rounds", static_cast<std::uint64_t>(result.rounds.size()))
+            .field("candidate_evaluations", result.candidate_evaluations)
+            .field("reports_computed", result.reports_computed);
+        json.add(std::move(record));
+      }
+
       // The paper reports the % improvement AGT-RAM brings over the row.
       row.push_back(common::Table::pct(
           (slowest - agtram_seconds) / slowest, 1));
@@ -70,5 +103,13 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(cli, table);
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    if (json.write_file(json_path, "table1_exec_time")) {
+      std::cout << "json written to " << json_path << "\n";
+    } else {
+      std::cerr << "failed to write " << json_path << "\n";
+    }
+  }
   return 0;
 }

@@ -1,7 +1,6 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 
 namespace agtram::common {
@@ -40,6 +39,20 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::run_chunks(ParallelJob& job) {
+  for (;;) {
+    const std::size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunk_count) return;
+    const std::size_t first = job.begin + c * job.step;
+    const std::size_t last = std::min(job.end, first + job.step);
+    if (first < last) (*job.body)(first, last);
+    if (job.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.chunk_count) {
+      job.chunks_done.notify_one();  // wake the owning caller, if parked
+    }
+  }
+}
+
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body,
@@ -54,29 +67,53 @@ void ThreadPool::parallel_for(
     return;
   }
 
-  std::atomic<std::size_t> remaining{chunks};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-
-  const std::size_t step = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t first = begin + c * step;
-    const std::size_t last = std::min(end, first + step);
-    if (first >= last) {
-      remaining.fetch_sub(1, std::memory_order_acq_rel);
-      continue;
-    }
-    submit([&, first, last] {
-      body(first, last);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mutex);
-        done_cv.notify_all();
-      }
-    });
+  // One job at a time: a nested call (a chunk body calling parallel_for) or
+  // a concurrent caller must not block on the active job — the active job
+  // may be waiting on *this* thread's chunk — so losers run inline.
+  std::unique_lock owner(job_owner_mutex_, std::try_to_lock);
+  if (!owner.owns_lock()) {
+    body(begin, end);
+    return;
   }
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  ParallelJob job;
+  job.body = &body;
+  job.begin = begin;
+  job.end = end;
+  job.step = (n + chunks - 1) / chunks;
+  job.chunk_count = chunks;
+
+  {
+    std::lock_guard lock(mutex_);
+    job_.store(&job, std::memory_order_release);
+    ++job_generation_;
+  }
+  task_available_.notify_all();
+
+  // The caller claims chunks too; by the time it runs dry, at most
+  // thread_count() chunks remain in flight on the workers.
+  run_chunks(job);
+
+  std::size_t done = job.chunks_done.load(std::memory_order_acquire);
+  while (done < chunks) {
+    job.chunks_done.wait(done, std::memory_order_acquire);
+    done = job.chunks_done.load(std::memory_order_acquire);
+  }
+
+  // Unpublish, then drain the workers still holding a reference so the
+  // stack-allocated job cannot be touched after we return.  A worker either
+  // incremented entrants before this store (we wait for its decrement) or
+  // observes job_ == nullptr and never touches the job — both transitions
+  // happen under mutex_.
+  {
+    std::lock_guard lock(mutex_);
+    job_.store(nullptr, std::memory_order_release);
+  }
+  std::size_t entrants = job.entrants.load(std::memory_order_acquire);
+  while (entrants != 0) {
+    job.entrants.wait(entrants, std::memory_order_acquire);
+    entrants = job.entrants.load(std::memory_order_acquire);
+  }
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -85,17 +122,39 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
   for (;;) {
+    ParallelJob* job = nullptr;
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      task_available_.wait(lock, [&] {
+        return stopping_ || !tasks_.empty() ||
+               (job_.load(std::memory_order_relaxed) != nullptr &&
+                job_generation_ != seen_generation);
+      });
+      job = job_.load(std::memory_order_relaxed);
+      if (job != nullptr && job_generation_ != seen_generation) {
+        // Joining the published job: the entrants increment shares mutex_
+        // with the owner's unpublish, which is what makes the owner's
+        // entrants drain race-free.
+        seen_generation = job_generation_;
+        job->entrants.fetch_add(1, std::memory_order_relaxed);
+      } else if (!tasks_.empty()) {
+        job = nullptr;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      } else {
+        return;  // stopping, queue drained
+      }
     }
-    task();
-    {
+    if (job != nullptr) {
+      run_chunks(*job);
+      if (job->entrants.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        job->entrants.notify_one();
+      }
+    } else {
+      task();
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }

@@ -3,10 +3,21 @@
 // This is the shared-memory stand-in for the PARFOR loops in the paper's
 // Figure 2 pseudo-code: each AGT-RAM round evaluates all agents' candidate
 // lists in parallel and reduces their bids at the central mechanism.
+//
+// parallel_for uses a lock-lean design tuned for the mechanism's small
+// per-round dirty sets: one stack-allocated job descriptor per call, chunks
+// claimed with a single atomic fetch_add, completion signalled through a
+// C++20 atomic wait (no per-call mutex+condition_variable pair, no
+// per-chunk std::function heap allocation).  The calling thread claims
+// chunks alongside the workers, so small ranges finish without a single
+// context switch.  Nested or concurrent parallel_for calls degrade to
+// inline execution of the whole range — correct, just not parallel.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -29,13 +40,15 @@ class ThreadPool {
   /// Enqueue a task; fire-and-forget (use parallel_for for joined work).
   void submit(std::function<void()> task);
 
-  /// Block until every task submitted so far has completed.
+  /// Block until every task submitted so far has completed.  Covers
+  /// submit()ed tasks only; parallel_for blocks on its own completion.
   void wait_idle();
 
-  /// Evenly split [begin, end) into chunks and run `body(first, last)` on the
-  /// pool, blocking until all chunks complete.  Chunk count defaults to
-  /// 4x threads for load balance.  Falls back to inline execution for tiny
-  /// ranges, so it is safe (and cheap) to call unconditionally.
+  /// Evenly split [begin, end) into chunks and run `body(first, last)` on
+  /// the pool (caller included), blocking until all chunks complete.  Chunk
+  /// count defaults to 4x threads for load balance.  Falls back to inline
+  /// execution for tiny ranges and for nested/concurrent calls, so it is
+  /// safe (and cheap) to call unconditionally.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t min_grain = 64);
@@ -44,7 +57,23 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
+  /// One parallel_for invocation.  Lives on the caller's stack; workers
+  /// hold it only between an entrants increment (taken under mutex_ while
+  /// the job is still published) and the matching decrement, which the
+  /// caller drains before returning.
+  struct ParallelJob {
+    const std::function<void(std::size_t, std::size_t)>* body;
+    std::size_t begin;
+    std::size_t end;
+    std::size_t step;
+    std::size_t chunk_count;
+    std::atomic<std::size_t> next_chunk{0};   ///< chunk claim ticket
+    std::atomic<std::size_t> chunks_done{0};  ///< completion latch
+    std::atomic<std::size_t> entrants{0};     ///< workers touching the job
+  };
+
   void worker_loop();
+  static void run_chunks(ParallelJob& job);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -53,6 +82,12 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+
+  /// Serialises parallel_for callers (one active job at a time; losers run
+  /// inline).  Distinct from mutex_ so job publication stays cheap.
+  std::mutex job_owner_mutex_;
+  std::atomic<ParallelJob*> job_{nullptr};  ///< published under mutex_
+  std::uint64_t job_generation_ = 0;        ///< guarded by mutex_
 };
 
 }  // namespace agtram::common

@@ -30,6 +30,10 @@ struct AdaptiveConfig {
   PaymentRule payment_rule = PaymentRule::SecondPrice;
   /// Maximum evict/allocate alternations.
   std::size_t max_iterations = 8;
+  /// Forwarded to every re-seeded allocation phase (AgtRamConfig); the
+  /// warm-started runs profit from dirty-set evaluation exactly like cold
+  /// ones.  Disable for differential testing against the naive sweep.
+  bool incremental_reports = true;
 };
 
 struct MigrationReport {

@@ -48,31 +48,40 @@ Agent::Agent(const drp::ReplicaPlacement& placement, drp::ServerId id)
 Report Agent::make_report(const drp::ReplicaPlacement& placement,
                           const ReportStrategy& strategy) {
   Report report;
+  const auto fill = [&](drp::ObjectIndex object, double value) {
+    report.object = object;
+    report.true_value = value;
+    report.claimed_value = strategy ? strategy(id_, value) : value;
+    report.has_candidate = true;
+  };
   while (!heap_.empty()) {
     const Entry top = heap_.top();
-    heap_.pop();
     ++report.evaluations;
     // Monotone discards: already ours, or will never fit again.
-    if (placement.is_replicator(id_, top.object)) continue;
-    if (placement.free_capacity(id_) <
-        problem_->object_units[top.object]) {
+    if (placement.is_replicator(id_, top.object) ||
+        placement.free_capacity(id_) < problem_->object_units[top.object]) {
+      heap_.pop();
       continue;
     }
     const double current =
         drp::CostModel::agent_benefit(placement, id_, top.object);
-    if (current <= 0.0) continue;
     assert(current <= top.value * (1.0 + 1e-9));
-    if (heap_.empty() || current >= heap_.top().value) {
-      // Still the best candidate: report it and keep it queued for the
-      // next round (only the winner actually replicates).
-      heap_.push(Entry{current, top.object});
-      report.object = top.object;
-      report.true_value = current;
-      report.claimed_value = strategy ? strategy(id_, current) : current;
-      report.has_candidate = true;
+    if (current == top.value) {
+      // Untouched since it was last priced (the common case when only some
+      // *other* object gained a replica): report without re-heapifying.
+      fill(top.object, current);
       return report;
     }
-    heap_.push(Entry{current, top.object});  // decayed: re-sort and retry
+    heap_.pop();
+    if (current <= 0.0) continue;
+    heap_.push(Entry{current, top.object});
+    if (heap_.top().value == current && heap_.top().object == top.object) {
+      // Decayed but still dominant: report it and keep it queued for the
+      // next round (only the winner actually replicates).
+      fill(top.object, current);
+      return report;
+    }
+    // Decayed below another candidate: re-sorted, retry from the new top.
   }
   return report;
 }

@@ -12,6 +12,14 @@
 // over its candidate objects: pop, recompute, and re-insert until the top
 // entry is current.  This keeps a full mechanism run near-linear instead of
 // the naive O(M * N^2) worst case of Theorem 4.
+//
+// The same monotonicity powers the mechanism's dirty-set protocol
+// (agt_ram.hpp): between two make_report calls, agent i's report can only
+// change if a replica of an object i *reads* was placed (its NN distance for
+// that object may have dropped) or if i itself won a round (its free
+// capacity shrank, and the won object must leave the heap).  Every other
+// agent's previous report remains valid verbatim, so the centre re-polls
+// only the agents in readers(k*) ∪ {winner}.
 #pragma once
 
 #include <cstdint>

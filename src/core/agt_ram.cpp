@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <queue>
+#include <span>
+#include <stdexcept>
+#include <string>
 
 #include "common/thread_pool.hpp"
 
@@ -15,10 +19,47 @@ double MechanismResult::total_payments() const {
 
 namespace {
 
-MechanismResult run_rounds(const drp::Problem& problem,
-                           const AgtRamConfig& config,
-                           drp::ReplicaPlacement start,
-                           std::vector<Agent> agents) {
+// Checked invariants (replacing asserts that compiled out in Release): a
+// fresh empty report can only mean the agent's candidate heap drained, and
+// the centre must never allocate an infeasible candidate.  Both are cheap
+// relative to a round, so they stay on in every build.
+[[noreturn]] void throw_not_retired(drp::ServerId id) {
+  throw std::logic_error(
+      "AGT-RAM invariant violated: agent " + std::to_string(id) +
+      " reported no candidate but its candidate heap is not drained");
+}
+
+void check_feasible(const drp::ReplicaPlacement& placement,
+                    drp::ServerId winner, drp::ObjectIndex object) {
+  if (!placement.can_replicate(winner, object)) {
+    throw std::logic_error(
+        "AGT-RAM invariant violated: winning candidate (server " +
+        std::to_string(winner) + ", object " + std::to_string(object) +
+        ") is not feasible");
+  }
+}
+
+// Allocate to the winner, pay it, and record the round — common to both
+// evaluation paths so the differential tests compare real shared state.
+void allocate(MechanismResult& result, drp::ServerId winner,
+              const Report& winning, double payment) {
+  check_feasible(result.placement, winner, winning.object);
+  result.placement.add_replica(winner, winning.object);
+  result.agents[winner].payments += payment;
+  result.agents[winner].true_value += winning.true_value;
+  result.agents[winner].objects_won += 1;
+  result.rounds.push_back(RoundRecord{winner, winning.object,
+                                      winning.claimed_value,
+                                      winning.true_value, payment});
+}
+
+// ---------------------------------------------------------------- naive
+// Full sweep: every live agent re-evaluates its heap every round.  Kept as
+// the differential-testing oracle for the incremental path below.
+MechanismResult run_rounds_naive(const drp::Problem& problem,
+                                 const AgtRamConfig& config,
+                                 drp::ReplicaPlacement start,
+                                 std::vector<Agent> agents) {
   const std::size_t m = problem.server_count();
 
   MechanismResult result{std::move(start), {}, {}};
@@ -58,6 +99,7 @@ MechanismResult run_rounds(const drp::Problem& problem,
     // --- Centre: collect reports, drop retired agents, pick the dominant
     // valuation (ties broken towards the lowest server id so serial and
     // parallel runs are byte-identical).
+    const std::size_t reporting = live.size();
     std::vector<double> round_values;
     std::vector<std::uint32_t> round_agents;
     round_values.reserve(live.size());
@@ -66,14 +108,18 @@ MechanismResult run_rounds(const drp::Problem& problem,
     next_live.reserve(live.size());
     for (const std::uint32_t a : live) {
       const drp::ServerId i = agents[a].id();
-      if (config.observer) config.observer->on_report(i, reports[i]);
+      result.candidate_evaluations += reports[i].evaluations;
+      ++result.reports_computed;
+      if (config.observer) {
+        config.observer->on_report(i, reports[i], /*fresh=*/true);
+      }
       if (reports[i].has_candidate) {
         round_values.push_back(reports[i].claimed_value);
         round_agents.push_back(i);
         next_live.push_back(a);
-      } else {
+      } else if (!agents[a].retired()) {
         // No candidate this round can only mean the heap drained.
-        assert(agents[a].retired());
+        throw_not_retired(i);
       }
     }
     if (round_values.empty()) break;
@@ -88,24 +134,232 @@ MechanismResult run_rounds(const drp::Problem& problem,
     const double payment =
         compute_payment(config.payment_rule, round_values, winner_slot);
 
-    // --- Allocate, pay, broadcast.
-    assert(result.placement.can_replicate(winner, winning.object));
-    result.placement.add_replica(winner, winning.object);
-    result.agents[winner].payments += payment;
-    result.agents[winner].true_value += winning.true_value;
-    result.agents[winner].objects_won += 1;
-    result.rounds.push_back(RoundRecord{winner, winning.object,
-                                        winning.claimed_value,
-                                        winning.true_value, payment});
+    allocate(result, winner, winning, payment);
     if (config.observer) {
       config.observer->on_allocation(winner, winning.object, payment);
-      config.observer->on_broadcast(winner, winning.object);
+      config.observer->on_broadcast(winner, winning.object, reporting);
     }
 
     live = std::move(next_live);
     ++round;
   }
   return result;
+}
+
+// ----------------------------------------------------------- incremental
+// Dirty-set evaluation: the centre caches every agent's standing report,
+// re-polls only readers(k*) ∪ {winner} after allocating (winner, k*), and
+// selects the winner from a lazy max-heap over the cached claimed values.
+// Heap entries are invalidated by a per-agent epoch that bumps on every
+// fresh report — values only ever decrease, so stale (higher) entries
+// surface first and are discarded on sight.
+
+struct HeapEntry {
+  double value;
+  drp::ServerId server;
+  std::uint32_t epoch;
+};
+
+// Max-heap: higher value wins; ties towards the lowest server id, matching
+// the naive linear scan's strict-greater sweep over ascending ids.
+struct HeapCompare {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+    if (a.value != b.value) return a.value < b.value;
+    return a.server > b.server;
+  }
+};
+
+// Lazy max-heap over the standing claimed values.  Stale entries (epoch
+// mismatch) are skimmed off on pop; when they outnumber the ~one-valid-
+// entry-per-live-agent working set, the heap is compacted in place, so its
+// size stays O(live) instead of growing by |dirty| every round.
+class LazyBidHeap {
+ public:
+  void push(HeapEntry entry) {
+    entries_.push_back(entry);
+    std::push_heap(entries_.begin(), entries_.end(), HeapCompare{});
+  }
+
+  /// Drops stale entries once they dominate.  At most `live_count` entries
+  /// are epoch-valid (one standing report per live agent), so this keeps
+  /// the heap O(live); the caller invokes it once per round, and the O(n)
+  /// rebuild amortises against the pushes that grew the heap.
+  void maybe_compact(const std::vector<std::uint32_t>& epoch,
+                     std::size_t live_count) {
+    if (entries_.size() <= 2 * live_count + 64) return;
+    std::erase_if(entries_, [&](const HeapEntry& e) {
+      return e.epoch != epoch[e.server];
+    });
+    std::make_heap(entries_.begin(), entries_.end(), HeapCompare{});
+  }
+
+  /// Pops the best epoch-valid entry; false once none remain.
+  bool pop_best(const std::vector<std::uint32_t>& epoch, HeapEntry& out) {
+    while (!entries_.empty()) {
+      std::pop_heap(entries_.begin(), entries_.end(), HeapCompare{});
+      const HeapEntry top = entries_.back();
+      entries_.pop_back();
+      if (top.epoch != epoch[top.server]) continue;
+      out = top;
+      return true;
+    }
+    return false;
+  }
+
+  /// Best valid value without consuming it (0 when the heap is dry).
+  double peek_best(const std::vector<std::uint32_t>& epoch) {
+    while (!entries_.empty()) {
+      if (entries_.front().epoch == epoch[entries_.front().server]) {
+        return entries_.front().value;
+      }
+      std::pop_heap(entries_.begin(), entries_.end(), HeapCompare{});
+      entries_.pop_back();
+    }
+    return 0.0;
+  }
+
+ private:
+  std::vector<HeapEntry> entries_;
+};
+
+MechanismResult run_rounds_incremental(const drp::Problem& problem,
+                                       const AgtRamConfig& config,
+                                       drp::ReplicaPlacement start,
+                                       std::vector<Agent> agents) {
+  const std::size_t m = problem.server_count();
+  constexpr std::uint32_t kNoAgent = static_cast<std::uint32_t>(-1);
+
+  MechanismResult result{std::move(start), {}, {}};
+  result.agents.resize(m);
+
+  // Participants may be a subset of the servers: map id -> agent index.
+  std::vector<std::uint32_t> agent_of(m, kNoAgent);
+  for (std::uint32_t a = 0; a < agents.size(); ++a) {
+    agent_of[agents[a].id()] = a;
+  }
+
+  std::vector<Report> reports(m);        // standing reports, by server id
+  std::vector<std::uint32_t> epoch(m, 0);
+  std::vector<char> live_flag(m, 0);
+
+  // `live` (ascending ids — agents are constructed sorted) backs the
+  // observer contract: the observer sees every live agent's standing report
+  // each round, so audits remain whole-profile even though only the dirty
+  // set is recomputed.  The first round polls everyone.
+  std::vector<drp::ServerId> live;
+  live.reserve(agents.size());
+  for (const Agent& agent : agents) {
+    if (agent.retired()) continue;
+    live.push_back(agent.id());
+    live_flag[agent.id()] = 1;
+  }
+  std::vector<drp::ServerId> dirty = live;
+
+  LazyBidHeap heap;
+
+  std::size_t round = 0;
+  // After every allocation the winner is dirty again (it reads k*), so the
+  // dirty set is empty only once the mechanism has terminated.
+  while (!dirty.empty()) {
+    if (config.max_rounds != 0 && round >= config.max_rounds) break;
+    if (config.observer) config.observer->on_round_begin(round);
+
+    // --- First PARFOR, restricted to the dirty set.
+    const auto evaluate = [&](std::size_t first, std::size_t last) {
+      for (std::size_t idx = first; idx < last; ++idx) {
+        const drp::ServerId i = dirty[idx];
+        reports[i] = agents[agent_of[i]].make_report(result.placement,
+                                                     config.strategy);
+      }
+    };
+    if (config.parallel_agents) {
+      common::ThreadPool::shared().parallel_for(0, dirty.size(), evaluate,
+                                                /*min_grain=*/16);
+    } else {
+      evaluate(0, dirty.size());
+    }
+
+    // --- Centre: fold the fresh reports into the standing cache.
+    bool retired_any = false;
+    for (const drp::ServerId i : dirty) {
+      const Report& r = reports[i];
+      result.candidate_evaluations += r.evaluations;
+      ++result.reports_computed;
+      ++epoch[i];
+      if (r.has_candidate) {
+        heap.push(HeapEntry{r.claimed_value, i, epoch[i]});
+      } else {
+        if (!agents[agent_of[i]].retired()) throw_not_retired(i);
+        live_flag[i] = 0;
+        retired_any = true;
+      }
+    }
+
+    if (config.observer) {
+      // Includes agents retiring this round: their empty fresh report is the
+      // "nothing for me" wire message that removes them from LS.
+      std::size_t d = 0;
+      for (const drp::ServerId i : live) {
+        while (d < dirty.size() && dirty[d] < i) ++d;
+        const bool fresh = d < dirty.size() && dirty[d] == i;
+        config.observer->on_report(i, reports[i], fresh);
+      }
+    }
+    if (retired_any) {
+      live.erase(std::remove_if(
+                     live.begin(), live.end(),
+                     [&](drp::ServerId i) { return live_flag[i] == 0; }),
+                 live.end());
+    }
+    heap.maybe_compact(epoch, live.size());
+
+    // --- Winner: the best epoch-valid entry is the argmax over the
+    // standing reports (stale, necessarily higher, entries are skimmed off
+    // on the way down).
+    HeapEntry winner_entry{0.0, 0, 0};
+    if (!heap.pop_best(epoch, winner_entry)) break;
+
+    // Second-highest standing value (the Vickrey charge): peek the next
+    // valid entry without consuming it.  The epoch guarantees at most one
+    // valid entry per agent, so this is never the winner's own report.
+    const double second = heap.peek_best(epoch);
+
+    const drp::ServerId winner = winner_entry.server;
+    const Report& winning = reports[winner];
+    const double standing[2] = {winning.claimed_value, second};
+    const double payment = compute_payment(
+        config.payment_rule, std::span<const double>(standing, 2), 0);
+
+    allocate(result, winner, winning, payment);
+
+    // --- Next round's dirty set: the allocation of k* can only touch the
+    // valuations of servers that read k* (the winner is one of them — a
+    // candidate requires read demand — and its capacity shrank too).
+    dirty.clear();
+    for (const drp::ServerId i : problem.access.readers(winning.object)) {
+      if (live_flag[i] != 0) dirty.push_back(i);
+    }
+    if (config.observer) {
+      config.observer->on_allocation(winner, winning.object, payment);
+      // Targeted multicast: only the dirty set needs to hear about (w, k*);
+      // the centre answers for everyone else out of its report cache.
+      config.observer->on_broadcast(winner, winning.object, dirty.size());
+    }
+    ++round;
+  }
+  return result;
+}
+
+MechanismResult run_rounds(const drp::Problem& problem,
+                           const AgtRamConfig& config,
+                           drp::ReplicaPlacement start,
+                           std::vector<Agent> agents) {
+  if (config.incremental_reports) {
+    return run_rounds_incremental(problem, config, std::move(start),
+                                  std::move(agents));
+  }
+  return run_rounds_naive(problem, config, std::move(start),
+                          std::move(agents));
 }
 
 }  // namespace

@@ -10,6 +10,18 @@
 //   3. The winner replicates; every agent's NN table for that object is
 //      refreshed (done incrementally by drp::ReplicaPlacement).
 // The loop ends when no agent has a positive-valued feasible candidate.
+//
+// Incremental (dirty-set) evaluation: because one round allocates exactly
+// one replica of one object k*, an agent's report can only change if it
+// reads k* (its NN distance for k* may have dropped) or if it is the winner
+// (its free capacity shrank).  With `incremental_reports` the centre caches
+// every agent's standing report, re-polls only the dirty set
+// readers(k*) ∪ {winner} each round, and selects the winner from a lazy
+// max-heap over the cached claimed values — O(|readers(k*)| log M) per round
+// instead of O(Σ|L_i|).  The allocation, payments, and round sequence are
+// byte-identical to the naive sweep (tests assert this); the naive path is
+// kept as a differential-testing oracle.  See DESIGN.md "Dirty-set
+// incremental evaluation".
 #pragma once
 
 #include <cstdint>
@@ -30,14 +42,23 @@ class MechanismObserver {
  public:
   virtual ~MechanismObserver() = default;
   virtual void on_round_begin(std::size_t /*round*/) {}
-  /// Called for every live agent's report (including empty ones).
-  virtual void on_report(drp::ServerId /*agent*/, const Report& /*report*/) {}
+  /// Called for every live agent's *standing* report each round (including
+  /// empty ones).  `fresh` is true when the report was recomputed this round
+  /// — a wire message in the semi-distributed deployment — and false when
+  /// the centre served it from its cache (incremental mode only; the naive
+  /// sweep recomputes everything, so every report is fresh).
+  virtual void on_report(drp::ServerId /*agent*/, const Report& /*report*/,
+                         bool /*fresh*/) {}
   virtual void on_allocation(drp::ServerId /*winner*/,
                              drp::ObjectIndex /*object*/,
                              double /*payment*/) {}
-  /// Centre broadcasts the winning (object, server) so agents refresh NN.
+  /// Centre broadcasts the winning (object, server).  `notified` is the
+  /// fan-out size: every reporting agent under the naive sweep, only the
+  /// next round's dirty set (the agents whose state the allocation can
+  /// touch) under the incremental protocol.
   virtual void on_broadcast(drp::ServerId /*winner*/,
-                            drp::ObjectIndex /*object*/) {}
+                            drp::ObjectIndex /*object*/,
+                            std::size_t /*notified*/) {}
 };
 
 struct AgtRamConfig {
@@ -45,6 +66,13 @@ struct AgtRamConfig {
   /// Run the per-agent report loop on the shared thread pool (the PARFOR of
   /// Figure 2).  Results are identical to the serial run by construction.
   bool parallel_agents = false;
+  /// Dirty-set incremental evaluation (see the header comment).  Identical
+  /// results, far less work per round; disable to run the naive full sweep
+  /// as a differential-testing oracle.  Note: a *stateful* ReportStrategy
+  /// (one whose output depends on call history rather than only on
+  /// (agent, value)) is only well-defined under the naive sweep, because the
+  /// incremental path reuses cached reports instead of re-invoking it.
+  bool incremental_reports = true;
   /// Optional distortion of agent reports (Axiom 3 ablations).
   ReportStrategy strategy;
   /// Optional instrumentation.
@@ -81,6 +109,12 @@ struct MechanismResult {
   drp::ReplicaPlacement placement;
   std::vector<RoundRecord> rounds;
   std::vector<AgentOutcome> agents;  ///< indexed by server id
+
+  /// Work diagnostics (not part of the allocation, and the one place the
+  /// incremental and naive paths legitimately differ): candidate heap
+  /// evaluations performed and reports computed across the whole run.
+  std::uint64_t candidate_evaluations = 0;
+  std::uint64_t reports_computed = 0;
 
   double total_payments() const;
   std::size_t replicas_placed() const noexcept { return rounds.size(); }

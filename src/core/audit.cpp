@@ -11,7 +11,8 @@ void RoundAuditor::on_round_begin(std::size_t) {
   ++rounds_;
 }
 
-void RoundAuditor::on_report(drp::ServerId, const Report& report) {
+void RoundAuditor::on_report(drp::ServerId, const Report& report,
+                             bool /*fresh*/) {
   if (report.has_candidate) round_values_.push_back(report.claimed_value);
 }
 

@@ -20,7 +20,11 @@ class RoundAuditor : public MechanismObserver {
   explicit RoundAuditor(PaymentRule rule) : rule_(rule) {}
 
   void on_round_begin(std::size_t round) override;
-  void on_report(drp::ServerId agent, const Report& report) override;
+  /// Audits the full standing-report profile: under the incremental
+  /// protocol cached (non-fresh) reports are part of the round's argmax and
+  /// payment basis exactly like fresh ones.
+  void on_report(drp::ServerId agent, const Report& report,
+                 bool fresh) override;
   void on_allocation(drp::ServerId winner, drp::ObjectIndex object,
                      double payment) override;
 

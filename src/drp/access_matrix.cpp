@@ -13,6 +13,7 @@ AccessMatrix AccessMatrix::build(std::size_t servers, std::size_t objects,
   }
   AccessMatrix m;
   m.by_object_.resize(objects);
+  m.readers_.resize(objects);
   m.by_server_.resize(servers);
   m.object_reads_.assign(objects, 0);
   m.object_writes_.assign(objects, 0);
@@ -39,6 +40,7 @@ AccessMatrix AccessMatrix::build(std::size_t servers, std::size_t objects,
     for (const Access& a : out) {
       m.object_reads_[k] += a.reads;
       m.object_writes_[k] += a.writes;
+      if (a.reads > 0) m.readers_[k].push_back(a.server);
       m.by_server_[a.server].push_back(
           ServerSideAccess{static_cast<ObjectIndex>(k), a.reads, a.writes});
       ++m.nonzeros_;

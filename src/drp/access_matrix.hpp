@@ -48,6 +48,14 @@ class AccessMatrix {
     return by_object_[k];
   }
 
+  /// Servers with nonzero *read* demand for object k, sorted by server id.
+  /// Pure writers are excluded: a new replica of k can only change the
+  /// valuation of servers whose NN distance for k may drop, i.e. readers.
+  /// This is the per-round dirty set of the incremental mechanism.
+  std::span<const ServerId> readers(ObjectIndex k) const {
+    return readers_[k];
+  }
+
   /// All objects server i touches, sorted by object index.
   std::span<const ServerSideAccess> server_objects(ServerId i) const {
     return by_server_[i];
@@ -73,6 +81,7 @@ class AccessMatrix {
 
  private:
   std::vector<std::vector<Access>> by_object_;
+  std::vector<std::vector<ServerId>> readers_;
   std::vector<std::vector<ServerSideAccess>> by_server_;
   std::vector<std::uint64_t> object_reads_;
   std::vector<std::uint64_t> object_writes_;

@@ -114,6 +114,71 @@ Problem build_problem(net::DistanceMatrixPtr distances,
   return problem;
 }
 
+namespace {
+
+// Dispersed demand (DemandModel::Dispersed): each object is read by a small
+// random subset of servers.  Object popularity still follows a mild Zipf so
+// some objects matter more than others, but the *reader count* stays near
+// `readers_per_object` regardless of popularity — popular objects are read
+// harder, not wider.  That separation is what the trace pipeline cannot
+// produce at bench scale, and what the paper's trace has at M = 3718.
+trace::Workload dispersed_workload(const InstanceSpec& spec) {
+  Rng rng(spec.seed ^ 0x5851f42d4c957f2dULL);
+  const std::uint32_t m = spec.servers;
+  const double mean_readers =
+      std::min(static_cast<double>(m), std::max(1.0, spec.readers_per_object));
+
+  trace::Workload w;
+  w.object_ids.resize(spec.objects);
+  w.object_units.resize(spec.objects);
+  w.size_variance.assign(spec.objects, 0.0);
+  w.reads.resize(spec.objects);
+
+  const double per_object_requests = std::max(1.0, spec.requests_per_object);
+  std::vector<std::uint32_t> pick;  // reader ids for the current object
+  for (std::uint32_t k = 0; k < spec.objects; ++k) {
+    w.object_ids[k] = k;
+    w.object_units[k] = 1 + static_cast<std::uint32_t>(rng.below(8));
+
+    // Popularity ∝ 1/(rank+1)^0.8 over a shuffled rank (so the hot set is
+    // not the id prefix); spread it over a bounded reader set.
+    const double rank = static_cast<double>(rng.below(spec.objects)) + 1.0;
+    const double popularity = std::pow(rank, -0.8);
+    const std::uint64_t volume = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(per_object_requests *
+                                      static_cast<double>(spec.objects) *
+                                      popularity / 10.0));
+
+    // Reader count ~ Uniform[1, 2*mean); distinct servers via rejection
+    // (reader sets are tiny relative to M, collisions are rare).
+    const std::uint32_t readers = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(rng.below(
+               static_cast<std::uint64_t>(2.0 * mean_readers))));
+    pick.clear();
+    while (pick.size() < std::min(readers, m)) {
+      const auto candidate = static_cast<std::uint32_t>(rng.below(m));
+      if (std::find(pick.begin(), pick.end(), candidate) == pick.end()) {
+        pick.push_back(candidate);
+      }
+    }
+    std::sort(pick.begin(), pick.end());
+
+    w.reads[k].reserve(pick.size());
+    for (const std::uint32_t server : pick) {
+      // Zipf-ish per-reader share, at least one request each.
+      const std::uint64_t share = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 static_cast<double>(volume) *
+                 rng.uniform(0.5, 1.5) / static_cast<double>(pick.size())));
+      w.reads[k].push_back(trace::ServerReads{server, share});
+      w.total_requests += share;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
 Problem make_instance(const InstanceSpec& spec) {
   if (spec.servers == 0 || spec.objects == 0) {
     throw std::invalid_argument("make_instance: need servers and objects");
@@ -128,6 +193,12 @@ Problem make_instance(const InstanceSpec& spec) {
   const net::Graph graph = net::generate_topology(topo);
   auto distances = std::make_shared<const net::DistanceMatrix>(
       net::DistanceMatrix::compute(graph));
+
+  if (spec.demand == DemandModel::Dispersed) {
+    InstanceConfig inst = spec.instance;
+    inst.seed = spec.seed ^ 0x0f0f0f0f0f0f0f0fULL;
+    return build_problem(std::move(distances), dispersed_workload(spec), inst);
+  }
 
   // Trace sized so the persistent core yields ~spec.objects catalogue
   // entries after the present-in-all-days filter.

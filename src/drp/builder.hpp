@@ -49,6 +49,20 @@ Problem build_problem(net::DistanceMatrixPtr distances,
                       const trace::Workload& workload,
                       const InstanceConfig& config);
 
+/// How read demand maps onto the servers.
+enum class DemandModel {
+  /// World-Cup trace pipeline (default): Zipf-popular objects whose demand
+  /// concentrates on a small client population, so at bench scale the hot
+  /// objects end up read by essentially every participating server.
+  Trace,
+  /// Dispersed synthetic demand: every server reads, but each object's
+  /// reader set is a small random subset of them.  This is the paper's
+  /// large-M regime (500 clients onto M = 3718 servers, N = 25000 objects:
+  /// |readers(k)| << M), and the regime where per-round work is dominated
+  /// by the few agents an allocation can actually affect.
+  Dispersed,
+};
+
 /// One-call convenience used by tests, examples and the bench harness:
 /// generate a topology, synthesise and process a trace sized to produce
 /// ~`objects` catalogue entries, and assemble the Problem.
@@ -59,6 +73,10 @@ struct InstanceSpec {
   double edge_probability = 0.5;
   /// Requests scale: total synthetic requests ~ requests_per_object * objects.
   double requests_per_object = 150.0;
+  DemandModel demand = DemandModel::Trace;
+  /// Mean reader-set size per object under DemandModel::Dispersed (clamped
+  /// to M; ignored by the trace pipeline, which derives it from clients).
+  double readers_per_object = 8.0;
   InstanceConfig instance;
   std::uint64_t seed = 99;
 };

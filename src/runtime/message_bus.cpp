@@ -20,11 +20,12 @@ double MessageBus::latency(drp::ServerId server) const {
 void MessageBus::on_round_begin(std::size_t) {
   ++stats_.rounds;
   round_slowest_report_ = 0.0;
-  round_live_agents_ = 0;
 }
 
-void MessageBus::on_report(drp::ServerId agent, const core::Report& report) {
-  ++round_live_agents_;
+void MessageBus::on_report(drp::ServerId agent, const core::Report& report,
+                           bool fresh) {
+  // Cached standing reports live at the centre; only fresh ones travel.
+  if (!fresh) return;
   // Even an empty report is a protocol message ("nothing for me") so the
   // centre can retire the agent from LS.
   ++stats_.report_messages;
@@ -41,11 +42,13 @@ void MessageBus::on_allocation(drp::ServerId winner, drp::ObjectIndex,
   stats_.simulated_seconds += round_slowest_report_ + latency(winner);
 }
 
-void MessageBus::on_broadcast(drp::ServerId, drp::ObjectIndex) {
-  // One broadcast fan-out to every agent that reported this round.
-  stats_.broadcast_messages += round_live_agents_;
+void MessageBus::on_broadcast(drp::ServerId, drp::ObjectIndex,
+                              std::size_t notified) {
+  // Fan-out to `notified` agents: every reporter under the naive sweep, the
+  // next round's dirty set under the incremental protocol.
+  stats_.broadcast_messages += notified;
   stats_.broadcast_bytes +=
-      static_cast<std::uint64_t>(wire_.broadcast) * round_live_agents_;
+      static_cast<std::uint64_t>(wire_.broadcast) * notified;
   // The fan-out completes when the farthest agent hears about OMAX; bound
   // it by the diameter leg from the centre (conservative, O(1) to compute).
   double slowest = round_slowest_report_;

@@ -6,13 +6,21 @@
 // observes a mechanism run and accounts every message the protocol of
 // Figure 2 would put on the wire:
 //
-//   round r:  each live agent  --(report: object id + valuation)-->  centre
-//             centre           --(allocation + payment)-->           winner
-//             centre           --(broadcast: OMAX)-->                all agents
+//   round r:  each *dirty* agent --(report: object id + valuation)--> centre
+//             centre             --(allocation + payment)-->          winner
+//             centre             --(broadcast: OMAX)-->               dirty set
 //
 // plus a latency model mapping the metric closure to per-message delay, so
 // benches can report simulated convergence time and the centre-vs-agents
 // traffic split that substantiates the scalability argument.
+//
+// Under the incremental protocol (AgtRamConfig::incremental_reports) the
+// centre caches standing reports, so only agents whose valuation the last
+// allocation could have changed re-report, and the OMAX broadcast is a
+// targeted multicast to that same dirty set — the bus counts exactly those
+// wire messages (cached reports never travel).  Under the naive sweep every
+// live agent reports and hears the broadcast every round, reproducing the
+// paper's literal Figure 2 traffic.
 #pragma once
 
 #include <cstdint>
@@ -58,10 +66,12 @@ class MessageBus : public core::MechanismObserver {
              double seconds_per_cost_unit = 1e-4, WireFormat wire = {});
 
   void on_round_begin(std::size_t round) override;
-  void on_report(drp::ServerId agent, const core::Report& report) override;
+  void on_report(drp::ServerId agent, const core::Report& report,
+                 bool fresh) override;
   void on_allocation(drp::ServerId winner, drp::ObjectIndex object,
                      double payment) override;
-  void on_broadcast(drp::ServerId winner, drp::ObjectIndex object) override;
+  void on_broadcast(drp::ServerId winner, drp::ObjectIndex object,
+                    std::size_t notified) override;
 
   const MessageStats& stats() const noexcept { return stats_; }
   drp::ServerId centre() const noexcept { return centre_; }
@@ -78,7 +88,6 @@ class MessageBus : public core::MechanismObserver {
   WireFormat wire_;
   MessageStats stats_;
   double round_slowest_report_ = 0.0;
-  std::uint64_t round_live_agents_ = 0;
 };
 
 }  // namespace agtram::runtime

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -280,6 +281,69 @@ TEST(ThreadPoolTest, SubmitAndWaitIdle) {
 TEST(ThreadPoolTest, SharedPoolSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
   EXPECT_GE(ThreadPool::shared().thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFallsBackInline) {
+  // A chunk body that calls parallel_for on the same pool must not deadlock:
+  // the inner call loses the owner try-lock and runs its range inline.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4096);
+  pool.parallel_for(
+      0, hits.size(),
+      [&](std::size_t a, std::size_t b) {
+        pool.parallel_for(
+            a, b,
+            [&](std::size_t ia, std::size_t ib) {
+              for (std::size_t i = ia; i < ib; ++i) hits[i].fetch_add(1);
+            },
+            /*min_grain=*/1);
+      },
+      /*min_grain=*/64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersEachCoverTheirRange) {
+  // Two external threads race parallel_for on one pool; whoever loses the
+  // owner lock runs inline.  Every element of both ranges must still be
+  // visited exactly once, with no use of a freed job descriptor.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> first(8192), second(8192);
+  auto drive = [&pool](std::vector<std::atomic<int>>& hits) {
+    for (int rep = 0; rep < 50; ++rep) {
+      pool.parallel_for(
+          0, hits.size(),
+          [&](std::size_t a, std::size_t b) {
+            for (std::size_t i = a; i < b; ++i) hits[i].fetch_add(1);
+          },
+          /*min_grain=*/16);
+    }
+  };
+  std::thread t1([&] { drive(first); });
+  std::thread t2([&] { drive(second); });
+  t1.join();
+  t2.join();
+  for (const auto& h : first) EXPECT_EQ(h.load(), 50);
+  for (const auto& h : second) EXPECT_EQ(h.load(), 50);
+}
+
+TEST(ThreadPoolTest, RepeatedSmallGrainJobsUnderTaskContention) {
+  // Interleave fire-and-forget tasks with many small parallel_for jobs so
+  // workers keep switching between the task queue and the published job.
+  ThreadPool pool(3);
+  std::atomic<int> task_done{0};
+  std::atomic<long long> total{0};
+  for (int rep = 0; rep < 200; ++rep) {
+    pool.submit([&task_done] { task_done.fetch_add(1); });
+    pool.parallel_for(
+        0, 97,
+        [&](std::size_t a, std::size_t b) {
+          total.fetch_add(static_cast<long long>(b - a));
+        },
+        /*min_grain=*/4);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(task_done.load(), 200);
+  EXPECT_EQ(total.load(), 200LL * 97);
 }
 
 // --------------------------------------------------------------- table

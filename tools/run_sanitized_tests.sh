@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Builds the concurrency-sensitive test binaries under ThreadSanitizer (or
+# AddressSanitizer with SAN=address) and runs them.  The thread-pool's
+# lock-lean parallel_for and the mechanism's PARFOR rounds are the targets:
+# chunk claiming, the completion latch, and the stack-job entrants drain are
+# all bare atomics, exactly what TSan is for.
+#
+# Usage:  tools/run_sanitized_tests.sh [build-dir]
+#   SAN=address|thread   sanitizer to use (default: thread)
+set -eu
+
+SAN="${SAN:-thread}"
+BUILD="${1:-build-${SAN}san}"
+SRC="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD" -S "$SRC" \
+  -DAGTRAM_SANITIZE="$SAN" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAGTRAM_BUILD_BENCH=OFF \
+  -DAGTRAM_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target test_common test_mechanism test_runtime
+
+status=0
+for t in test_common test_mechanism test_runtime; do
+  echo "== $SAN-sanitized $t =="
+  if ! "$BUILD/tests/$t"; then
+    status=1
+  fi
+done
+exit $status
