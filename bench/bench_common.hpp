@@ -28,6 +28,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "core/agt_ram.hpp"
 #include "drp/builder.hpp"
 #include "drp/cost_model.hpp"
 
@@ -115,6 +116,15 @@ class JsonWriter {
  private:
   std::vector<Record> records_;
 };
+
+inline const char* report_mode_name(core::ReportMode mode) {
+  switch (mode) {
+    case core::ReportMode::Naive: return "naive";
+    case core::ReportMode::Incremental: return "incremental";
+    case core::ReportMode::Auto: return "auto";
+  }
+  return "?";
+}
 
 inline constexpr double kCapacityPerPercent = 0.0005;
 

@@ -76,18 +76,22 @@ int main(int argc, char** argv) {
         json.add(std::move(record));
       }
 
-      // JSON-only extra: AGT-RAM's two report-evaluation paths head to head
+      // JSON-only extra: AGT-RAM's report-evaluation paths head to head
       // (the printed table keeps the paper's algorithm columns untouched).
-      for (const bool incremental : {false, true}) {
+      for (const core::ReportMode mode :
+           {core::ReportMode::Naive, core::ReportMode::Incremental,
+            core::ReportMode::Auto}) {
         core::AgtRamConfig cfg;
-        cfg.incremental_reports = incremental;
+        cfg.report_mode = mode;
         common::Timer timer;
         const core::MechanismResult result = core::run_agt_ram(problem, cfg);
         bench::JsonWriter::Record record;
         record.field("benchmark", "table1_agt_ram_paths")
             .field("servers", static_cast<std::uint64_t>(dims.servers))
             .field("objects", static_cast<std::uint64_t>(dims.objects))
-            .field("incremental_reports", incremental)
+            .field("report_mode", bench::report_mode_name(mode))
+            .field("resolved_mode",
+                   bench::report_mode_name(result.resolved_mode))
             .field("seconds", timer.seconds())
             .field("rounds", static_cast<std::uint64_t>(result.rounds.size()))
             .field("candidate_evaluations", result.candidate_evaluations)

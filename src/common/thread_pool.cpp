@@ -59,6 +59,13 @@ void ThreadPool::parallel_for(
     std::size_t min_grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
+  // A single-worker pool can never overlap chunks with the caller, so the
+  // fork/join handshake (publish, wake, claim, drain) is pure overhead —
+  // run the whole range inline.
+  if (thread_count() <= 1) {
+    body(begin, end);
+    return;
+  }
   const std::size_t max_chunks = std::max<std::size_t>(1, n / min_grain);
   const std::size_t chunks =
       std::min(max_chunks, std::max<std::size_t>(1, thread_count() * 4));

@@ -47,8 +47,9 @@ class ThreadPool {
   /// Evenly split [begin, end) into chunks and run `body(first, last)` on
   /// the pool (caller included), blocking until all chunks complete.  Chunk
   /// count defaults to 4x threads for load balance.  Falls back to inline
-  /// execution for tiny ranges and for nested/concurrent calls, so it is
-  /// safe (and cheap) to call unconditionally.
+  /// execution for tiny ranges, for nested/concurrent calls, and on
+  /// single-worker pools (where forking can never overlap with the caller),
+  /// so it is safe (and cheap) to call unconditionally.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t min_grain = 64);

@@ -78,7 +78,7 @@ MigrationReport adapt_placement(const drp::Problem& new_problem,
 
   AgtRamConfig mechanism;
   mechanism.payment_rule = config.payment_rule;
-  mechanism.incremental_reports = config.incremental_reports;
+  mechanism.report_mode = config.report_mode;
 
   for (report.iterations = 0; report.iterations < config.max_iterations;
        ++report.iterations) {

@@ -32,8 +32,9 @@ struct AdaptiveConfig {
   std::size_t max_iterations = 8;
   /// Forwarded to every re-seeded allocation phase (AgtRamConfig); the
   /// warm-started runs profit from dirty-set evaluation exactly like cold
-  /// ones.  Disable for differential testing against the naive sweep.
-  bool incremental_reports = true;
+  /// ones.  Set to ReportMode::Naive for differential testing against the
+  /// naive sweep.
+  ReportMode report_mode = ReportMode::Incremental;
 };
 
 struct MigrationReport {

@@ -25,7 +25,10 @@ Agent::Agent(const drp::Problem& problem, drp::ServerId id)
         static_cast<double>(problem.distance(problem.primary[access.object], id));
     const double initial_value = read_savings - broadcast_price;
     if (initial_value > 0.0) {
-      heap_.push(Entry{initial_value, access.object});
+      const std::size_t slot = problem.access.accessor_slot(id, access.object);
+      assert(slot != drp::AccessMatrix::npos);
+      heap_.push(Entry{initial_value, access.object,
+                       static_cast<std::uint32_t>(slot)});
     }
   }
 }
@@ -37,10 +40,13 @@ Agent::Agent(const drp::ReplicaPlacement& placement, drp::ServerId id)
     if (access.reads == 0) continue;
     if (problem_->primary[access.object] == id) continue;
     if (placement.is_replicator(id, access.object)) continue;
+    const std::size_t slot =
+        problem_->access.accessor_slot(id, access.object);
+    assert(slot != drp::AccessMatrix::npos);
     const double value =
-        drp::CostModel::agent_benefit(placement, id, access.object);
+        drp::CostModel::agent_benefit_at(placement, id, access.object, slot);
     if (value > 0.0) {
-      heap_.push(Entry{value, access.object});
+      heap_.push(Entry{value, access.object, static_cast<std::uint32_t>(slot)});
     }
   }
 }
@@ -64,7 +70,7 @@ Report Agent::make_report(const drp::ReplicaPlacement& placement,
       continue;
     }
     const double current =
-        drp::CostModel::agent_benefit(placement, id_, top.object);
+        drp::CostModel::agent_benefit_at(placement, id_, top.object, top.slot);
     assert(current <= top.value * (1.0 + 1e-9));
     if (current == top.value) {
       // Untouched since it was last priced (the common case when only some
@@ -74,7 +80,7 @@ Report Agent::make_report(const drp::ReplicaPlacement& placement,
     }
     heap_.pop();
     if (current <= 0.0) continue;
-    heap_.push(Entry{current, top.object});
+    heap_.push(Entry{current, top.object, top.slot});
     if (heap_.top().value == current && heap_.top().object == top.object) {
       // Decayed but still dominant: report it and keep it queued for the
       // next round (only the winner actually replicates).

@@ -77,6 +77,10 @@ class Agent {
   struct Entry {
     double value;
     drp::ObjectIndex object;
+    /// This agent's slot in accessors(object) — fixed for the lifetime of
+    /// the instance, resolved once at construction so every revaluation is
+    /// a direct load from the flat demand/NN pools (no binary searches).
+    std::uint32_t slot;
     bool operator<(const Entry& other) const noexcept {
       if (value != other.value) return value < other.value;
       return object > other.object;  // deterministic tie-break: low id first

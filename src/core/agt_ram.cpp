@@ -17,7 +17,56 @@ double MechanismResult::total_payments() const {
   return total;
 }
 
+// ReportMode::Auto: incremental evaluation pays off when one round's dirty
+// set (readers(k*) ∪ {winner}) is well under the *live* agent set the naive
+// sweep would touch; otherwise the standing-report heap overhead loses to
+// the naive sweep's tight loop over cached heap tops.  Two static signals
+// predict that, calibrated on the bench families (micro_core):
+//
+//  * the expected dirty-set size — the size-biased mean reader count, since
+//    allocations land on read-hot objects — must be well under the agent
+//    population (4× margin), else re-polls rival the full sweep outright;
+//  * the read volume must not be concentrated on a few objects: with a
+//    small effective hot set (participation ratio of object read volumes),
+//    the surviving live set collapses onto exactly those objects' readers,
+//    so the naive sweep is already dirty-set-sized and the heap is pure
+//    overhead.  The WorldCup trace pipeline yields ~20–26 effective hot
+//    objects at every bench scale (naive wins, measured 0.6×); dispersed
+//    demand yields ~95 at 64×640 up to ~370 at paper scale (incremental
+//    wins 5×–68×).  50 splits the two with ~2× margin on both sides.
+static constexpr double kAutoIncrementalFraction = 4.0;
+static constexpr double kAutoMinEffectiveHotObjects = 50.0;
+
+ReportMode resolve_report_mode(const drp::Problem& problem,
+                               std::size_t agent_count, ReportMode requested) {
+  if (requested != ReportMode::Auto) return requested;
+  const double expected_dirty =
+      problem.access.size_biased_readers_per_object();
+  const bool dirty_is_local =
+      expected_dirty * kAutoIncrementalFraction <
+      static_cast<double>(agent_count);
+  const bool demand_is_dispersed =
+      problem.access.effective_hot_objects() >= kAutoMinEffectiveHotObjects;
+  return dirty_is_local && demand_is_dispersed ? ReportMode::Incremental
+                                               : ReportMode::Naive;
+}
+
 namespace {
+
+// Round-size-aware PARFOR: fork onto the shared pool only when the round
+// evaluates enough agents to amortise the fork/join handshake (and the pool
+// actually has workers).  Below the cutoff — 3-agent dirty sets are the
+// incremental steady state — the body runs inline on the centre's thread.
+void round_parfor(const AgtRamConfig& config, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (config.parallel_agents && count >= config.parallel_min_agents &&
+      common::ThreadPool::shared().thread_count() > 1) {
+    common::ThreadPool::shared().parallel_for(0, count, body,
+                                              /*min_grain=*/16);
+  } else {
+    body(0, count);
+  }
+}
 
 // Checked invariants (replacing asserts that compiled out in Release): a
 // fresh empty report can only mean the agent's candidate heap drained, and
@@ -89,12 +138,7 @@ MechanismResult run_rounds_naive(const drp::Problem& problem,
             agents[a].make_report(result.placement, config.strategy);
       }
     };
-    if (config.parallel_agents) {
-      common::ThreadPool::shared().parallel_for(0, live.size(), evaluate,
-                                                /*min_grain=*/16);
-    } else {
-      evaluate(0, live.size());
-    }
+    round_parfor(config, live.size(), evaluate);
 
     // --- Centre: collect reports, drop retired agents, pick the dominant
     // valuation (ties broken towards the lowest server id so serial and
@@ -272,12 +316,7 @@ MechanismResult run_rounds_incremental(const drp::Problem& problem,
                                                      config.strategy);
       }
     };
-    if (config.parallel_agents) {
-      common::ThreadPool::shared().parallel_for(0, dirty.size(), evaluate,
-                                                /*min_grain=*/16);
-    } else {
-      evaluate(0, dirty.size());
-    }
+    round_parfor(config, dirty.size(), evaluate);
 
     // --- Centre: fold the fresh reports into the standing cache.
     bool retired_any = false;
@@ -354,12 +393,16 @@ MechanismResult run_rounds(const drp::Problem& problem,
                            const AgtRamConfig& config,
                            drp::ReplicaPlacement start,
                            std::vector<Agent> agents) {
-  if (config.incremental_reports) {
-    return run_rounds_incremental(problem, config, std::move(start),
-                                  std::move(agents));
-  }
-  return run_rounds_naive(problem, config, std::move(start),
-                          std::move(agents));
+  const ReportMode mode =
+      resolve_report_mode(problem, agents.size(), config.report_mode);
+  MechanismResult result =
+      mode == ReportMode::Incremental
+          ? run_rounds_incremental(problem, config, std::move(start),
+                                   std::move(agents))
+          : run_rounds_naive(problem, config, std::move(start),
+                             std::move(agents));
+  result.resolved_mode = mode;
+  return result;
 }
 
 }  // namespace

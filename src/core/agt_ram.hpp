@@ -14,8 +14,8 @@
 // Incremental (dirty-set) evaluation: because one round allocates exactly
 // one replica of one object k*, an agent's report can only change if it
 // reads k* (its NN distance for k* may have dropped) or if it is the winner
-// (its free capacity shrank).  With `incremental_reports` the centre caches
-// every agent's standing report, re-polls only the dirty set
+// (its free capacity shrank).  With `ReportMode::Incremental` the centre
+// caches every agent's standing report, re-polls only the dirty set
 // readers(k*) ∪ {winner} each round, and selects the winner from a lazy
 // max-heap over the cached claimed values — O(|readers(k*)| log M) per round
 // instead of O(Σ|L_i|).  The allocation, payments, and round sequence are
@@ -61,18 +61,40 @@ class MechanismObserver {
                             std::size_t /*notified*/) {}
 };
 
+/// How the centre gathers per-round reports.  All three produce
+/// byte-identical allocations; they differ only in work per round.
+enum class ReportMode {
+  /// Full sweep: every live agent re-evaluates its heap every round.  Kept
+  /// as the differential-testing oracle; it also wins outright when the
+  /// dirty set is most of the live set (trace demand at bench scale), since
+  /// it skips the standing-report heap machinery.
+  Naive,
+  /// Dirty-set evaluation (see the header comment): re-poll only
+  /// readers(k*) ∪ {winner} and select from a lazy max-heap.  Wins when
+  /// |readers(k)| << M — the paper's large-M regime.
+  Incremental,
+  /// Pick per instance from readers(k) statistics: incremental iff the mean
+  /// dirty set is a small fraction of the agent population (see
+  /// kAutoIncrementalFraction in agt_ram.cpp).  The default.
+  Auto,
+};
+
 struct AgtRamConfig {
   PaymentRule payment_rule = PaymentRule::SecondPrice;
   /// Run the per-agent report loop on the shared thread pool (the PARFOR of
   /// Figure 2).  Results are identical to the serial run by construction.
   bool parallel_agents = false;
-  /// Dirty-set incremental evaluation (see the header comment).  Identical
-  /// results, far less work per round; disable to run the naive full sweep
-  /// as a differential-testing oracle.  Note: a *stateful* ReportStrategy
-  /// (one whose output depends on call history rather than only on
-  /// (agent, value)) is only well-defined under the naive sweep, because the
+  /// Rounds evaluating fewer agents than this run inline even when
+  /// parallel_agents is set: fork/join latency dwarfs the work of a
+  /// handful of lazy-heap pops, and the dirty set of a typical incremental
+  /// round is single digits.  Measured crossover on the bench instances is
+  /// a few hundred agents per round (see DESIGN.md §7).
+  std::size_t parallel_min_agents = 256;
+  /// Report evaluation policy (see ReportMode).  Note: a *stateful*
+  /// ReportStrategy (one whose output depends on call history rather than
+  /// only on (agent, value)) is only well-defined under Naive, because the
   /// incremental path reuses cached reports instead of re-invoking it.
-  bool incremental_reports = true;
+  ReportMode report_mode = ReportMode::Auto;
   /// Optional distortion of agent reports (Axiom 3 ablations).
   ReportStrategy strategy;
   /// Optional instrumentation.
@@ -80,6 +102,11 @@ struct AgtRamConfig {
   /// Safety valve for pathological configs; 0 = unlimited.
   std::size_t max_rounds = 0;
 };
+
+/// The mode ReportMode::Auto would pick for `problem` with `agent_count`
+/// participating agents (exposed for benches and tests).
+ReportMode resolve_report_mode(const drp::Problem& problem,
+                               std::size_t agent_count, ReportMode requested);
 
 /// Per-agent game-theoretic outcome.
 ///
@@ -115,6 +142,9 @@ struct MechanismResult {
   /// evaluations performed and reports computed across the whole run.
   std::uint64_t candidate_evaluations = 0;
   std::uint64_t reports_computed = 0;
+  /// The evaluation path actually taken (Auto resolves to Naive or
+  /// Incremental before the first round).
+  ReportMode resolved_mode = ReportMode::Naive;
 
   double total_payments() const;
   std::size_t replicas_placed() const noexcept { return rounds.size(); }

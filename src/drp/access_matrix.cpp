@@ -12,48 +12,75 @@ AccessMatrix AccessMatrix::build(std::size_t servers, std::size_t objects,
     throw std::invalid_argument("AccessMatrix::build: row count != objects");
   }
   AccessMatrix m;
-  m.by_object_.resize(objects);
-  m.readers_.resize(objects);
-  m.by_server_.resize(servers);
+  m.obj_row_.assign(objects + 1, 0);
+  m.reader_row_.assign(objects + 1, 0);
   m.object_reads_.assign(objects, 0);
   m.object_writes_.assign(objects, 0);
 
+  // First pass: dedupe each row in place, then lay the merged rows into the
+  // two flat by-object pools.
+  std::size_t total_cells = 0;
   for (std::size_t k = 0; k < objects; ++k) {
     auto& row = by_object[k];
     std::sort(row.begin(), row.end(), [](const Access& a, const Access& b) {
       return a.server < b.server;
     });
-    auto& out = m.by_object_[k];
-    out.reserve(row.size());
+    std::size_t out = 0;
     for (const Access& a : row) {
       if (a.server >= servers) {
         throw std::invalid_argument("AccessMatrix::build: server out of range");
       }
       if (a.reads == 0 && a.writes == 0) continue;
-      if (!out.empty() && out.back().server == a.server) {
-        out.back().reads += a.reads;
-        out.back().writes += a.writes;
+      if (out > 0 && row[out - 1].server == a.server) {
+        row[out - 1].reads += a.reads;
+        row[out - 1].writes += a.writes;
       } else {
-        out.push_back(a);
+        row[out++] = a;
       }
     }
-    for (const Access& a : out) {
+    row.resize(out);
+    total_cells += out;
+  }
+
+  m.cells_.reserve(total_cells);
+  m.readers_.reserve(total_cells);
+  std::vector<std::size_t> srv_count(servers, 0);
+  for (std::size_t k = 0; k < objects; ++k) {
+    m.obj_row_[k] = m.cells_.size();
+    m.reader_row_[k] = m.readers_.size();
+    for (const Access& a : by_object[k]) {
+      m.cells_.push_back(a);
       m.object_reads_[k] += a.reads;
       m.object_writes_[k] += a.writes;
-      if (a.reads > 0) m.readers_[k].push_back(a.server);
-      m.by_server_[a.server].push_back(
-          ServerSideAccess{static_cast<ObjectIndex>(k), a.reads, a.writes});
-      ++m.nonzeros_;
+      if (a.reads > 0) m.readers_.push_back(a.server);
+      ++srv_count[a.server];
     }
+    if (m.readers_.size() > m.reader_row_[k]) ++m.objects_with_readers_;
     m.grand_reads_ += m.object_reads_[k];
     m.grand_writes_ += m.object_writes_[k];
   }
-  // by_server_ rows were appended in ascending object order already.
+  m.obj_row_[objects] = m.cells_.size();
+  m.reader_row_[objects] = m.readers_.size();
+
+  // Second pass: transpose into the by-server CSR view.  Walking objects in
+  // ascending k keeps each server row sorted by object index.
+  m.srv_row_.assign(servers + 1, 0);
+  for (std::size_t i = 0; i < servers; ++i) {
+    m.srv_row_[i + 1] = m.srv_row_[i] + srv_count[i];
+  }
+  m.srv_cells_.resize(total_cells);
+  std::vector<std::size_t> cursor(m.srv_row_.begin(), m.srv_row_.end() - 1);
+  for (std::size_t k = 0; k < objects; ++k) {
+    for (const Access& a : by_object[k]) {
+      m.srv_cells_[cursor[a.server]++] =
+          ServerSideAccess{static_cast<ObjectIndex>(k), a.reads, a.writes};
+    }
+  }
   return m;
 }
 
 std::size_t AccessMatrix::accessor_slot(ServerId i, ObjectIndex k) const {
-  const auto& row = by_object_[k];
+  const auto row = accessors(k);
   const auto it = std::lower_bound(
       row.begin(), row.end(), i,
       [](const Access& a, ServerId target) { return a.server < target; });
@@ -63,12 +90,12 @@ std::size_t AccessMatrix::accessor_slot(ServerId i, ObjectIndex k) const {
 
 std::uint64_t AccessMatrix::reads(ServerId i, ObjectIndex k) const {
   const std::size_t slot = accessor_slot(i, k);
-  return slot == npos ? 0 : by_object_[k][slot].reads;
+  return slot == npos ? 0 : cells_[obj_row_[k] + slot].reads;
 }
 
 std::uint64_t AccessMatrix::writes(ServerId i, ObjectIndex k) const {
   const std::size_t slot = accessor_slot(i, k);
-  return slot == npos ? 0 : by_object_[k][slot].writes;
+  return slot == npos ? 0 : cells_[obj_row_[k] + slot].writes;
 }
 
 }  // namespace agtram::drp

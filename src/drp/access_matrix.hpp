@@ -4,6 +4,13 @@
 // ~750 MB; the trace-driven demand is sparse, so we store CSR-style rows
 // both by object (driving cost evaluation and nearest-neighbour updates) and
 // by server (driving each agent's candidate list in the mechanism).
+//
+// Layout: every view is a single contiguous pool plus an offset table —
+// `cells_` holds all by-object rows back to back, `obj_row_[k]` is where
+// object k's row starts.  The mechanism's inner loop walks accessor rows
+// millions of times per run; one flat arena keeps those walks on sequential
+// cache lines instead of chasing a pointer per object, and `obj_row_` doubles
+// as the slot base for ReplicaPlacement's equally flat NN cache.
 #pragma once
 
 #include <cstddef>
@@ -40,25 +47,30 @@ class AccessMatrix {
   static AccessMatrix build(std::size_t servers, std::size_t objects,
                             std::vector<std::vector<Access>> by_object);
 
-  std::size_t server_count() const noexcept { return by_server_.size(); }
-  std::size_t object_count() const noexcept { return by_object_.size(); }
+  std::size_t server_count() const noexcept { return srv_row_.empty() ? 0 : srv_row_.size() - 1; }
+  std::size_t object_count() const noexcept { return obj_row_.empty() ? 0 : obj_row_.size() - 1; }
 
   /// All servers with nonzero demand for object k, sorted by server id.
   std::span<const Access> accessors(ObjectIndex k) const {
-    return by_object_[k];
+    return {cells_.data() + obj_row_[k], obj_row_[k + 1] - obj_row_[k]};
   }
+
+  /// Offset of object k's accessor row in the shared pool: the global index
+  /// of (k, slot 0).  ReplicaPlacement indexes its flat NN cache with
+  /// accessor_base(k) + slot, so both structures share one slot scheme.
+  std::size_t accessor_base(ObjectIndex k) const { return obj_row_[k]; }
 
   /// Servers with nonzero *read* demand for object k, sorted by server id.
   /// Pure writers are excluded: a new replica of k can only change the
   /// valuation of servers whose NN distance for k may drop, i.e. readers.
   /// This is the per-round dirty set of the incremental mechanism.
   std::span<const ServerId> readers(ObjectIndex k) const {
-    return readers_[k];
+    return {readers_.data() + reader_row_[k], reader_row_[k + 1] - reader_row_[k]};
   }
 
   /// All objects server i touches, sorted by object index.
   std::span<const ServerSideAccess> server_objects(ServerId i) const {
-    return by_server_[i];
+    return {srv_cells_.data() + srv_row_[i], srv_row_[i + 1] - srv_row_[i]};
   }
 
   /// Point lookups (binary search in the object row); 0 if absent.
@@ -77,17 +89,76 @@ class AccessMatrix {
   std::uint64_t grand_total_writes() const noexcept { return grand_writes_; }
 
   /// Number of stored nonzero (server, object) cells.
-  std::size_t nonzeros() const noexcept { return nonzeros_; }
+  std::size_t nonzeros() const noexcept { return cells_.size(); }
+
+  /// Number of objects with at least one reader.
+  std::size_t objects_with_readers() const noexcept { return objects_with_readers_; }
+
+  /// Total (object, reader) pairs — sum of |readers(k)| over all objects.
+  std::size_t total_reader_entries() const noexcept { return readers_.size(); }
+
+  /// Mean |readers(k)| over objects that have readers at all.
+  double mean_readers_per_object() const noexcept {
+    return objects_with_readers_ == 0
+               ? 0.0
+               : static_cast<double>(readers_.size()) /
+                     static_cast<double>(objects_with_readers_);
+  }
+
+  /// Size-biased mean |readers(k)|: Σ|readers(k)|² / Σ|readers(k)|.  This is
+  /// the expected dirty-set size of an incremental mechanism round —
+  /// allocations land on read-hot objects with probability roughly
+  /// proportional to their reader counts, so the plain mean undersells the
+  /// dirty sets the mechanism actually re-polls when demand is concentrated
+  /// (trace-style) rather than dispersed.  Drives ReportMode::Auto
+  /// (core/agt_ram.hpp).  O(N), computed on demand.
+  double size_biased_readers_per_object() const noexcept {
+    std::uint64_t sum = 0;
+    std::uint64_t sum_sq = 0;
+    for (std::size_t k = 0; k + 1 < reader_row_.size(); ++k) {
+      const std::uint64_t n = reader_row_[k + 1] - reader_row_[k];
+      sum += n;
+      sum_sq += n * n;
+    }
+    return sum == 0 ? 0.0
+                    : static_cast<double>(sum_sq) / static_cast<double>(sum);
+  }
+
+  /// Participation ratio of the object read volumes, (Σv_k)² / Σv_k² — the
+  /// effective number of read-hot objects.  1 when all reads hit a single
+  /// object; N when volume is spread evenly.  Concentrated (trace/Zipf)
+  /// demand keeps this near-constant in N (~25 for the WorldCup pipeline at
+  /// every bench scale) while dispersed demand grows it linearly, which is
+  /// what ReportMode::Auto keys on: a small hot set collapses the live
+  /// agent set onto those objects' readers, making the naive sweep already
+  /// dirty-set-sized.  O(N), computed on demand.
+  double effective_hot_objects() const noexcept {
+    double sum_sq = 0.0;
+    for (const std::uint64_t v : object_reads_) {
+      sum_sq += static_cast<double>(v) * static_cast<double>(v);
+    }
+    return sum_sq == 0.0
+               ? 0.0
+               : static_cast<double>(grand_reads_) *
+                     static_cast<double>(grand_reads_) / sum_sq;
+  }
 
  private:
-  std::vector<std::vector<Access>> by_object_;
-  std::vector<std::vector<ServerId>> readers_;
-  std::vector<std::vector<ServerSideAccess>> by_server_;
+  // CSR by object: rows of `cells_` delimited by `obj_row_` (size N+1).
+  std::vector<std::size_t> obj_row_;
+  std::vector<Access> cells_;
+  // Reader ids per object, same row scheme (size N+1 offsets).
+  std::vector<std::size_t> reader_row_;
+  std::vector<ServerId> readers_;
+  // CSR by server: rows of `srv_cells_` delimited by `srv_row_` (size M+1).
+  std::vector<std::size_t> srv_row_;
+  std::vector<ServerSideAccess> srv_cells_;
+
   std::vector<std::uint64_t> object_reads_;
   std::vector<std::uint64_t> object_writes_;
   std::uint64_t grand_reads_ = 0;
   std::uint64_t grand_writes_ = 0;
-  std::size_t nonzeros_ = 0;
+  std::size_t objects_with_readers_ = 0;
 };
 
 }  // namespace agtram::drp

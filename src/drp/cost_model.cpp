@@ -18,9 +18,11 @@ double CostModel::object_cost(const ReplicaPlacement& placement,
 
   double cost = 0.0;
   const auto accessors = p.access.accessors(k);
+  const auto nn = placement.nn_row(k);
+  const auto primary_row = p.distances->row(primary);
   for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
     const Access& a = accessors[slot];
-    const double c_primary = static_cast<double>(p.distance(a.server, primary));
+    const double c_primary = static_cast<double>(primary_row[a.server]);
     // Every writer ships its updates to the primary.
     cost += static_cast<double>(a.writes) * o * c_primary;
     if (placement.is_replicator(a.server, k)) {
@@ -28,8 +30,7 @@ double CostModel::object_cost(const ReplicaPlacement& placement,
       cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
     } else {
       // Non-replicators read from the nearest replica.
-      cost += static_cast<double>(a.reads) * o *
-              static_cast<double>(placement.nn_distance_by_slot(k, slot));
+      cost += static_cast<double>(a.reads) * o * static_cast<double>(nn[slot]);
     }
   }
   // Replicators with no demand of their own still subscribe to the full
@@ -73,14 +74,29 @@ double CostModel::savings(const ReplicaPlacement& placement) {
 double CostModel::agent_benefit(const ReplicaPlacement& placement, ServerId i,
                                 ObjectIndex k) {
   const Problem& p = placement.problem();
+  const std::size_t slot = p.access.accessor_slot(i, k);
+  if (slot != AccessMatrix::npos) return agent_benefit_at(placement, i, k, slot);
   assert(!placement.is_replicator(i, k));
+  // No demand cell for (i, k): r_ik = w_ik = 0, only the broadcast price.
+  const double o = static_cast<double>(p.object_units[k]);
+  return -(static_cast<double>(p.access.total_writes(k)) * o *
+           static_cast<double>(p.distance(p.primary[k], i)));
+}
+
+double CostModel::agent_benefit_at(const ReplicaPlacement& placement,
+                                   ServerId i, ObjectIndex k,
+                                   std::size_t slot) {
+  const Problem& p = placement.problem();
+  assert(!placement.is_replicator(i, k));
+  assert(p.access.accessors(k)[slot].server == i);
+  const Access& cell = p.access.accessors(k)[slot];
   const double o = static_cast<double>(p.object_units[k]);
   const double read_savings =
-      static_cast<double>(p.access.reads(i, k)) * o *
-      static_cast<double>(placement.nn_distance(i, k));
+      static_cast<double>(cell.reads) * o *
+      static_cast<double>(placement.nn_distance_by_slot(k, slot));
   const double broadcast_price =
       (static_cast<double>(p.access.total_writes(k)) -
-       static_cast<double>(p.access.writes(i, k))) *
+       static_cast<double>(cell.writes)) *
       o * static_cast<double>(p.distance(p.primary[k], i));
   return read_savings - broadcast_price;
 }
@@ -95,11 +111,13 @@ double CostModel::global_benefit(const ReplicaPlacement& placement, ServerId i,
   // closer (including i itself, whose read distance drops to zero).
   double benefit = 0.0;
   const auto accessors = p.access.accessors(k);
+  const auto nn = placement.nn_row(k);
+  const auto i_row = p.distances->row(i);
   for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
     const Access& a = accessors[slot];
     if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
-    const net::Cost current = placement.nn_distance_by_slot(k, slot);
-    const net::Cost with_i = std::min(current, p.distance(a.server, i));
+    const net::Cost current = nn[slot];
+    const net::Cost with_i = std::min(current, i_row[a.server]);
     benefit += static_cast<double>(a.reads) * o *
                (static_cast<double>(current) - static_cast<double>(with_i));
   }

@@ -1,33 +1,92 @@
 #include "drp/placement.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 namespace agtram::drp {
 
 ReplicaPlacement::ReplicaPlacement(const Problem& problem)
     : problem_(&problem),
-      replicators_(problem.object_count()),
-      nn_dist_(problem.object_count()),
-      nn_node_(problem.object_count()),
+      reps_(problem.object_count()),
+      nn_dist_(problem.access.nonzeros()),
+      nn_node_(problem.access.nonzeros()),
       used_(problem.server_count(), 0) {
   for (ObjectIndex k = 0; k < problem.object_count(); ++k) {
     const ServerId p = problem.primary[k];
-    replicators_[k].push_back(p);
+    RepSet& rs = reps_[k];
+    rs.inline_buf[0] = p;
+    rs.count = 1;
     used_[p] += problem.object_units[k];
     const auto accessors = problem.access.accessors(k);
-    nn_dist_[k].resize(accessors.size());
-    nn_node_[k].assign(accessors.size(), p);
+    const auto primary_row = problem.distances->row(p);
+    const std::size_t base = problem.access.accessor_base(k);
     for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-      nn_dist_[k][slot] = problem.distance(accessors[slot].server, p);
+      nn_dist_[base + slot] = primary_row[accessors[slot].server];
+      nn_node_[base + slot] = p;
     }
   }
 }
 
+ReplicaPlacement::ReplicaPlacement(const ReplicaPlacement& other)
+    : problem_(other.problem_),
+      reps_(other.reps_),
+      nn_dist_(other.nn_dist_),
+      nn_node_(other.nn_node_),
+      used_(other.used_) {
+  // Re-home spilled sets into a fresh, compact arena (dropping whatever
+  // garbage doubling left behind in the source).
+  for (RepSet& rs : reps_) {
+    if (rs.capacity <= kInlineReplicators) continue;
+    const ServerId* src = other.rep_data(rs);
+    ServerId* dst = spill_alloc(rs.capacity, rs.block, rs.offset);
+    std::memcpy(dst, src, rs.count * sizeof(ServerId));
+  }
+}
+
+ReplicaPlacement& ReplicaPlacement::operator=(const ReplicaPlacement& other) {
+  if (this != &other) {
+    ReplicaPlacement copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+ServerId* ReplicaPlacement::spill_alloc(std::uint32_t n, std::uint32_t& block,
+                                        std::uint32_t& offset) {
+  if (spill_blocks_.empty() || spill_block_used_ + n > spill_block_cap_) {
+    spill_block_cap_ = std::max<std::size_t>(kSpillBlockEntries, n);
+    spill_blocks_.push_back(std::make_unique<ServerId[]>(spill_block_cap_));
+    spill_block_used_ = 0;
+  }
+  block = static_cast<std::uint32_t>(spill_blocks_.size() - 1);
+  offset = static_cast<std::uint32_t>(spill_block_used_);
+  spill_block_used_ += n;
+  return spill_blocks_.back().get() + offset;
+}
+
+void ReplicaPlacement::grow(RepSet& rs) {
+  const std::uint32_t new_cap = rs.capacity * 2;
+  std::uint32_t block = 0, offset = 0;
+  ServerId* dst = spill_alloc(new_cap, block, offset);
+  std::memcpy(dst, rep_data(rs), rs.count * sizeof(ServerId));
+  rs.capacity = new_cap;
+  rs.block = block;
+  rs.offset = offset;
+}
+
 bool ReplicaPlacement::is_replicator(ServerId i, ObjectIndex k) const {
-  const auto& reps = replicators_[k];
-  return std::binary_search(reps.begin(), reps.end(), i);
+  const RepSet& rs = reps_[k];
+  const ServerId* data = rep_data(rs);
+  if (rs.count <= kInlineReplicators) {
+    for (std::uint32_t s = 0; s < rs.count; ++s) {
+      if (data[s] == i) return true;
+    }
+    return false;
+  }
+  return std::binary_search(data, data + rs.count, i);
 }
 
 bool ReplicaPlacement::can_replicate(ServerId i, ObjectIndex k) const {
@@ -37,16 +96,25 @@ bool ReplicaPlacement::can_replicate(ServerId i, ObjectIndex k) const {
 
 void ReplicaPlacement::add_replica(ServerId i, ObjectIndex k) {
   assert(can_replicate(i, k));
-  auto& reps = replicators_[k];
-  reps.insert(std::upper_bound(reps.begin(), reps.end(), i), i);
+  RepSet& rs = reps_[k];
+  if (rs.count == rs.capacity) grow(rs);
+  ServerId* data = rep_data(rs);
+  const ServerId* pos = std::upper_bound(data, data + rs.count, i);
+  const std::size_t at = static_cast<std::size_t>(pos - data);
+  std::memmove(data + at + 1, data + at,
+               (rs.count - at) * sizeof(ServerId));
+  data[at] = i;
+  ++rs.count;
   used_[i] += problem_->object_units[k];
 
   const auto accessors = problem_->access.accessors(k);
+  const auto new_row = problem_->distances->row(i);
+  const std::size_t base = problem_->access.accessor_base(k);
   for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-    const net::Cost d = problem_->distance(accessors[slot].server, i);
-    if (d < nn_dist_[k][slot]) {
-      nn_dist_[k][slot] = d;
-      nn_node_[k][slot] = i;
+    const net::Cost d = new_row[accessors[slot].server];
+    if (d < nn_dist_[base + slot]) {
+      nn_dist_[base + slot] = d;
+      nn_node_[base + slot] = i;
     }
   }
 }
@@ -55,19 +123,23 @@ void ReplicaPlacement::remove_replica(ServerId i, ObjectIndex k) {
   if (i == problem_->primary[k]) {
     throw std::logic_error("cannot remove the primary copy");
   }
-  auto& reps = replicators_[k];
-  const auto it = std::lower_bound(reps.begin(), reps.end(), i);
-  if (it == reps.end() || *it != i) {
+  RepSet& rs = reps_[k];
+  ServerId* data = rep_data(rs);
+  ServerId* pos = std::lower_bound(data, data + rs.count, i);
+  if (pos == data + rs.count || *pos != i) {
     throw std::logic_error("remove_replica: not a replicator");
   }
-  reps.erase(it);
+  std::memmove(pos, pos + 1,
+               (rs.count - (pos - data) - 1) * sizeof(ServerId));
+  --rs.count;
   used_[i] -= problem_->object_units[k];
   rebuild_nn(k);
 }
 
 void ReplicaPlacement::rebuild_nn(ObjectIndex k) {
   const auto accessors = problem_->access.accessors(k);
-  const auto& reps = replicators_[k];
+  const auto reps = replicators(k);
+  const std::size_t base = problem_->access.accessor_base(k);
   for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
     net::Cost best = net::kUnreachable;
     ServerId best_node = reps.front();
@@ -78,16 +150,18 @@ void ReplicaPlacement::rebuild_nn(ObjectIndex k) {
         best_node = r;
       }
     }
-    nn_dist_[k][slot] = best;
-    nn_node_[k][slot] = best_node;
+    nn_dist_[base + slot] = best;
+    nn_node_[base + slot] = best_node;
   }
 }
 
 net::Cost ReplicaPlacement::nn_distance(ServerId i, ObjectIndex k) const {
   const std::size_t slot = problem_->access.accessor_slot(i, k);
-  if (slot != AccessMatrix::npos) return nn_dist_[k][slot];
+  if (slot != AccessMatrix::npos) {
+    return nn_dist_[problem_->access.accessor_base(k) + slot];
+  }
   net::Cost best = net::kUnreachable;
-  for (ServerId r : replicators_[k]) {
+  for (ServerId r : replicators(k)) {
     best = std::min(best, problem_->distance(i, r));
   }
   return best;
@@ -95,10 +169,12 @@ net::Cost ReplicaPlacement::nn_distance(ServerId i, ObjectIndex k) const {
 
 ServerId ReplicaPlacement::nn_server(ServerId i, ObjectIndex k) const {
   const std::size_t slot = problem_->access.accessor_slot(i, k);
-  if (slot != AccessMatrix::npos) return nn_node_[k][slot];
+  if (slot != AccessMatrix::npos) {
+    return nn_node_[problem_->access.accessor_base(k) + slot];
+  }
   net::Cost best = net::kUnreachable;
-  ServerId best_node = replicators_[k].front();
-  for (ServerId r : replicators_[k]) {
+  ServerId best_node = replicators(k).front();
+  for (ServerId r : replicators(k)) {
     const net::Cost d = problem_->distance(i, r);
     if (d < best) {
       best = d;
@@ -110,14 +186,27 @@ ServerId ReplicaPlacement::nn_server(ServerId i, ObjectIndex k) const {
 
 std::size_t ReplicaPlacement::replica_count() const {
   std::size_t total = 0;
-  for (const auto& reps : replicators_) total += reps.size();
+  for (const RepSet& rs : reps_) total += rs.count;
   return total;
 }
 
 void ReplicaPlacement::check_invariants() const {
   std::vector<std::uint64_t> recomputed_used(problem_->server_count(), 0);
   for (ObjectIndex k = 0; k < problem_->object_count(); ++k) {
-    const auto& reps = replicators_[k];
+    const RepSet& rs = reps_[k];
+    if (rs.count > rs.capacity) {
+      throw std::logic_error("replicator set count exceeds its capacity");
+    }
+    if (rs.capacity > kInlineReplicators) {
+      if (rs.block >= spill_blocks_.size()) {
+        throw std::logic_error("replicator spill block out of range");
+      }
+      if (rs.capacity % kInlineReplicators != 0 ||
+          !std::has_single_bit(rs.capacity / kInlineReplicators)) {
+        throw std::logic_error("spilled capacity not a doubling");
+      }
+    }
+    const auto reps = replicators(k);
     if (!std::is_sorted(reps.begin(), reps.end())) {
       throw std::logic_error("replicator list not sorted");
     }
@@ -134,19 +223,21 @@ void ReplicaPlacement::check_invariants() const {
       recomputed_used[r] += problem_->object_units[k];
     }
     const auto accessors = problem_->access.accessors(k);
+    const std::size_t base = problem_->access.accessor_base(k);
     for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
       net::Cost best = net::kUnreachable;
       for (ServerId r : reps) {
         best = std::min(best, problem_->distance(accessors[slot].server, r));
       }
-      if (best != nn_dist_[k][slot]) {
+      if (best != nn_dist_[base + slot]) {
         throw std::logic_error("stale NN cache");
       }
-      if (problem_->distance(accessors[slot].server, nn_node_[k][slot]) !=
+      if (problem_->distance(accessors[slot].server, nn_node_[base + slot]) !=
           best) {
         throw std::logic_error("NN node does not realise NN distance");
       }
-      if (!std::binary_search(reps.begin(), reps.end(), nn_node_[k][slot])) {
+      if (!std::binary_search(reps.begin(), reps.end(),
+                              nn_node_[base + slot])) {
         throw std::logic_error("NN node is not a replicator");
       }
     }

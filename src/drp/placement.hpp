@@ -6,9 +6,20 @@
 // cost model and all placement algorithms consume.  Adding a replica updates
 // the caches in O(|accessors(k)|); removing one (used by the genetic
 // baseline) rebuilds the object's cache in O(|accessors(k)| * |R_k|).
+//
+// Memory layout (DESIGN.md §7): the NN caches live in two flat arrays
+// indexed by AccessMatrix::accessor_base(k) + slot — the same slot scheme as
+// the accessor pool, so one round's cost walk touches two parallel
+// contiguous ranges.  Replicator sets are small inline buffers
+// (kInlineReplicators entries in place); the rare hot object that outgrows
+// its buffer spills to a chunked arena whose blocks never move, so
+// `replicators(k)` spans stay valid across mutations of *other* objects.
+// A span for object k itself is invalidated by add_replica(_, k) — the same
+// contract the nested-vector layout had.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,11 +34,20 @@ class ReplicaPlacement {
   /// "initial" network against which OTC savings are measured.
   explicit ReplicaPlacement(const Problem& problem);
 
+  ReplicaPlacement(const ReplicaPlacement& other);
+  ReplicaPlacement& operator=(const ReplicaPlacement& other);
+  ReplicaPlacement(ReplicaPlacement&&) noexcept = default;
+  ReplicaPlacement& operator=(ReplicaPlacement&&) noexcept = default;
+  ~ReplicaPlacement() = default;
+
   const Problem& problem() const noexcept { return *problem_; }
 
-  /// Replicators of object k (always contains the primary), sorted.
+  /// Replicators of object k (always contains the primary), sorted.  The
+  /// span is invalidated by add_replica/remove_replica on the *same* object;
+  /// mutations of other objects leave it valid.
   std::span<const ServerId> replicators(ObjectIndex k) const {
-    return replicators_[k];
+    const RepSet& rs = reps_[k];
+    return {rep_data(rs), rs.count};
   }
 
   bool is_replicator(ServerId i, ObjectIndex k) const;
@@ -57,7 +77,15 @@ class ReplicaPlacement {
 
   /// Cached NN distance by accessor slot (see AccessMatrix::accessor_slot).
   net::Cost nn_distance_by_slot(ObjectIndex k, std::size_t slot) const {
-    return nn_dist_[k][slot];
+    return nn_dist_[problem_->access.accessor_base(k) + slot];
+  }
+
+  /// Object k's whole NN-distance row, parallel to access.accessors(k).
+  /// Hot-loop variant of nn_distance_by_slot: one base lookup per row.
+  std::span<const net::Cost> nn_row(ObjectIndex k) const {
+    const std::size_t base = problem_->access.accessor_base(k);
+    return {nn_dist_.data() + base,
+            problem_->access.accessor_base(k + 1) - base};
   }
 
   /// Total replica count including primaries.
@@ -69,16 +97,57 @@ class ReplicaPlacement {
   }
 
   /// Checks every invariant (capacity, primary membership, NN cache
-  /// consistency); throws std::logic_error on violation.  Test hook — O(M*N).
+  /// consistency, replicator-set layout); throws std::logic_error on
+  /// violation.  Test hook — O(M*N).
   void check_invariants() const;
 
+  /// Replicator sets up to this size live inside RepSet itself; bigger sets
+  /// spill to the arena.  8 covers the overwhelming majority of objects at
+  /// every shipped scale (mean extra replicas per object is ~1).
+  static constexpr std::uint32_t kInlineReplicators = 8;
+
  private:
+  static constexpr std::size_t kSpillBlockEntries = 4096;
+
+  struct RepSet {
+    std::uint32_t count = 0;
+    std::uint32_t capacity = kInlineReplicators;
+    std::uint32_t block = 0;   ///< arena block index (capacity > inline only)
+    std::uint32_t offset = 0;  ///< offset inside that block
+    ServerId inline_buf[kInlineReplicators];
+  };
+
+  const ServerId* rep_data(const RepSet& rs) const {
+    return rs.capacity <= kInlineReplicators
+               ? rs.inline_buf
+               : spill_blocks_[rs.block].get() + rs.offset;
+  }
+  ServerId* rep_data(RepSet& rs) {
+    return rs.capacity <= kInlineReplicators
+               ? rs.inline_buf
+               : spill_blocks_[rs.block].get() + rs.offset;
+  }
+
+  /// Bump-allocates `n` entries from the spill arena (blocks never move).
+  ServerId* spill_alloc(std::uint32_t n, std::uint32_t& block,
+                        std::uint32_t& offset);
+  /// Doubles rs's storage via the arena; the old chunk is abandoned in
+  /// place (bounded garbage: every entry is copied at most once per
+  /// doubling, so waste < total allocated).  Copy construction compacts.
+  void grow(RepSet& rs);
+
   void rebuild_nn(ObjectIndex k);
 
   const Problem* problem_;
-  std::vector<std::vector<ServerId>> replicators_;
-  std::vector<std::vector<net::Cost>> nn_dist_;   ///< per accessor slot
-  std::vector<std::vector<ServerId>> nn_node_;    ///< per accessor slot
+  std::vector<RepSet> reps_;                ///< one per object, never resized
+  std::vector<std::unique_ptr<ServerId[]>> spill_blocks_;
+  std::size_t spill_block_cap_ = 0;   ///< capacity of spill_blocks_.back()
+  std::size_t spill_block_used_ = 0;  ///< bump cursor in spill_blocks_.back()
+
+  /// Flat NN caches, indexed by access.accessor_base(k) + slot (one entry
+  /// per nonzero demand cell, shared slot scheme with the accessor pool).
+  std::vector<net::Cost> nn_dist_;
+  std::vector<ServerId> nn_node_;
   std::vector<std::uint64_t> used_;
 };
 

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -37,6 +38,13 @@ class DistanceMatrix {
 
   Cost operator()(NodeId a, NodeId b) const {
     return data_[static_cast<std::size_t>(a) * nodes_ + b];
+  }
+
+  /// Row `a` as a contiguous span: row(a)[b] == (*this)(a, b).  The matrix
+  /// is symmetric, so hot loops that scan distances to a fixed node `a`
+  /// should walk row(a) sequentially instead of striding down column `a`.
+  std::span<const Cost> row(NodeId a) const {
+    return {data_.data() + static_cast<std::size_t>(a) * nodes_, nodes_};
   }
 
   /// Largest pairwise distance (network diameter in cost units).

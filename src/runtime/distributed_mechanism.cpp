@@ -14,7 +14,7 @@ DistributedRunReport run_distributed(const drp::Problem& problem,
   core::AgtRamConfig mech;
   mech.payment_rule = config.payment_rule;
   mech.parallel_agents = true;
-  mech.incremental_reports = config.incremental;
+  mech.report_mode = config.report_mode;
   mech.observer = &bus;
 
   common::Timer timer;

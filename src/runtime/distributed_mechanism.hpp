@@ -16,11 +16,12 @@ struct DistributedConfig {
   double seconds_per_cost_unit = 1e-4;
   /// Pin the central body to a server; -1 picks the metric medoid.
   std::int64_t centre = -1;
-  /// Dirty-set protocol: the centre caches standing reports, re-polls only
-  /// the agents the last allocation could have touched, and multicasts OMAX
-  /// to that set — far fewer messages, byte-identical allocation.  Disable
-  /// to account the paper's literal every-agent-every-round traffic.
-  bool incremental = true;
+  /// Dirty-set protocol (core::ReportMode::Incremental): the centre caches
+  /// standing reports, re-polls only the agents the last allocation could
+  /// have touched, and multicasts OMAX to that set — far fewer messages,
+  /// byte-identical allocation.  ReportMode::Naive accounts the paper's
+  /// literal every-agent-every-round traffic; Auto picks per instance.
+  core::ReportMode report_mode = core::ReportMode::Incremental;
 };
 
 struct DistributedRunReport {

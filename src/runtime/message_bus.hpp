@@ -14,7 +14,7 @@
 // benches can report simulated convergence time and the centre-vs-agents
 // traffic split that substantiates the scalability argument.
 //
-// Under the incremental protocol (AgtRamConfig::incremental_reports) the
+// Under the incremental protocol (core::ReportMode::Incremental) the
 // centre caches standing reports, so only agents whose valuation the last
 // allocation could have changed re-report, and the OMAX broadcast is a
 // targeted multicast to that same dirty set — the bus counts exactly those

@@ -330,10 +330,15 @@ void expect_identical_results(const MechanismResult& expected,
   }
 }
 
-void run_differential(const drp::Problem& p, const char* label) {
+void run_differential(const drp::Problem& p, const char* label,
+                      std::size_t max_rounds = 0) {
   AgtRamConfig naive_cfg;
-  naive_cfg.incremental_reports = false;
+  naive_cfg.report_mode = ReportMode::Naive;
   naive_cfg.parallel_agents = false;
+  // Exercise the forked PARFOR path even on tiny rounds (the production
+  // default would run them inline below the cutoff).
+  naive_cfg.parallel_min_agents = 1;
+  naive_cfg.max_rounds = max_rounds;
   const MechanismResult oracle = run_agt_ram(p, naive_cfg);
 
   AgtRamConfig cfg = naive_cfg;
@@ -341,12 +346,19 @@ void run_differential(const drp::Problem& p, const char* label) {
   expect_identical_results(oracle, run_agt_ram(p, cfg), p,
                            (std::string(label) + "/naive-parallel").c_str());
   cfg.parallel_agents = false;
-  cfg.incremental_reports = true;
+  cfg.report_mode = ReportMode::Incremental;
   expect_identical_results(oracle, run_agt_ram(p, cfg), p,
                            (std::string(label) + "/incr-serial").c_str());
   cfg.parallel_agents = true;
   expect_identical_results(oracle, run_agt_ram(p, cfg), p,
                            (std::string(label) + "/incr-parallel").c_str());
+  // Auto must resolve to one of the two paths above and stay identical.
+  cfg.parallel_agents = false;
+  cfg.report_mode = ReportMode::Auto;
+  const MechanismResult auto_run = run_agt_ram(p, cfg);
+  EXPECT_NE(auto_run.resolved_mode, ReportMode::Auto);
+  expect_identical_results(oracle, auto_run, p,
+                           (std::string(label) + "/auto").c_str());
 }
 
 TEST(Differential, HandBuiltLineInstances) {
@@ -385,6 +397,24 @@ TEST(Differential, DispersedDemandInstances) {
   run_differential(dispersed_instance(302, 48, 240), "dispersed-302");
 }
 
+TEST(Differential, PaperScaleFamilyRoundCapped) {
+  // The M=3000 family from BENCH_mechanism.json, round-capped so all five
+  // paths (naive/incremental x serial/parallel, plus Auto) stay test-sized.
+  // Same recipe as the bench: seed 42, power-law topology, dispersed demand
+  // with 8 readers/object, 1% capacity, R/W 0.9.
+  drp::InstanceSpec spec;
+  spec.servers = 3000;
+  spec.objects = 25600;
+  spec.seed = 42;
+  spec.topology = net::TopologyKind::PowerLaw;
+  spec.demand = drp::DemandModel::Dispersed;
+  spec.readers_per_object = 8.0;
+  spec.instance.capacity_fraction = 0.01;
+  spec.instance.rw_ratio = 0.9;
+  run_differential(drp::make_instance(spec), "paper-3000x25600",
+                   /*max_rounds=*/120);
+}
+
 TEST(Differential, IncrementalDoesStrictlyLessWork) {
   // The point of the dirty-set path: far fewer reports recomputed.  On a
   // dispersed-demand instance the naive sweep recomputes every live agent
@@ -394,12 +424,46 @@ TEST(Differential, IncrementalDoesStrictlyLessWork) {
   // DESIGN.md.)
   const drp::Problem p = dispersed_instance(205, 96, 600);
   AgtRamConfig cfg;
-  cfg.incremental_reports = false;
+  cfg.report_mode = ReportMode::Naive;
   const MechanismResult naive = run_agt_ram(p, cfg);
-  cfg.incremental_reports = true;
+  cfg.report_mode = ReportMode::Incremental;
   const MechanismResult incremental = run_agt_ram(p, cfg);
   ASSERT_GT(naive.rounds.size(), 4u) << "instance too easy to be meaningful";
   EXPECT_LT(incremental.reports_computed, naive.reports_computed / 2);
+}
+
+TEST(Differential, AutoModePicksTheDirtySetRegimeApart) {
+  // Auto keys off the expected dirty-set size (size-biased mean reader
+  // count) and the demand concentration (effective hot objects): the
+  // dispersed family (readers(k) << M, volume spread wide) must resolve to
+  // Incremental, while trace demand (a ~25-object effective hot set that
+  // collapses the live set onto its readers) must resolve to Naive.
+  const drp::Problem dispersed = dispersed_instance(206, 96, 600);
+  EXPECT_EQ(resolve_report_mode(dispersed, dispersed.server_count(),
+                                ReportMode::Auto),
+            ReportMode::Incremental);
+  EXPECT_EQ(run_agt_ram(dispersed).resolved_mode, ReportMode::Incremental);
+
+  drp::InstanceSpec spec;
+  spec.servers = 160;
+  spec.objects = 1600;
+  spec.seed = 42;
+  spec.instance.capacity_fraction = 0.01;
+  spec.instance.rw_ratio = 0.9;
+  const drp::Problem trace = drp::make_instance(spec);
+  EXPECT_LT(trace.access.effective_hot_objects(), 50.0);
+  EXPECT_EQ(
+      resolve_report_mode(trace, trace.server_count(), ReportMode::Auto),
+      ReportMode::Naive);
+  EXPECT_EQ(run_agt_ram(trace).resolved_mode, ReportMode::Naive);
+
+  // An explicit request is never overridden.
+  EXPECT_EQ(resolve_report_mode(dispersed, dispersed.server_count(),
+                                ReportMode::Naive),
+            ReportMode::Naive);
+  EXPECT_EQ(
+      resolve_report_mode(trace, trace.server_count(), ReportMode::Incremental),
+      ReportMode::Incremental);
 }
 
 TEST(Audit, TruthfulParticipationIsIndividuallyRational) {
