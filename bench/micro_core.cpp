@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/registry.hpp"
 #include "bench_common.hpp"
 #include "common/timer.hpp"
 #include "core/agent.hpp"
@@ -241,14 +242,28 @@ struct TrajectoryOptions {
   bool paper_scale = true;
   int reps = 3;
   int paper_reps = 2;
+  /// Baseline naive-vs-delta family (Greedy, GRA, Aε-Star, Selfish,
+  /// LocalSearch, SA at the base scale; Greedy + GRA at paper scale).
+  bool baselines = true;
+  int baseline_reps = 2;
   std::string json_path = bench::kMechanismJsonPath;
 };
 
 /// Parallel-vs-serial noise tolerance.  With the round-size cutoff in place
 /// the two paths execute identical code below the crossover, so the only
 /// differences left are scheduler noise; 10% of wall time bounds that
-/// comfortably at best-of-N timing.
+/// comfortably at best-of-N timing.  Millisecond-scale rows additionally
+/// get the same absolute floor the bench gate uses: a ~1 ms swing on a
+/// 5 ms row is jitter (especially on single-core runners, where parallel
+/// is serial plus the fork handshake), not a policy violation — the rows
+/// the check exists for take seconds and clear the floor easily.
 constexpr double kParallelTolerance = 1.10;
+constexpr double kParallelMinDelta = 0.02;  // seconds
+
+bool parallel_within_policy(double serial, double parallel) {
+  return parallel <= serial * kParallelTolerance ||
+         parallel - serial <= kParallelMinDelta;
+}
 
 /// Pre-migration wall times captured at commit b73a4db (nested-vector
 /// layout, binary-search NN lookups, unconditional PARFOR forking), same
@@ -398,7 +413,7 @@ FamilyReport run_family(bench::JsonWriter& json, const drp::Problem& p,
   for (const bool incremental : {false, true}) {
     const double serial = outcomes[incremental ? 1 : 0][0].seconds;
     const double parallel = outcomes[incremental ? 1 : 0][1].seconds;
-    const bool ok = parallel <= serial * kParallelTolerance;
+    const bool ok = parallel_within_policy(serial, parallel);
     family.parallel_ok = family.parallel_ok && ok;
     bench::JsonWriter::Record record;
     record.field("benchmark", "parallel_vs_serial_check")
@@ -463,6 +478,153 @@ FamilyReport run_family(bench::JsonWriter& json, const drp::Problem& p,
   return family;
 }
 
+// ---------------------------------------------------------------------------
+// Baseline naive-vs-delta family.
+//
+// Each baseline is run three ways — naive oracle, delta serial, delta
+// parallel — through the same registry entries the table binaries use.  The
+// delta paths are bit-identical reformulations, so beyond the before/after
+// timing rows the family asserts (nonzero exit) that every variant lands on
+// the same placement cost and replica count, and that parallel scans never
+// lose to serial beyond kParallelTolerance.
+// ---------------------------------------------------------------------------
+
+struct BaselineOutcome {
+  double seconds = 0.0;
+  double cost = 0.0;
+  std::uint64_t replicas = 0;
+};
+
+BaselineOutcome time_baseline(const drp::Problem& p,
+                              const baselines::AlgorithmEntry& algo,
+                              int repetitions) {
+  BaselineOutcome best;
+  best.seconds = 1e30;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    common::Timer timer;
+    const drp::ReplicaPlacement placement = algo.run(p, /*seed=*/1);
+    const double seconds = timer.seconds();
+    if (seconds < best.seconds) {
+      best.seconds = seconds;
+      best.cost = drp::CostModel::total_cost(placement);
+      best.replicas = placement.extra_replica_count();
+    }
+  }
+  return best;
+}
+
+bool run_baseline_family(bench::JsonWriter& json, const drp::Problem& p,
+                         const char* demand, std::uint32_t servers,
+                         std::uint32_t objects,
+                         const std::vector<std::string>& names, int reps) {
+  struct Variant {
+    const char* eval;
+    bool parallel;
+    baselines::AlgoOptions options;
+  };
+  const Variant variants[3] = {
+      {"naive", false, {baselines::EvalPath::Naive, false}},
+      {"delta", false, {baselines::EvalPath::Delta, false}},
+      {"delta", true, {baselines::EvalPath::Delta, true}},
+  };
+  bool ok = true;
+  for (const std::string& name : names) {
+    BaselineOutcome out[3];
+    for (int v = 0; v < 3; ++v) {
+      const baselines::AlgorithmEntry algo =
+          baselines::find_algorithm(name, variants[v].options);
+      out[v] = time_baseline(p, algo, reps);
+      bench::JsonWriter::Record record;
+      record.field("benchmark", "baseline_run")
+          .field("algorithm", name)
+          .field("servers", static_cast<std::uint64_t>(servers))
+          .field("objects", static_cast<std::uint64_t>(objects))
+          .field("demand", demand)
+          .field("eval", variants[v].eval)
+          .field("parallel_scan", variants[v].parallel)
+          .field("seconds", out[v].seconds)
+          .field("total_cost", out[v].cost)
+          .field("extra_replicas", out[v].replicas);
+      json.add(std::move(record));
+      std::printf("baseline %-11s %ux%u %s %s/%s: %.4fs, %llu replicas\n",
+                  name.c_str(), servers, objects, demand, variants[v].eval,
+                  variants[v].parallel ? "parallel" : "serial", out[v].seconds,
+                  static_cast<unsigned long long>(out[v].replicas));
+    }
+
+    // The delta engine is a bit-identical reformulation of the naive oracle:
+    // same placement, same total cost (bitwise), for every baseline.
+    bool identical = true;
+    for (int v = 1; v < 3; ++v) {
+      if (out[v].cost != out[0].cost || out[v].replicas != out[0].replicas) {
+        identical = false;
+        std::fprintf(stderr,
+                     "FAIL: %s %s/%s diverged from naive: cost %.17g vs "
+                     "%.17g, replicas %llu vs %llu\n",
+                     name.c_str(), variants[v].eval,
+                     variants[v].parallel ? "parallel" : "serial", out[v].cost,
+                     out[0].cost,
+                     static_cast<unsigned long long>(out[v].replicas),
+                     static_cast<unsigned long long>(out[0].replicas));
+      }
+    }
+    ok = ok && identical;
+    bench::JsonWriter::Record identity;
+    identity.field("benchmark", "baseline_identity_check")
+        .field("algorithm", name)
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("ok", identical);
+    json.add(std::move(identity));
+
+    const double serial_speedup =
+        out[1].seconds > 0.0 ? out[0].seconds / out[1].seconds : 0.0;
+    const double parallel_speedup =
+        out[2].seconds > 0.0 ? out[0].seconds / out[2].seconds : 0.0;
+    bench::JsonWriter::Record speedup;
+    speedup.field("benchmark", "baseline_speedup")
+        .field("algorithm", name)
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("naive_seconds", out[0].seconds)
+        .field("delta_serial_seconds", out[1].seconds)
+        .field("delta_parallel_seconds", out[2].seconds)
+        .field("serial_speedup", serial_speedup)
+        .field("parallel_speedup", parallel_speedup);
+    json.add(std::move(speedup));
+    std::printf("  %s delta speedup: %.2fx serial, %.2fx parallel\n",
+                name.c_str(), serial_speedup, parallel_speedup);
+
+    // Same execution policy as the mechanism rows: parallel candidate scans
+    // must never lose to serial (the round-size cutoffs degrade them to the
+    // identical inline path below the crossover).
+    const bool parallel_ok =
+        parallel_within_policy(out[1].seconds, out[2].seconds);
+    ok = ok && parallel_ok;
+    bench::JsonWriter::Record check;
+    check.field("benchmark", "baseline_parallel_check")
+        .field("algorithm", name)
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("serial_seconds", out[1].seconds)
+        .field("parallel_seconds", out[2].seconds)
+        .field("tolerance", kParallelTolerance)
+        .field("ok", parallel_ok);
+    json.add(std::move(check));
+    if (!parallel_ok) {
+      std::fprintf(stderr,
+                   "FAIL: %s parallel scan (%.4fs) slower than serial "
+                   "(%.4fs) on %ux%u %s\n",
+                   name.c_str(), out[2].seconds, out[1].seconds, servers,
+                   objects, demand);
+    }
+  }
+  return ok;
+}
+
 int write_mechanism_trajectory(const TrajectoryOptions& opts) {
   bench::JsonWriter json;
   bool parallel_ok = true;
@@ -493,6 +655,34 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
     parallel_ok = parallel_ok && family.parallel_ok;
   }
 
+  bool baselines_ok = true;
+  if (opts.baselines) {
+    const std::vector<std::string> all = {"Greedy",  "GRA",         "Ae-Star",
+                                          "Selfish", "LocalSearch", "SA"};
+    for (const bool dispersed : {false, true}) {
+      const char* demand = dispersed ? "dispersed" : "trace";
+      const drp::Problem& p =
+          dispersed ? dispersed_instance(opts.mech_servers, opts.mech_objects)
+                    : cached_instance(opts.mech_servers, opts.mech_objects);
+      baselines_ok = run_baseline_family(json, p, demand, opts.mech_servers,
+                                         opts.mech_objects, all,
+                                         opts.baseline_reps) &&
+                     baselines_ok;
+    }
+    if (opts.paper_scale) {
+      // The issue's acceptance gate: Greedy and GRA delta-vs-naive at the
+      // paper's own dimensions.  Naive oracles are slow here, so best-of-1.
+      const std::vector<std::string> gate = {"Greedy", "GRA"};
+      const drp::Problem& p =
+          dispersed_instance(opts.paper_servers, opts.paper_objects);
+      baselines_ok = run_baseline_family(json, p, "dispersed",
+                                         opts.paper_servers,
+                                         opts.paper_objects, gate,
+                                         /*reps=*/1) &&
+                     baselines_ok;
+    }
+  }
+
   if (json.write_file(opts.json_path, "micro_core")) {
     std::printf("mechanism trajectory written to %s\n",
                 opts.json_path.c_str());
@@ -504,6 +694,12 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
     std::fprintf(stderr,
                  "parallel execution policy violated (see "
                  "parallel_vs_serial_check rows)\n");
+    return 1;
+  }
+  if (!baselines_ok) {
+    std::fprintf(stderr,
+                 "baseline delta-vs-naive policy violated (see "
+                 "baseline_identity_check / baseline_parallel_check rows)\n");
     return 1;
   }
   return 0;
@@ -539,6 +735,10 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
       opts.reps = std::atoi(v);
     } else if (value_of(argv[i], "--paper-reps", &v)) {
       opts.paper_reps = std::atoi(v);
+    } else if (value_of(argv[i], "--baselines", &v)) {
+      opts.baselines = std::atoi(v) != 0;
+    } else if (value_of(argv[i], "--baseline-reps", &v)) {
+      opts.baseline_reps = std::atoi(v);
     } else if (value_of(argv[i], "--json", &v)) {
       opts.json_path = v;
     } else {
@@ -549,7 +749,7 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
   }
   argc = out;
   return ok && opts.mech_servers > 0 && opts.mech_objects > 0 &&
-         opts.reps > 0 && opts.paper_reps > 0 &&
+         opts.reps > 0 && opts.paper_reps > 0 && opts.baseline_reps > 0 &&
          (!opts.paper_scale ||
           (opts.paper_servers > 0 && opts.paper_objects > 0));
 }

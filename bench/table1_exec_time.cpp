@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_flag("n-grid", "1500,2000,2500", "object counts (paper: 15k,20k,25k)");
   cli.add_flag("json", bench::kMechanismJsonPath,
                "write per-cell wall times as JSON here ('' disables)");
+  bench::add_baseline_eval_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   const double capacity = cli.get_double("capacity");
@@ -34,7 +35,10 @@ int main(int argc, char** argv) {
     m_grid = {2500, 3000, 3718};
     n_grid = {15000, 20000, 25000};
   }
-  const auto algorithms = baselines::all_algorithms();
+  const baselines::AlgoOptions algo_options = bench::resolve_algo_options(cli);
+  const char* eval_name =
+      algo_options.eval == baselines::EvalPath::Naive ? "naive" : "delta";
+  const auto algorithms = baselines::all_algorithms(algo_options);
 
   std::vector<std::string> headers{"problem size"};
   for (const auto& a : algorithms) headers.push_back(a.name);
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
             .field("servers", static_cast<std::uint64_t>(dims.servers))
             .field("objects", static_cast<std::uint64_t>(dims.objects))
             .field("algorithm", algorithm.name)
+            .field("eval", eval_name)
             .field("seconds", outcome.seconds)
             .field("savings", outcome.savings)
             .field("replicas", static_cast<std::uint64_t>(outcome.replicas));

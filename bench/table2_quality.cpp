@@ -40,12 +40,14 @@ int main(int argc, char** argv) {
   cli.add_flag("divisor", "10",
                "scale the paper's M and N down by this factor "
                "(1 = paper scale, slow)");
+  bench::add_baseline_eval_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   double divisor = cli.get_double("divisor");
   if (cli.get("scale") == "paper") divisor = 1.0;
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  const auto algorithms = baselines::all_algorithms();
+  const auto algorithms =
+      baselines::all_algorithms(bench::resolve_algo_options(cli));
 
   std::vector<std::string> headers{"problem size"};
   for (const auto& a : algorithms) headers.push_back(a.name);

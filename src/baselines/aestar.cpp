@@ -5,9 +5,13 @@
 #include <cmath>
 #include <memory>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "drp/cost_model.hpp"
+#include "drp/delta_evaluator.hpp"
 
 namespace agtram::baselines {
 
@@ -19,55 +23,85 @@ struct Move {
   drp::ObjectIndex object;
 };
 
+struct Scored {
+  double score;
+  drp::ServerId server;
+  drp::ObjectIndex object;
+};
+
 /// Optimistic remaining saving: every non-local read could, at best, become
 /// free without any added broadcast cost.  Admissible by construction.
+/// Accumulated as per-object subtotals summed in object order — the same
+/// association DeltaEvaluator::optimistic_saving re-sums from its cache, so
+/// the two paths see bit-identical f values.
 double optimistic_saving(const drp::ReplicaPlacement& placement) {
   const drp::Problem& p = placement.problem();
   double saving = 0.0;
   for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
     const double o = static_cast<double>(p.object_units[k]);
     const auto accessors = p.access.accessors(k);
+    double s_k = 0.0;
     for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
       const auto& a = accessors[slot];
       if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
-      saving += static_cast<double>(a.reads) * o *
-                static_cast<double>(placement.nn_distance_by_slot(k, slot));
+      s_k += static_cast<double>(a.reads) * o *
+             static_cast<double>(placement.nn_distance_by_slot(k, slot));
     }
+    saving += s_k;
   }
   return saving;
 }
 
-/// Cheap candidate generator: for each object, score its hungriest
-/// non-replicator reader (r * o * nn); evaluate exact global benefit only
-/// for the highest-scoring shortlist and return the top `want` moves.
-std::vector<Move> candidate_moves(const drp::ReplicaPlacement& placement,
-                                  std::uint32_t want) {
+/// Hungriest feasible non-replicator reader of object k (r * o * nn), the
+/// cheap per-object score behind the candidate shortlist.
+Scored shortlist_entry(const drp::ReplicaPlacement& placement,
+                       drp::ObjectIndex k) {
   const drp::Problem& p = placement.problem();
-  struct Scored {
-    double score;
-    drp::ServerId server;
-    drp::ObjectIndex object;
-  };
-  std::vector<Scored> shortlist;
-  shortlist.reserve(p.object_count());
-  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
-    const double o = static_cast<double>(p.object_units[k]);
-    const auto accessors = p.access.accessors(k);
-    double best_score = 0.0;
-    drp::ServerId best_server = 0;
-    for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-      const auto& a = accessors[slot];
-      if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
-      if (!placement.can_replicate(a.server, k)) continue;
-      const double score =
-          static_cast<double>(a.reads) * o *
-          static_cast<double>(placement.nn_distance_by_slot(k, slot));
-      if (score > best_score) {
-        best_score = score;
-        best_server = a.server;
-      }
+  const double o = static_cast<double>(p.object_units[k]);
+  const auto accessors = p.access.accessors(k);
+  Scored best{0.0, 0, k};
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const auto& a = accessors[slot];
+    if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
+    if (!placement.can_replicate(a.server, k)) continue;
+    const double score =
+        static_cast<double>(a.reads) * o *
+        static_cast<double>(placement.nn_distance_by_slot(k, slot));
+    if (score > best.score) {
+      best.score = score;
+      best.server = a.server;
     }
-    if (best_score > 0.0) shortlist.push_back(Scored{best_score, best_server, k});
+  }
+  return best;
+}
+
+/// Cheap candidate generator: for each object, score its hungriest
+/// non-replicator reader; evaluate exact global benefit only for the
+/// highest-scoring shortlist and return the top `want` moves.  When
+/// `parallel` is set the per-object scoring fans out over the pool; the
+/// compaction, sorts and exact walk stay serial in deterministic order, so
+/// the returned moves are byte-identical either way.
+std::vector<Move> candidate_moves(const drp::ReplicaPlacement& placement,
+                                  std::uint32_t want, bool parallel) {
+  const drp::Problem& p = placement.problem();
+  const std::size_t n = p.object_count();
+  std::vector<Scored> scored(n);
+  const auto score_chunk = [&](std::size_t first, std::size_t last) {
+    for (std::size_t k = first; k < last; ++k) {
+      scored[k] = shortlist_entry(placement, static_cast<drp::ObjectIndex>(k));
+    }
+  };
+  if (parallel) {
+    common::ThreadPool::shared().parallel_for(0, n, score_chunk,
+                                              /*min_grain=*/512);
+  } else {
+    score_chunk(0, n);
+  }
+
+  std::vector<Scored> shortlist;
+  shortlist.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (scored[k].score > 0.0) shortlist.push_back(scored[k]);
   }
   std::sort(shortlist.begin(), shortlist.end(),
             [](const Scored& a, const Scored& b) { return a.score > b.score; });
@@ -109,7 +143,11 @@ Move best_reader_move(const drp::ReplicaPlacement& placement,
 
 /// Exhausts all remaining positive reader-site moves with a lazy per-object
 /// max-heap (benefits only decrease, so stale tops are re-validated on pop).
-void complete_greedily(drp::ReplicaPlacement& placement) {
+/// `State` is either a bare ReplicaPlacement (naive) or a DeltaEvaluator
+/// (delta); both expose the same benefits bit for bit, so the two paths walk
+/// identical move sequences.
+template <typename State>
+void complete_greedily(State& state) {
   struct HeapEntry {
     double benefit;
     drp::ObjectIndex object;
@@ -118,23 +156,30 @@ void complete_greedily(drp::ReplicaPlacement& placement) {
       return object > other.object;
     }
   };
+  const auto best_move = [&](drp::ObjectIndex k) {
+    if constexpr (std::is_same_v<State, drp::ReplicaPlacement>) {
+      return best_reader_move(state, k);
+    } else {
+      return best_reader_move(state.placement(), k);
+    }
+  };
   std::priority_queue<HeapEntry> heap;
-  const std::size_t n = placement.problem().object_count();
+  const std::size_t n = state.problem().object_count();
   for (drp::ObjectIndex k = 0; k < n; ++k) {
-    const Move move = best_reader_move(placement, k);
+    const Move move = best_move(k);
     if (move.benefit > 0.0) heap.push(HeapEntry{move.benefit, k});
   }
   while (!heap.empty()) {
     const HeapEntry top = heap.top();
     heap.pop();
-    const Move fresh = best_reader_move(placement, top.object);
+    const Move fresh = best_move(top.object);
     if (fresh.benefit <= 0.0) continue;
     if (!heap.empty() && fresh.benefit < heap.top().benefit) {
       heap.push(HeapEntry{fresh.benefit, top.object});
       continue;
     }
-    placement.add_replica(fresh.server, fresh.object);
-    const Move next = best_reader_move(placement, top.object);
+    state.add_replica(fresh.server, fresh.object);
+    const Move next = best_move(top.object);
     if (next.benefit > 0.0) heap.push(HeapEntry{next.benefit, top.object});
   }
 }
@@ -145,25 +190,33 @@ struct Node {
   double f;  ///< g - optimistic_saving  (lower bound on reachable OTC)
 };
 
-}  // namespace
+struct DeltaNode {
+  drp::DeltaEvaluator eval;
+  double g;
+  double f;
+};
 
-drp::ReplicaPlacement run_aestar(const drp::Problem& problem,
-                                 const AeStarConfig& config) {
-  drp::ReplicaPlacement root(problem);
-  const double root_cost = drp::CostModel::total_cost(root);
-
-  std::vector<std::unique_ptr<Node>> open;
-  open.push_back(std::make_unique<Node>(
-      Node{root, root_cost, root_cost - optimistic_saving(root)}));
+/// Shared Aε-Star search loop.  `NodeT` carries the placement state; the
+/// accessor lambdas bridge the naive/delta representations so the FOCAL
+/// selection, pruning and eviction logic is written once.
+template <typename NodeT, typename MakeRoot, typename Expand, typename Leaf,
+          typename MakeChild>
+drp::ReplicaPlacement search(const AeStarConfig& config, MakeRoot make_root,
+                             Expand expand, Leaf handle_leaf,
+                             MakeChild make_child) {
+  std::vector<std::unique_ptr<NodeT>> open;
+  open.push_back(make_root());
+  const double root_cost = open.front()->g;
 
   // Incumbent: best complete (move-exhausted) solution seen so far.
   std::unique_ptr<drp::ReplicaPlacement> incumbent;
   double incumbent_cost = root_cost;
-  // Best partial node by g, used for greedy completion at budget exhaustion.
-  drp::ReplicaPlacement best_partial = root;
-  double best_partial_cost = root_cost;
 
   std::size_t expansions = 0;
+  // Best partial node by g, used for greedy completion at budget exhaustion.
+  auto best_partial = std::make_unique<NodeT>(*open.front());
+  double best_partial_cost = root_cost;
+
   while (!open.empty() && expansions < config.max_expansions) {
     // FOCAL rule of Aε-Star: among nodes with f <= (1+eps) * f_min, expand
     // the one with the smallest g (most progress).
@@ -178,20 +231,18 @@ drp::ReplicaPlacement run_aestar(const drp::Problem& problem,
       if (open[i]->f <= focal_bound && open[i]->g < open[pick]->g) pick = i;
     }
 
-    std::unique_ptr<Node> node = std::move(open[pick]);
+    std::unique_ptr<NodeT> node = std::move(open[pick]);
     open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
     ++expansions;
 
     // Bound: a node that cannot beat the incumbent is pruned.
     if (incumbent && node->f >= incumbent_cost) continue;
 
-    const auto moves = candidate_moves(node->placement, config.branching);
+    const std::vector<Move> moves = expand(*node);
     if (moves.empty()) {
       // The shortlist dried up: polish with the exhaustive reader-site
       // greedy pass before scoring the leaf as an incumbent.
-      drp::ReplicaPlacement leaf = node->placement;
-      complete_greedily(leaf);
-      const double leaf_cost = drp::CostModel::total_cost(leaf);
+      auto [leaf, leaf_cost] = handle_leaf(*node);
       if (!incumbent || leaf_cost < incumbent_cost) {
         incumbent_cost = leaf_cost;
         incumbent = std::make_unique<drp::ReplicaPlacement>(std::move(leaf));
@@ -199,14 +250,11 @@ drp::ReplicaPlacement run_aestar(const drp::Problem& problem,
       continue;
     }
     for (const Move& move : moves) {
-      auto child = std::make_unique<Node>(*node);
-      child->placement.add_replica(move.server, move.object);
-      child->g = node->g - move.benefit;
-      child->f = child->g - optimistic_saving(child->placement);
+      std::unique_ptr<NodeT> child = make_child(*node, move);
       if (incumbent && child->f >= incumbent_cost) continue;
       if (child->g < best_partial_cost) {
         best_partial_cost = child->g;
-        best_partial = child->placement;
+        best_partial = std::make_unique<NodeT>(*child);
       }
       open.push_back(std::move(child));
     }
@@ -222,12 +270,80 @@ drp::ReplicaPlacement run_aestar(const drp::Problem& problem,
     return std::move(*incumbent);
   }
   // Budget exhausted on a promising partial: complete it greedily.
-  complete_greedily(best_partial);
-  if (incumbent &&
-      incumbent_cost < drp::CostModel::total_cost(best_partial)) {
+  auto [completed, completed_cost] = handle_leaf(*best_partial);
+  if (incumbent && incumbent_cost < completed_cost) {
     return std::move(*incumbent);
   }
-  return best_partial;
+  return completed;
+}
+
+drp::ReplicaPlacement run_aestar_naive(const drp::Problem& problem,
+                                       const AeStarConfig& config) {
+  return search<Node>(
+      config,
+      [&] {
+        drp::ReplicaPlacement root(problem);
+        const double root_cost = drp::CostModel::total_cost(root);
+        return std::make_unique<Node>(
+            Node{root, root_cost, root_cost - optimistic_saving(root)});
+      },
+      [&](const Node& node) {
+        return candidate_moves(node.placement, config.branching,
+                               /*parallel=*/false);
+      },
+      [&](const Node& node) {
+        drp::ReplicaPlacement leaf = node.placement;
+        complete_greedily(leaf);
+        const double leaf_cost = drp::CostModel::total_cost(leaf);
+        return std::pair(std::move(leaf), leaf_cost);
+      },
+      [&](const Node& node, const Move& move) {
+        auto child = std::make_unique<Node>(node);
+        child->placement.add_replica(move.server, move.object);
+        child->g = node.g - move.benefit;
+        child->f = child->g - optimistic_saving(child->placement);
+        return child;
+      });
+}
+
+drp::ReplicaPlacement run_aestar_delta(const drp::Problem& problem,
+                                       const AeStarConfig& config) {
+  return search<DeltaNode>(
+      config,
+      [&] {
+        drp::DeltaEvaluator eval{drp::ReplicaPlacement(problem)};
+        const double root_cost = eval.total();
+        const double f = root_cost - eval.optimistic_saving();
+        return std::make_unique<DeltaNode>(
+            DeltaNode{std::move(eval), root_cost, f});
+      },
+      [&](const DeltaNode& node) {
+        return candidate_moves(node.eval.placement(), config.branching,
+                               config.parallel_scan);
+      },
+      [&](const DeltaNode& node) {
+        drp::DeltaEvaluator leaf = node.eval;
+        complete_greedily(leaf);
+        const double leaf_cost = leaf.total();
+        return std::pair(std::move(leaf).take_placement(), leaf_cost);
+      },
+      [&](const DeltaNode& node, const Move& move) {
+        auto child = std::make_unique<DeltaNode>(node);
+        child->eval.add_replica(move.server, move.object);
+        child->g = node.g - move.benefit;
+        child->f = child->g - child->eval.optimistic_saving();
+        return child;
+      });
+}
+
+}  // namespace
+
+drp::ReplicaPlacement run_aestar(const drp::Problem& problem,
+                                 const AeStarConfig& config) {
+  if (config.eval == EvalPath::Naive) {
+    return run_aestar_naive(problem, config);
+  }
+  return run_aestar_delta(problem, config);
 }
 
 }  // namespace agtram::baselines

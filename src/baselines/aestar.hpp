@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "baselines/eval_path.hpp"
 #include "drp/placement.hpp"
 #include "drp/problem.hpp"
 
@@ -33,6 +34,12 @@ struct AeStarConfig {
   std::size_t max_expansions = 150;
   /// Open-list size cap (worst nodes evicted).
   std::size_t max_open = 256;
+  /// Delta: nodes carry a drp::DeltaEvaluator, so each child's h bound is an
+  /// O(N) re-sum of cached per-object savings instead of a full accessor
+  /// sweep, and leaf costs come from the cache.  Naive: full recomputation.
+  EvalPath eval = EvalPath::Delta;
+  /// Delta path only: parallelise the per-object candidate shortlist scan.
+  bool parallel_scan = true;
 };
 
 drp::ReplicaPlacement run_aestar(const drp::Problem& problem,

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <vector>
 
 #include "baselines/selfish_caching.hpp"
 #include "common/prng.hpp"
+#include "common/thread_pool.hpp"
 #include "drp/cost_model.hpp"
+#include "drp/delta_evaluator.hpp"
 
 namespace agtram::baselines {
 
@@ -13,22 +17,28 @@ using common::Rng;
 
 namespace {
 
-/// Applies a random move to object k; returns the cost delta of object k
-/// (+: worse) and an undo closure kind, or declines (returns nullopt-like
-/// flag) when no move was applicable.
-struct Move {
+/// A fully-drawn proposal: the move (or None when the draw was infeasible)
+/// plus the proposal's rng stream positioned after the move draws, from
+/// which the acceptance test takes its uniform.
+struct MoveSpec {
   enum class Kind { None, Add, Drop, Swap } kind = Kind::None;
   drp::ServerId a = 0;  // added/dropped/swap-from
   drp::ServerId b = 0;  // swap-to
   drp::ObjectIndex object = 0;
-  double delta = 0.0;
+  Rng accept_rng{0};
 };
 
-Move propose(const drp::Problem& p, drp::ReplicaPlacement& placement,
-             drp::ObjectIndex k, Rng& rng) {
-  Move move;
-  move.object = k;
-  const double before = drp::CostModel::object_cost(placement, k);
+/// Draws proposal j read-only against the current placement.  The stream is
+/// seeded from (seed, j) alone; the draw sequence mirrors the historical
+/// mutate-first proposer: object, move kind, then the kind's site picks,
+/// with infeasible draws collapsing to None.
+MoveSpec draw_spec(const drp::Problem& p,
+                   const drp::ReplicaPlacement& placement, std::uint64_t seed,
+                   std::uint64_t j) {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (j + 1)));
+  MoveSpec spec;
+  const auto k = static_cast<drp::ObjectIndex>(rng.below(p.object_count()));
+  spec.object = k;
   switch (rng.below(3)) {
     case 0: {  // add at a reader (biased) or anywhere
       const auto accessors = p.access.accessors(k);
@@ -36,19 +46,19 @@ Move propose(const drp::Problem& p, drp::ReplicaPlacement& placement,
           !accessors.empty() && rng.chance(0.8)
               ? accessors[rng.below(accessors.size())].server
               : static_cast<drp::ServerId>(rng.below(p.server_count()));
-      if (!placement.can_replicate(i, k)) return move;
-      placement.add_replica(i, k);
-      move.kind = Move::Kind::Add;
-      move.a = i;
+      if (placement.can_replicate(i, k)) {
+        spec.kind = MoveSpec::Kind::Add;
+        spec.a = i;
+      }
       break;
     }
     case 1: {  // drop a non-primary replica
       const auto reps = placement.replicators(k);
       const drp::ServerId i = reps[rng.below(reps.size())];
-      if (i == p.primary[k]) return move;
-      placement.remove_replica(i, k);
-      move.kind = Move::Kind::Drop;
-      move.a = i;
+      if (i != p.primary[k]) {
+        spec.kind = MoveSpec::Kind::Drop;
+        spec.a = i;
+      }
       break;
     }
     default: {  // swap a replica to another server
@@ -58,37 +68,86 @@ Move propose(const drp::Problem& p, drp::ReplicaPlacement& placement,
           static_cast<drp::ServerId>(rng.below(p.server_count()));
       if (from == p.primary[k] || from == to ||
           placement.is_replicator(to, k)) {
-        return move;
+        break;
       }
-      placement.remove_replica(from, k);
-      if (!placement.can_replicate(to, k)) {
-        placement.add_replica(from, k);
-        return move;
-      }
-      placement.add_replica(to, k);
-      move.kind = Move::Kind::Swap;
-      move.a = from;
-      move.b = to;
+      // Capacity at `to` is unaffected by dropping `from`, so this equals
+      // the drop-then-check feasibility test a mutating proposer would run.
+      if (!placement.can_replicate(to, k)) break;
+      spec.kind = MoveSpec::Kind::Swap;
+      spec.a = from;
+      spec.b = to;
       break;
     }
   }
-  move.delta = drp::CostModel::object_cost(placement, k) - before;
-  return move;
+  spec.accept_rng = rng;
+  return spec;
 }
 
-void undo(drp::ReplicaPlacement& placement, const Move& move) {
-  switch (move.kind) {
-    case Move::Kind::Add:
-      placement.remove_replica(move.a, move.object);
+double delta_of(const drp::DeltaEvaluator& eval, const MoveSpec& spec) {
+  switch (spec.kind) {
+    case MoveSpec::Kind::Add:
+      return eval.delta_of_add(spec.a, spec.object);
+    case MoveSpec::Kind::Drop:
+      return eval.delta_of_drop(spec.a, spec.object);
+    case MoveSpec::Kind::Swap:
+      return eval.delta_of_swap(spec.a, spec.b, spec.object);
+    case MoveSpec::Kind::None:
       break;
-    case Move::Kind::Drop:
-      placement.add_replica(move.a, move.object);
+  }
+  return 0.0;
+}
+
+/// Naive oracle pricing: apply, measure, leave applied (the caller keeps the
+/// mutation on accept and undoes on reject).
+double measure_applied(drp::ReplicaPlacement& placement, const MoveSpec& spec) {
+  const double before = drp::CostModel::object_cost(placement, spec.object);
+  switch (spec.kind) {
+    case MoveSpec::Kind::Add:
+      placement.add_replica(spec.a, spec.object);
       break;
-    case Move::Kind::Swap:
-      placement.remove_replica(move.b, move.object);
-      placement.add_replica(move.a, move.object);
+    case MoveSpec::Kind::Drop:
+      placement.remove_replica(spec.a, spec.object);
       break;
-    case Move::Kind::None:
+    case MoveSpec::Kind::Swap:
+      placement.remove_replica(spec.a, spec.object);
+      placement.add_replica(spec.b, spec.object);
+      break;
+    case MoveSpec::Kind::None:
+      break;
+  }
+  return drp::CostModel::object_cost(placement, spec.object) - before;
+}
+
+void undo(drp::ReplicaPlacement& placement, const MoveSpec& spec) {
+  switch (spec.kind) {
+    case MoveSpec::Kind::Add:
+      placement.remove_replica(spec.a, spec.object);
+      break;
+    case MoveSpec::Kind::Drop:
+      placement.add_replica(spec.a, spec.object);
+      break;
+    case MoveSpec::Kind::Swap:
+      placement.remove_replica(spec.b, spec.object);
+      placement.add_replica(spec.a, spec.object);
+      break;
+    case MoveSpec::Kind::None:
+      break;
+  }
+}
+
+void apply(drp::DeltaEvaluator& eval, const MoveSpec& spec) {
+  switch (spec.kind) {
+    case MoveSpec::Kind::Add:
+      eval.add_replica(spec.a, spec.object);
+      break;
+    case MoveSpec::Kind::Drop:
+      eval.remove_replica(spec.a, spec.object);
+      break;
+    case MoveSpec::Kind::Swap:
+      eval.remove_replica(spec.a, spec.object);
+      eval.add_replica(spec.b, spec.object);
+      break;
+    case MoveSpec::Kind::None:
       break;
   }
 }
@@ -97,8 +156,7 @@ void undo(drp::ReplicaPlacement& placement, const Move& move) {
 
 drp::ReplicaPlacement run_annealing(const drp::Problem& problem,
                                     const AnnealingConfig& config) {
-  Rng rng(config.seed);
-  drp::ReplicaPlacement placement = [&] {
+  drp::ReplicaPlacement start = [&] {
     if (config.seed_from_equilibrium) {
       SelfishCachingConfig seed_cfg;
       seed_cfg.seed = config.seed ^ 0x5a5a;
@@ -106,35 +164,92 @@ drp::ReplicaPlacement run_annealing(const drp::Problem& problem,
     }
     return drp::ReplicaPlacement(problem);
   }();
-  double current_cost = drp::CostModel::total_cost(placement);
-  drp::ReplicaPlacement best = placement;
+
+  const bool use_delta = config.eval == EvalPath::Delta;
+  std::optional<drp::DeltaEvaluator> eval;
+  drp::ReplicaPlacement placement(problem);
+  if (use_delta) {
+    eval.emplace(std::move(start));
+  } else {
+    placement = std::move(start);
+  }
+  const auto current = [&]() -> const drp::ReplicaPlacement& {
+    return use_delta ? eval->placement() : placement;
+  };
+
+  double current_cost =
+      use_delta ? eval->total() : drp::CostModel::total_cost(placement);
+  drp::ReplicaPlacement best = current();
   double best_cost = current_cost;
 
   double temperature = current_cost * config.initial_temperature_fraction;
   const double floor_temperature = temperature * 1e-6 + 1e-12;
 
-  for (std::size_t proposal = 0; proposal < config.proposals; ++proposal) {
-    const auto k =
-        static_cast<drp::ObjectIndex>(rng.below(problem.object_count()));
-    const Move move = propose(problem, placement, k, rng);
-    if (move.kind == Move::Kind::None) continue;
+  const std::size_t batch = use_delta ? std::max<std::size_t>(1, config.batch)
+                                      : 1;
+  std::vector<MoveSpec> specs;
+  std::vector<double> deltas;
+  specs.reserve(batch);
 
-    const bool accept =
-        move.delta < 0.0 ||
-        (temperature > floor_temperature &&
-         rng.uniform() < std::exp(-move.delta / temperature));
-    if (accept) {
-      current_cost += move.delta;
-      if (current_cost < best_cost) {
-        best_cost = current_cost;
-        best = placement;
+  std::size_t consumed = 0;
+  while (consumed < config.proposals) {
+    const std::size_t batch_start = consumed;
+    const std::size_t batch_end =
+        std::min(batch_start + batch, config.proposals);
+    specs.clear();
+    std::size_t work = 0;
+    for (std::size_t j = batch_start; j < batch_end; ++j) {
+      specs.push_back(draw_spec(problem, current(), config.seed, j));
+      if (specs.back().kind != MoveSpec::Kind::None) {
+        work += problem.access.accessors(specs.back().object).size();
       }
-    } else {
-      undo(placement, move);
+    }
+    if (use_delta) {
+      // Every spec was drawn against — and is priced against — the same
+      // placement, so the batch evaluates read-only in parallel; after an
+      // accepted move the remaining (now stale) tail is thrown away below.
+      deltas.assign(specs.size(), 0.0);
+      const auto price = [&](std::size_t first, std::size_t last) {
+        for (std::size_t s = first; s < last; ++s) {
+          deltas[s] = delta_of(*eval, specs[s]);
+        }
+      };
+      if (config.parallel_scan && specs.size() > 1 &&
+          work >= config.parallel_min_work) {
+        common::ThreadPool::shared().parallel_for(0, specs.size(), price,
+                                                  /*min_grain=*/1);
+      } else {
+        price(0, specs.size());
+      }
     }
 
-    if ((proposal + 1) % config.cooling_interval == 0) {
-      temperature *= config.cooling_rate;
+    bool accepted_in_batch = false;
+    for (std::size_t j = batch_start; j < batch_end; ++j) {
+      MoveSpec& spec = specs[j - batch_start];
+      if (spec.kind != MoveSpec::Kind::None) {
+        const double delta = use_delta ? deltas[j - batch_start]
+                                       : measure_applied(placement, spec);
+        const bool accept =
+            delta < 0.0 ||
+            (temperature > floor_temperature &&
+             spec.accept_rng.uniform() < std::exp(-delta / temperature));
+        if (accept) {
+          if (use_delta) apply(*eval, spec);
+          current_cost += delta;
+          if (current_cost < best_cost) {
+            best_cost = current_cost;
+            best = current();
+          }
+          accepted_in_batch = true;
+        } else if (!use_delta) {
+          undo(placement, spec);
+        }
+      }
+      if ((j + 1) % config.cooling_interval == 0) {
+        temperature *= config.cooling_rate;
+      }
+      consumed = j + 1;
+      if (accepted_in_batch) break;  // tail specs are stale — redraw
     }
   }
   return best;

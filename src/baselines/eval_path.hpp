@@ -1,0 +1,15 @@
+// Evaluation-path switch shared by every baseline: each algorithm keeps its
+// original full-recomputation loop as a differential oracle (the same
+// pattern ReportMode follows for the mechanism, DESIGN.md §6a/§8) and gains
+// a delta path built on drp::DeltaEvaluator.  Results are byte-identical by
+// construction; tests/baselines_delta_test.cpp enforces it.
+#pragma once
+
+namespace agtram::baselines {
+
+enum class EvalPath {
+  Naive,  ///< full object_cost / total_cost recomputation (oracle)
+  Delta,  ///< incremental deltas through drp::DeltaEvaluator
+};
+
+}  // namespace agtram::baselines

@@ -4,9 +4,12 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/prng.hpp"
+#include "common/thread_pool.hpp"
 #include "drp/cost_model.hpp"
 
 namespace agtram::baselines {
@@ -61,6 +64,129 @@ drp::ReplicaPlacement materialise(const drp::Problem& p, const Genome& g) {
 
 double fitness(const drp::Problem& p, const Genome& g) {
   return drp::CostModel::total_cost(materialise(p, g));
+}
+
+/// Reusable buffers for delta_fitness (caller-owned so concurrent scoring
+/// chunks each bring their own).  The per-object replicator sets live in a
+/// flat CSR-style pool (`rset_data` sliced by `offset`) rather than one
+/// vector per object: a paper-scale genome touches tens of thousands of
+/// objects, and per-object vectors meant that many mallocs per fitness
+/// call — enough allocator traffic to serialise the parallel scoring pass.
+struct GraScratch {
+  std::vector<std::uint32_t> count;     ///< replicas per object (pass 1)
+  std::vector<std::uint32_t> offset;    ///< CSR offsets, size n+1
+  std::vector<drp::ServerId> rset_data; ///< server ids, object-major
+  std::vector<drp::ServerId> merged;    ///< one rset + primary, reused
+  std::vector<double> partial;
+
+  /// Per-object memo of replicator sets priced so far.
+  /// object_cost_with_replicators is a pure function of (object, rset), so
+  /// a remembered cost is the identical double bit for bit — and the GA
+  /// re-prices the same sets constantly (elites survive verbatim, children
+  /// inherit most parent rows), so by the later generations most touched
+  /// objects hit the memo instead of walking their accessors again.
+  /// Capped per object: the sets priced first come from the seed genomes
+  /// and early elite lineages, exactly the ones that keep recurring.
+  struct MemoEntry {
+    std::uint32_t off;
+    std::uint32_t len;
+    double cost;
+  };
+  static constexpr std::size_t kMemoCap = 16;
+  std::vector<std::vector<MemoEntry>> memo;            ///< per object
+  std::vector<std::vector<drp::ServerId>> memo_keys;   ///< per-object pool
+};
+
+/// Chromosome fitness without materialising a placement: gathers each
+/// object's replicator set straight from the (server-major, hence
+/// server-sorted) genome rows, prices touched objects through
+/// object_cost_with_replicators and untouched ones from the precomputed
+/// primaries-only `base`, then re-sums in object order — the association
+/// total_cost uses, so the result is bit-identical to the naive path.
+/// Rows that violate the genome invariants (sorted, duplicate-free, no
+/// primaries, within headroom — guaranteed post-repair) fall back to the
+/// naive materialise, whose can_replicate guard defines the semantics.
+double delta_fitness(const drp::Problem& p, const Genome& g,
+                     const std::vector<double>& base,
+                     const std::vector<std::uint64_t>& headroom,
+                     GraScratch& s) {
+  const std::size_t n = p.object_count();
+  s.count.assign(n, 0);
+  std::size_t replicas = 0;
+
+  for (drp::ServerId i = 0; i < p.server_count(); ++i) {
+    std::uint64_t units = 0;
+    drp::ObjectIndex prev = 0;
+    bool first = true;
+    for (drp::ObjectIndex k : g.rows[i]) {
+      if ((!first && k <= prev) || p.primary[k] == i) {
+        return fitness(p, g);
+      }
+      units += p.object_units[k];
+      ++s.count[k];
+      ++replicas;
+      prev = k;
+      first = false;
+    }
+    if (units > headroom[i]) return fitness(p, g);
+  }
+
+  s.offset.resize(n + 1);
+  s.offset[0] = 0;
+  for (std::size_t k = 0; k < n; ++k) s.offset[k + 1] = s.offset[k] + s.count[k];
+  s.rset_data.resize(replicas);
+  s.count.assign(n, 0);  // reuse as per-object fill cursor
+  for (drp::ServerId i = 0; i < p.server_count(); ++i) {
+    // Server-major fill keeps each object's slice in ascending server order.
+    for (drp::ObjectIndex k : g.rows[i]) {
+      s.rset_data[s.offset[k] + s.count[k]++] = i;
+    }
+  }
+
+  if (s.memo.size() != n) {
+    s.memo.resize(n);
+    s.memo_keys.resize(n);
+  }
+  s.partial.assign(base.begin(), base.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (s.count[k] == 0) continue;
+    // Merge the primary into the (ascending-server) slice; a real
+    // materialise leaves replicators(k) in exactly this sorted order.
+    const drp::ServerId primary = p.primary[k];
+    const auto* first_rep = s.rset_data.data() + s.offset[k];
+    const auto* last_rep = s.rset_data.data() + s.offset[k + 1];
+    s.merged.assign(first_rep, last_rep);
+    s.merged.insert(
+        std::upper_bound(s.merged.begin(), s.merged.end(), primary), primary);
+
+    auto& entries = s.memo[k];
+    auto& keys = s.memo_keys[k];
+    double cost = 0.0;
+    bool found = false;
+    for (const auto& e : entries) {
+      if (e.len == s.merged.size() &&
+          std::equal(s.merged.begin(), s.merged.end(),
+                     keys.begin() + e.off)) {
+        cost = e.cost;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      cost = drp::CostModel::object_cost_with_replicators(
+          p, static_cast<drp::ObjectIndex>(k), s.merged);
+      if (entries.size() < GraScratch::kMemoCap) {
+        const auto off = static_cast<std::uint32_t>(keys.size());
+        keys.insert(keys.end(), s.merged.begin(), s.merged.end());
+        entries.push_back(
+            {off, static_cast<std::uint32_t>(s.merged.size()), cost});
+      }
+    }
+    s.partial[k] = cost;
+  }
+  double total = 0.0;
+  for (const double v : s.partial) total += v;
+  return total;
 }
 
 /// Demand-seeded genome: each server greedily packs its own most-read
@@ -172,10 +298,57 @@ drp::ReplicaPlacement run_gra(const drp::Problem& problem,
     population.push_back(
         random_genome(problem, headroom, config.init_fill, rng));
   }
-  scores.reserve(config.population);
-  for (const Genome& g : population) {
-    scores.push_back(fitness(problem, g));
+  // Primaries-only per-object costs: the delta fitness prices every object a
+  // genome does not touch straight from this table.
+  std::vector<double> base;
+  if (config.eval == EvalPath::Delta) {
+    base.resize(problem.object_count());
+    drp::CostModel::object_costs(drp::ReplicaPlacement(problem), base);
   }
+
+  // Scratches persist across generations (checked out per scoring chunk, so
+  // concurrent chunks never share one): the per-object memo they carry is
+  // what turns repeat rset pricing into a lookup, and the big flat buffers
+  // stop being reallocated every generation.
+  std::vector<std::unique_ptr<GraScratch>> scratch_pool;
+  std::mutex scratch_mutex;
+
+  /// Scores population[from..) into scores[from..); entries below `from`
+  /// (elites) keep their carried-over values.
+  const auto score_range = [&](std::size_t from) {
+    if (config.eval == EvalPath::Naive) {
+      for (std::size_t i = from; i < population.size(); ++i) {
+        scores[i] = fitness(problem, population[i]);
+      }
+      return;
+    }
+    const auto body = [&](std::size_t first, std::size_t last) {
+      std::unique_ptr<GraScratch> scratch;
+      {
+        const std::lock_guard<std::mutex> lock(scratch_mutex);
+        if (!scratch_pool.empty()) {
+          scratch = std::move(scratch_pool.back());
+          scratch_pool.pop_back();
+        }
+      }
+      if (!scratch) scratch = std::make_unique<GraScratch>();
+      for (std::size_t i = first; i < last; ++i) {
+        scores[i] = delta_fitness(problem, population[i], base, headroom,
+                                  *scratch);
+      }
+      const std::lock_guard<std::mutex> lock(scratch_mutex);
+      scratch_pool.push_back(std::move(scratch));
+    };
+    if (config.parallel_scan) {
+      common::ThreadPool::shared().parallel_for(from, population.size(), body,
+                                                /*min_grain=*/1);
+    } else {
+      body(from, population.size());
+    }
+  };
+
+  scores.resize(config.population);
+  score_range(0);
 
   const auto best_index = [&scores] {
     std::size_t best = 0;
@@ -207,10 +380,13 @@ drp::ReplicaPlacement run_gra(const drp::Problem& problem,
     std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
       return scores[a] < scores[b];
     });
-    for (std::uint32_t e = 0; e < std::min<std::uint32_t>(config.elites,
-                                                          config.population);
-         ++e) {
+    const std::uint32_t elite_count =
+        std::min<std::uint32_t>(config.elites, config.population);
+    std::vector<double> elite_scores;
+    elite_scores.reserve(elite_count);
+    for (std::uint32_t e = 0; e < elite_count; ++e) {
       next.push_back(population[order[e]]);
+      elite_scores.push_back(scores[order[e]]);
     }
 
     while (next.size() < config.population) {
@@ -230,8 +406,18 @@ drp::ReplicaPlacement run_gra(const drp::Problem& problem,
     }
 
     population = std::move(next);
+    // Elites carry their scores (fitness is pure, so the cached value is
+    // bitwise the recomputation); the naive oracle rescoring everything from
+    // 0 would produce the same doubles.
+    std::size_t rescore_from = 0;
+    if (config.eval == EvalPath::Delta) {
+      for (std::size_t e = 0; e < elite_scores.size(); ++e) {
+        scores[e] = elite_scores[e];
+      }
+      rescore_from = elite_scores.size();
+    }
+    score_range(rescore_from);
     for (std::size_t i = 0; i < population.size(); ++i) {
-      scores[i] = fitness(problem, population[i]);
       if (scores[i] < best_score) {
         best_score = scores[i];
         best_ever = population[i];

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "baselines/eval_path.hpp"
 #include "drp/placement.hpp"
 #include "drp/problem.hpp"
 
@@ -33,6 +34,14 @@ struct GraConfig {
   double init_fill = 0.2;
   std::uint32_t elites = 2;
   std::uint64_t seed = 1;
+  /// Delta: genome fitness evaluated straight off the chromosome rows
+  /// (object_cost_with_replicators over the per-object replicator sets,
+  /// untouched objects priced from the precomputed primaries-only base) —
+  /// no placement materialisation, elites keep their scores.  Naive: the
+  /// original materialise + total_cost per genome.  Same bits either way.
+  EvalPath eval = EvalPath::Delta;
+  /// Delta path only: fan population scoring out over the shared pool.
+  bool parallel_scan = true;
 };
 
 drp::ReplicaPlacement run_gra(const drp::Problem& problem,

@@ -2,7 +2,9 @@
 
 #include <queue>
 
+#include "common/thread_pool.hpp"
 #include "drp/cost_model.hpp"
+#include "drp/delta_evaluator.hpp"
 
 namespace agtram::baselines {
 
@@ -20,7 +22,9 @@ struct Candidate {
 };
 
 /// Best feasible (server, benefit) for object k under the current placement;
-/// benefit <= 0 means no useful move remains for k.
+/// benefit <= 0 means no useful move remains for k.  This is the naive
+/// oracle: per-server global_benefit calls striding down distance-matrix
+/// columns.
 Candidate best_move_for_object(const drp::Problem& problem,
                                const drp::ReplicaPlacement& placement,
                                drp::ObjectIndex k,
@@ -39,6 +43,106 @@ Candidate best_move_for_object(const drp::Problem& problem,
   return best;
 }
 
+/// Shared lazy max-heap loop, parameterised over the candidate-scan
+/// implementation so the naive and delta paths run the byte-identical
+/// selection logic.  `scan(k)` must replicate best_move_for_object's
+/// semantics (feasibility mask, strict >, benefit/server floor {0, 0}).
+template <typename ScanFn, typename ApplyFn>
+void greedy_loop(std::size_t object_count, const GreedyConfig& config,
+                 ScanFn&& scan, ApplyFn&& apply,
+                 std::priority_queue<Candidate>& heap) {
+  std::size_t placed = 0;
+  while (!heap.empty()) {
+    if (config.max_replicas != 0 && placed >= config.max_replicas) break;
+    const Candidate top = heap.top();
+    heap.pop();
+    // Re-validate: capacities and NN tables may have moved underneath this
+    // entry.  Benefits only decrease, so if the fresh value still dominates
+    // the heap it is the true global max.
+    const Candidate fresh = scan(top.object);
+    if (fresh.benefit <= 0.0) continue;  // object exhausted
+    if (!heap.empty() && fresh.benefit < heap.top().benefit) {
+      heap.push(fresh);
+      continue;
+    }
+    apply(fresh);
+    ++placed;
+    const Candidate next = scan(fresh.object);
+    if (next.benefit > 0.0) heap.push(next);
+  }
+  (void)object_count;
+}
+
+drp::ReplicaPlacement run_greedy_naive(const drp::Problem& problem,
+                                       drp::ReplicaPlacement start,
+                                       const GreedyConfig& config) {
+  drp::ReplicaPlacement placement = std::move(start);
+  const std::vector<bool>* sites = config.allowed_sites;
+
+  std::priority_queue<Candidate> heap;
+  for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
+    const Candidate c = best_move_for_object(problem, placement, k, sites);
+    if (c.benefit > 0.0) heap.push(c);
+  }
+
+  greedy_loop(
+      problem.object_count(), config,
+      [&](drp::ObjectIndex k) {
+        return best_move_for_object(problem, placement, k, sites);
+      },
+      [&](const Candidate& c) { placement.add_replica(c.server, c.object); },
+      heap);
+  return placement;
+}
+
+drp::ReplicaPlacement run_greedy_delta(const drp::Problem& problem,
+                                       drp::ReplicaPlacement start,
+                                       const GreedyConfig& config) {
+  drp::DeltaEvaluator eval(std::move(start));
+  const std::vector<bool>* sites = config.allowed_sites;
+  const std::size_t n = problem.object_count();
+
+  // Seed scan: one loop-swapped best_add per object.  The per-object scans
+  // are independent, so the object axis fans out over the pool (each chunk
+  // brings its own scratch; the inner server loop stays serial — nested
+  // parallel_for would degrade inline anyway).
+  std::vector<drp::DeltaEvaluator::BestAdd> seed(n);
+  const auto seed_scan = [&](std::size_t first, std::size_t last) {
+    drp::DeltaEvaluator::ScanScratch scratch;
+    for (std::size_t k = first; k < last; ++k) {
+      seed[k] = eval.best_add_for_object(static_cast<drp::ObjectIndex>(k),
+                                         sites, scratch, /*parallel=*/false);
+    }
+  };
+  if (config.parallel_scan) {
+    common::ThreadPool::shared().parallel_for(0, n, seed_scan,
+                                              /*min_grain=*/16);
+  } else {
+    seed_scan(0, n);
+  }
+
+  std::priority_queue<Candidate> heap;
+  for (drp::ObjectIndex k = 0; k < n; ++k) {
+    if (seed[k].benefit > 0.0) {
+      heap.push(Candidate{seed[k].benefit, k, seed[k].server});
+    }
+  }
+
+  // Pop re-validation touches one object at a time, so parallelism moves to
+  // the server axis inside best_add_for_object (cutoff-guarded there).
+  drp::DeltaEvaluator::ScanScratch scratch;
+  greedy_loop(
+      n, config,
+      [&](drp::ObjectIndex k) {
+        const auto best =
+            eval.best_add_for_object(k, sites, scratch, config.parallel_scan);
+        return Candidate{best.benefit, k, best.server};
+      },
+      [&](const Candidate& c) { eval.add_replica(c.server, c.object); },
+      heap);
+  return std::move(eval).take_placement();
+}
+
 }  // namespace
 
 drp::ReplicaPlacement run_greedy(const drp::Problem& problem,
@@ -49,37 +153,10 @@ drp::ReplicaPlacement run_greedy(const drp::Problem& problem,
 drp::ReplicaPlacement run_greedy_from(const drp::Problem& problem,
                                       drp::ReplicaPlacement start,
                                       const GreedyConfig& config) {
-  drp::ReplicaPlacement placement = std::move(start);
-  const std::vector<bool>* sites = config.allowed_sites;
-
-  std::priority_queue<Candidate> heap;
-  for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
-    const Candidate c = best_move_for_object(problem, placement, k, sites);
-    if (c.benefit > 0.0) heap.push(c);
+  if (config.eval == EvalPath::Naive) {
+    return run_greedy_naive(problem, std::move(start), config);
   }
-
-  std::size_t placed = 0;
-  while (!heap.empty()) {
-    if (config.max_replicas != 0 && placed >= config.max_replicas) break;
-    const Candidate top = heap.top();
-    heap.pop();
-    // Re-validate: capacities and NN tables may have moved underneath this
-    // entry.  Benefits only decrease, so if the fresh value still dominates
-    // the heap it is the true global max.
-    const Candidate fresh =
-        best_move_for_object(problem, placement, top.object, sites);
-    if (fresh.benefit <= 0.0) continue;  // object exhausted
-    if (!heap.empty() && fresh.benefit < heap.top().benefit) {
-      heap.push(fresh);
-      continue;
-    }
-    placement.add_replica(fresh.server, fresh.object);
-    ++placed;
-    const Candidate next =
-        best_move_for_object(problem, placement, fresh.object, sites);
-    if (next.benefit > 0.0) heap.push(next);
-  }
-  return placement;
+  return run_greedy_delta(problem, std::move(start), config);
 }
 
 }  // namespace agtram::baselines

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "baselines/eval_path.hpp"
 #include "drp/placement.hpp"
 #include "drp/problem.hpp"
 
@@ -29,6 +30,15 @@ struct GreedyConfig {
   /// entry is true (size M).  Used e.g. for global-view repair after a
   /// regional outage, where the dead region's servers cannot host.
   const std::vector<bool>* allowed_sites = nullptr;
+  /// Delta: loop-swapped candidate scans through drp::DeltaEvaluator
+  /// (byte-identical placements, ~order-of-magnitude faster at paper
+  /// scale).  Naive: the original per-server global_benefit rescan.
+  EvalPath eval = EvalPath::Delta;
+  /// Parallelise the delta path's scans on the shared pool: the initial
+  /// heap build fans out over objects, each re-validation scan over
+  /// servers.  Round-size-aware cutoffs keep small instances inline, so
+  /// parallel never loses to serial.  Ignored by the naive path.
+  bool parallel_scan = true;
 };
 
 drp::ReplicaPlacement run_greedy(const drp::Problem& problem,

@@ -5,6 +5,7 @@
 #include "baselines/selfish_caching.hpp"
 #include "common/prng.hpp"
 #include "drp/cost_model.hpp"
+#include "drp/delta_evaluator.hpp"
 
 namespace agtram::baselines {
 
@@ -13,10 +14,13 @@ using common::Rng;
 namespace {
 
 /// A proposal only ever touches one object, so acceptance is decided on
-/// that object's cost contribution alone.
-struct MoveEvaluator {
+/// that object's cost contribution alone.  Naive oracle: mutate, measure,
+/// roll back on rejection.
+struct NaiveMoveEvaluator {
   const drp::Problem& p;
   drp::ReplicaPlacement& placement;
+
+  const drp::ReplicaPlacement& current() const { return placement; }
 
   bool try_add(drp::ServerId i, drp::ObjectIndex k) {
     if (!placement.can_replicate(i, k)) return false;
@@ -54,6 +58,49 @@ struct MoveEvaluator {
   }
 };
 
+/// Delta twin: prices every proposal read-only against the evaluator's
+/// cached object cost and mutates only on acceptance.  The hypothetical
+/// costs are bit-identical to the naive post-mutation measurements
+/// (DESIGN.md §8), so accept/reject decisions — and hence the rng-driven
+/// trajectory — match the oracle exactly.
+struct DeltaMoveEvaluator {
+  const drp::Problem& p;
+  drp::DeltaEvaluator& eval;
+
+  const drp::ReplicaPlacement& current() const { return eval.placement(); }
+
+  bool try_add(drp::ServerId i, drp::ObjectIndex k) {
+    if (!eval.can_replicate(i, k)) return false;
+    if (!(eval.cost_if_added(i, k) < eval.object_cost(k))) return false;
+    eval.add_replica(i, k);
+    return true;
+  }
+
+  bool try_drop(drp::ServerId i, drp::ObjectIndex k) {
+    if (i == p.primary[k] || !eval.placement().is_replicator(i, k)) {
+      return false;
+    }
+    if (!(eval.cost_if_dropped(i, k) < eval.object_cost(k))) return false;
+    eval.remove_replica(i, k);
+    return true;
+  }
+
+  bool try_swap(drp::ServerId from, drp::ServerId to, drp::ObjectIndex k) {
+    if (from == to || from == p.primary[k]) return false;
+    if (!eval.placement().is_replicator(from, k)) return false;
+    if (eval.placement().is_replicator(to, k)) return false;
+    // Capacity at the target is unaffected by dropping `from`, so the plain
+    // can_replicate test equals the naive drop-then-check sequence.
+    if (!eval.can_replicate(to, k)) return false;
+    if (!(eval.cost_if_swapped(from, to, k) < eval.object_cost(k))) {
+      return false;
+    }
+    eval.remove_replica(from, k);
+    eval.add_replica(to, k);
+    return true;
+  }
+};
+
 drp::ServerId random_reader_or_any(const drp::Problem& p, drp::ObjectIndex k,
                                    Rng& rng) {
   const auto accessors = p.access.accessors(k);
@@ -61,6 +108,38 @@ drp::ServerId random_reader_or_any(const drp::Problem& p, drp::ObjectIndex k,
     return accessors[rng.below(accessors.size())].server;
   }
   return static_cast<drp::ServerId>(rng.below(p.server_count()));
+}
+
+/// The proposal loop, shared verbatim by both evaluators so the rng stream
+/// cannot diverge between paths.
+template <typename Evaluator>
+void propose_loop(const drp::Problem& problem, const LocalSearchConfig& config,
+                  Evaluator& evaluator, Rng& rng) {
+  std::size_t quiet = 0;
+  for (std::size_t proposal = 0;
+       proposal < config.max_proposals && quiet < config.quiet_streak;
+       ++proposal) {
+    const auto k =
+        static_cast<drp::ObjectIndex>(rng.below(problem.object_count()));
+    bool accepted = false;
+    switch (rng.below(3)) {
+      case 0:
+        accepted = evaluator.try_add(random_reader_or_any(problem, k, rng), k);
+        break;
+      case 1: {
+        const auto reps = evaluator.current().replicators(k);
+        accepted = evaluator.try_drop(reps[rng.below(reps.size())], k);
+        break;
+      }
+      default: {
+        const auto reps = evaluator.current().replicators(k);
+        accepted = evaluator.try_swap(reps[rng.below(reps.size())],
+                                      random_reader_or_any(problem, k, rng), k);
+        break;
+      }
+    }
+    quiet = accepted ? 0 : quiet + 1;
+  }
 }
 
 }  // namespace
@@ -74,33 +153,15 @@ drp::ReplicaPlacement run_local_search(const drp::Problem& problem,
   drp::ReplicaPlacement placement =
       run_selfish_caching(problem, seed_cfg).placement;
 
-  MoveEvaluator evaluator{problem, placement};
-  std::size_t quiet = 0;
-  for (std::size_t proposal = 0;
-       proposal < config.max_proposals && quiet < config.quiet_streak;
-       ++proposal) {
-    const auto k =
-        static_cast<drp::ObjectIndex>(rng.below(problem.object_count()));
-    bool accepted = false;
-    switch (rng.below(3)) {
-      case 0:
-        accepted = evaluator.try_add(random_reader_or_any(problem, k, rng), k);
-        break;
-      case 1: {
-        const auto reps = placement.replicators(k);
-        accepted = evaluator.try_drop(reps[rng.below(reps.size())], k);
-        break;
-      }
-      default: {
-        const auto reps = placement.replicators(k);
-        accepted = evaluator.try_swap(reps[rng.below(reps.size())],
-                                      random_reader_or_any(problem, k, rng), k);
-        break;
-      }
-    }
-    quiet = accepted ? 0 : quiet + 1;
+  if (config.eval == EvalPath::Naive) {
+    NaiveMoveEvaluator evaluator{problem, placement};
+    propose_loop(problem, config, evaluator, rng);
+    return placement;
   }
-  return placement;
+  drp::DeltaEvaluator eval(std::move(placement));
+  DeltaMoveEvaluator evaluator{problem, eval};
+  propose_loop(problem, config, evaluator, rng);
+  return std::move(eval).take_placement();
 }
 
 }  // namespace agtram::baselines

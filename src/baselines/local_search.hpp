@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "baselines/eval_path.hpp"
 #include "drp/placement.hpp"
 #include "drp/problem.hpp"
 
@@ -23,6 +24,10 @@ struct LocalSearchConfig {
   std::size_t max_proposals = 20000;
   /// Stop early after this many consecutive rejected proposals.
   std::size_t quiet_streak = 2000;
+  /// Delta: proposals priced read-only through drp::DeltaEvaluator (the
+  /// placement is only mutated on acceptance).  Naive: the original
+  /// mutate-measure-rollback loop.  Same rng stream, same bits either way.
+  EvalPath eval = EvalPath::Delta;
 };
 
 drp::ReplicaPlacement run_local_search(const drp::Problem& problem,

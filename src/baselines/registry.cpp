@@ -13,21 +13,29 @@
 
 namespace agtram::baselines {
 
-std::vector<AlgorithmEntry> all_algorithms() {
+std::vector<AlgorithmEntry> all_algorithms(const AlgoOptions& options) {
   std::vector<AlgorithmEntry> algorithms;
   algorithms.push_back(AlgorithmEntry{
-      "Greedy", [](const drp::Problem& p, std::uint64_t) {
-        return run_greedy(p);
+      "Greedy", [options](const drp::Problem& p, std::uint64_t) {
+        GreedyConfig cfg;
+        cfg.eval = options.eval;
+        cfg.parallel_scan = options.parallel_scans;
+        return run_greedy(p, cfg);
       }});
   algorithms.push_back(AlgorithmEntry{
-      "GRA", [](const drp::Problem& p, std::uint64_t seed) {
+      "GRA", [options](const drp::Problem& p, std::uint64_t seed) {
         GraConfig cfg;
         cfg.seed = seed;
+        cfg.eval = options.eval;
+        cfg.parallel_scan = options.parallel_scans;
         return run_gra(p, cfg);
       }});
   algorithms.push_back(AlgorithmEntry{
-      "Ae-Star", [](const drp::Problem& p, std::uint64_t) {
-        return run_aestar(p);
+      "Ae-Star", [options](const drp::Problem& p, std::uint64_t) {
+        AeStarConfig cfg;
+        cfg.eval = options.eval;
+        cfg.parallel_scan = options.parallel_scans;
+        return run_aestar(p, cfg);
       }});
   algorithms.push_back(AlgorithmEntry{
       "AGT-RAM", [](const drp::Problem& p, std::uint64_t) {
@@ -48,31 +56,36 @@ std::vector<AlgorithmEntry> all_algorithms() {
   return algorithms;
 }
 
-std::vector<AlgorithmEntry> extended_algorithms() {
-  std::vector<AlgorithmEntry> algorithms = all_algorithms();
+std::vector<AlgorithmEntry> extended_algorithms(const AlgoOptions& options) {
+  std::vector<AlgorithmEntry> algorithms = all_algorithms(options);
   algorithms.push_back(AlgorithmEntry{
-      "Selfish", [](const drp::Problem& p, std::uint64_t seed) {
+      "Selfish", [options](const drp::Problem& p, std::uint64_t seed) {
         SelfishCachingConfig cfg;
         cfg.seed = seed;
+        cfg.eval = options.eval;
         return run_selfish_caching(p, cfg).placement;
       }});
   algorithms.push_back(AlgorithmEntry{
-      "LocalSearch", [](const drp::Problem& p, std::uint64_t seed) {
+      "LocalSearch", [options](const drp::Problem& p, std::uint64_t seed) {
         LocalSearchConfig cfg;
         cfg.seed = seed;
+        cfg.eval = options.eval;
         return run_local_search(p, cfg);
       }});
   algorithms.push_back(AlgorithmEntry{
-      "SA", [](const drp::Problem& p, std::uint64_t seed) {
+      "SA", [options](const drp::Problem& p, std::uint64_t seed) {
         AnnealingConfig cfg;
         cfg.seed = seed;
+        cfg.eval = options.eval;
+        cfg.parallel_scan = options.parallel_scans;
         return run_annealing(p, cfg);
       }});
   return algorithms;
 }
 
-AlgorithmEntry find_algorithm(const std::string& name) {
-  for (auto& entry : extended_algorithms()) {
+AlgorithmEntry find_algorithm(const std::string& name,
+                              const AlgoOptions& options) {
+  for (auto& entry : extended_algorithms(options)) {
     if (entry.name == name) return entry;
   }
   throw std::invalid_argument("unknown algorithm: " + name);

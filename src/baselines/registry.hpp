@@ -8,10 +8,22 @@
 #include <string>
 #include <vector>
 
+#include "baselines/eval_path.hpp"
 #include "drp/placement.hpp"
 #include "drp/problem.hpp"
 
 namespace agtram::baselines {
+
+/// Cross-cutting execution knobs applied to every baseline that supports
+/// them (AGT-RAM and the auction mechanisms have their own runtime policy
+/// and ignore these).
+struct AlgoOptions {
+  /// Naive forces the full-recomputation oracle paths; Delta (default) the
+  /// incremental engine.  Placements and costs are bit-identical either way.
+  EvalPath eval = EvalPath::Delta;
+  /// Enables the delta paths' pool-parallel candidate scans.
+  bool parallel_scans = true;
+};
 
 struct AlgorithmEntry {
   std::string name;  ///< paper label: GRA, Aε-Star, Greedy, AGT-RAM, DA, EA
@@ -23,14 +35,16 @@ struct AlgorithmEntry {
 
 /// All six methods.  Order matches the paper's tables:
 /// Greedy, GRA, Aε-Star, AGT-RAM, DA, EA.
-std::vector<AlgorithmEntry> all_algorithms();
+std::vector<AlgorithmEntry> all_algorithms(const AlgoOptions& options = {});
 
 /// The paper's six plus the extended comparison set from the citation
 /// lineage: Selfish (Chun et al. best-response Nash), LocalSearch, SA.
-std::vector<AlgorithmEntry> extended_algorithms();
+std::vector<AlgorithmEntry> extended_algorithms(
+    const AlgoOptions& options = {});
 
 /// Lookup by name over the extended set (throws std::invalid_argument on
 /// unknown names).
-AlgorithmEntry find_algorithm(const std::string& name);
+AlgorithmEntry find_algorithm(const std::string& name,
+                              const AlgoOptions& options = {});
 
 }  // namespace agtram::baselines

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "baselines/eval_path.hpp"
 #include "drp/placement.hpp"
 #include "drp/problem.hpp"
 
@@ -26,6 +27,11 @@ struct SelfishCachingConfig {
   std::uint64_t seed = 1;
   /// Safety valve on best-response sweeps (0 = until equilibrium).
   std::size_t max_sweeps = 0;
+  /// Delta: each turn gathers agent benefits once and walks them in sorted
+  /// order (benefits of a server's other objects are invariant under its own
+  /// adds, so the naive per-add rescan re-derives the same numbers).  Naive:
+  /// the original full rescan after every placement.  Same bits either way.
+  EvalPath eval = EvalPath::Delta;
 };
 
 struct SelfishCachingResult {

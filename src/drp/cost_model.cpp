@@ -44,17 +44,58 @@ double CostModel::object_cost(const ReplicaPlacement& placement,
   return cost;
 }
 
-double CostModel::total_cost(const ReplicaPlacement& placement) {
+double CostModel::object_cost_with_replicators(
+    const Problem& p, ObjectIndex k, std::span<const ServerId> replicators) {
+  const double o = static_cast<double>(p.object_units[k]);
+  const ServerId primary = p.primary[k];
+  const double w_total = static_cast<double>(p.access.total_writes(k));
+  const auto is_member = [&](ServerId i) {
+    return std::binary_search(replicators.begin(), replicators.end(), i);
+  };
+
+  double cost = 0.0;
+  const auto accessors = p.access.accessors(k);
+  const auto primary_row = p.distances->row(primary);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const Access& a = accessors[slot];
+    const double c_primary = static_cast<double>(primary_row[a.server]);
+    cost += static_cast<double>(a.writes) * o * c_primary;
+    if (is_member(a.server)) {
+      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
+    } else {
+      const auto a_row = p.distances->row(a.server);
+      net::Cost nn = net::kUnreachable;
+      for (ServerId r : replicators) nn = std::min(nn, a_row[r]);
+      cost += static_cast<double>(a.reads) * o * static_cast<double>(nn);
+    }
+  }
+  for (ServerId r : replicators) {
+    if (r == primary) continue;
+    if (p.access.accessor_slot(r, k) == AccessMatrix::npos) {
+      cost += w_total * o * static_cast<double>(p.distance(primary, r));
+    }
+  }
+  return cost;
+}
+
+void CostModel::object_costs(const ReplicaPlacement& placement,
+                             std::span<double> out) {
   const std::size_t n = placement.problem().object_count();
-  std::vector<double> partial(n, 0.0);
+  assert(out.size() == n);
   common::ThreadPool::shared().parallel_for(
       0, n,
       [&](std::size_t first, std::size_t last) {
         for (std::size_t k = first; k < last; ++k) {
-          partial[k] = object_cost(placement, static_cast<ObjectIndex>(k));
+          out[k] = object_cost(placement, static_cast<ObjectIndex>(k));
         }
       },
       /*min_grain=*/128);
+}
+
+double CostModel::total_cost(const ReplicaPlacement& placement) {
+  const std::size_t n = placement.problem().object_count();
+  std::vector<double> partial(n, 0.0);
+  object_costs(placement, partial);
   double total = 0.0;
   for (double v : partial) total += v;
   return total;

@@ -22,6 +22,8 @@
 //    is what the centralised Greedy baseline maximises.
 #pragma once
 
+#include <span>
+
 #include "drp/placement.hpp"
 #include "drp/problem.hpp"
 
@@ -31,6 +33,22 @@ class CostModel {
  public:
   /// Cost contribution of object k under the given scheme.
   static double object_cost(const ReplicaPlacement& placement, ObjectIndex k);
+
+  /// object_cost for a hypothetical replicator set, without materialising a
+  /// placement.  `replicators` must be sorted, contain the primary, and hold
+  /// no duplicates — the invariants ReplicaPlacement maintains — so the loop
+  /// structure (and therefore the floating-point result) is identical to
+  /// object_cost on a placement with that exact set.  NN distances are
+  /// recomputed as min over the set (integral, order-independent).  Used by
+  /// GRA's delta fitness to score genomes against a shared base placement.
+  static double object_cost_with_replicators(
+      const Problem& problem, ObjectIndex k,
+      std::span<const ServerId> replicators);
+
+  /// Fills out[k] = object_cost(placement, k) for every object, in parallel
+  /// on the shared pool.  Precondition: out.size() == object_count().
+  static void object_costs(const ReplicaPlacement& placement,
+                           std::span<double> out);
 
   /// C(X): total OTC; evaluated per object in parallel on the shared pool.
   static double total_cost(const ReplicaPlacement& placement);

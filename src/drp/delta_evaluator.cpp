@@ -1,0 +1,330 @@
+#include "drp/delta_evaluator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/thread_pool.hpp"
+
+namespace agtram::drp {
+
+namespace {
+
+/// Per-server scan cutoff: below this many servers the chunked row walk
+/// cannot amortise a pool fork, so best_add_for_object stays inline even
+/// when asked to parallelise (round-size-aware cutoff, same policy as the
+/// mechanism's parallel_min_agents).
+constexpr std::size_t kParallelMinServers = 1024;
+
+}  // namespace
+
+DeltaEvaluator::DeltaEvaluator(ReplicaPlacement placement)
+    : placement_(std::move(placement)) {
+  const std::size_t n = placement_.problem().object_count();
+  obj_cost_.resize(n);
+  opt_saving_.resize(n);
+  common::ThreadPool::shared().parallel_for(
+      0, n,
+      [&](std::size_t first, std::size_t last) {
+        for (std::size_t k = first; k < last; ++k) {
+          refresh(static_cast<ObjectIndex>(k));
+        }
+      },
+      /*min_grain=*/128);
+}
+
+void DeltaEvaluator::refresh(ObjectIndex k) {
+  // Mirrors CostModel::object_cost term for term (the `cost` accumulator
+  // sees the identical op sequence — DESIGN.md §8), folding the optimistic
+  // saving bound into the same accessor walk.
+  const Problem& p = placement_.problem();
+  const double o = static_cast<double>(p.object_units[k]);
+  const ServerId primary = p.primary[k];
+  const double w_total = static_cast<double>(p.access.total_writes(k));
+
+  double cost = 0.0;
+  double saving = 0.0;
+  const auto accessors = p.access.accessors(k);
+  const auto nn = placement_.nn_row(k);
+  const auto primary_row = p.distances->row(primary);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const Access& a = accessors[slot];
+    const double c_primary = static_cast<double>(primary_row[a.server]);
+    cost += static_cast<double>(a.writes) * o * c_primary;
+    if (placement_.is_replicator(a.server, k)) {
+      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
+    } else {
+      cost += static_cast<double>(a.reads) * o * static_cast<double>(nn[slot]);
+      if (a.reads != 0) {
+        saving += static_cast<double>(a.reads) * o *
+                  static_cast<double>(nn[slot]);
+      }
+    }
+  }
+  for (ServerId r : placement_.replicators(k)) {
+    if (r == primary) continue;
+    if (p.access.accessor_slot(r, k) == AccessMatrix::npos) {
+      cost += w_total * o * static_cast<double>(p.distance(primary, r));
+    }
+  }
+  obj_cost_[k] = cost;
+  opt_saving_[k] = saving;
+}
+
+double DeltaEvaluator::optimistic_saving() const {
+  double total = 0.0;
+  for (const double v : opt_saving_) total += v;
+  return total;
+}
+
+double DeltaEvaluator::total() const {
+  if (!total_valid_) {
+    double total = 0.0;
+    for (const double v : obj_cost_) total += v;
+    total_ = total;
+    total_valid_ = true;
+  }
+  return total_;
+}
+
+double DeltaEvaluator::cost_if_added(ServerId i, ObjectIndex k) const {
+  const Problem& p = placement_.problem();
+  assert(placement_.can_replicate(i, k));
+  const double o = static_cast<double>(p.object_units[k]);
+  const ServerId primary = p.primary[k];
+  const double w_total = static_cast<double>(p.access.total_writes(k));
+
+  double cost = 0.0;
+  const auto accessors = p.access.accessors(k);
+  const auto nn = placement_.nn_row(k);
+  const auto primary_row = p.distances->row(primary);
+  const auto i_row = p.distances->row(i);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const Access& a = accessors[slot];
+    const double c_primary = static_cast<double>(primary_row[a.server]);
+    cost += static_cast<double>(a.writes) * o * c_primary;
+    if (a.server == i || placement_.is_replicator(a.server, k)) {
+      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
+    } else {
+      const net::Cost with_i = std::min(nn[slot], i_row[a.server]);
+      cost +=
+          static_cast<double>(a.reads) * o * static_cast<double>(with_i);
+    }
+  }
+  // Spur loop over the virtual set replicators(k) ∪ {i}, merged in sorted
+  // order — the order a real add would leave the set in.
+  bool placed_i = false;
+  const auto spur = [&](ServerId r) {
+    if (r == primary) return;
+    if (p.access.accessor_slot(r, k) == AccessMatrix::npos) {
+      cost += w_total * o * static_cast<double>(p.distance(primary, r));
+    }
+  };
+  for (ServerId r : placement_.replicators(k)) {
+    if (!placed_i && i < r) {
+      spur(i);
+      placed_i = true;
+    }
+    spur(r);
+  }
+  if (!placed_i) spur(i);
+  return cost;
+}
+
+double DeltaEvaluator::cost_if_dropped(ServerId i, ObjectIndex k) const {
+  const Problem& p = placement_.problem();
+  assert(placement_.is_replicator(i, k) && i != p.primary[k]);
+  const double o = static_cast<double>(p.object_units[k]);
+  const ServerId primary = p.primary[k];
+  const double w_total = static_cast<double>(p.access.total_writes(k));
+  const auto reps = placement_.replicators(k);
+
+  // NN of `server` over the surviving set (integral min — equals whatever
+  // rebuild_nn would cache after the real remove).
+  const auto nn_without_i = [&](ServerId server) {
+    const auto s_row = p.distances->row(server);
+    net::Cost best = net::kUnreachable;
+    for (ServerId r : reps) {
+      if (r == i) continue;
+      best = std::min(best, s_row[r]);
+    }
+    return best;
+  };
+
+  double cost = 0.0;
+  const auto accessors = p.access.accessors(k);
+  const auto nn = placement_.nn_row(k);
+  const auto primary_row = p.distances->row(primary);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const Access& a = accessors[slot];
+    const double c_primary = static_cast<double>(primary_row[a.server]);
+    cost += static_cast<double>(a.writes) * o * c_primary;
+    if (placement_.is_replicator(a.server, k) && a.server != i) {
+      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
+    } else {
+      // Reader after the drop.  The cached distance survives unless the
+      // dropped node was the recorded nearest (or the reader is i itself,
+      // whose cached distance is its replicator zero).
+      const net::Cost after =
+          (a.server == i || placement_.nn_node_by_slot(k, slot) == i)
+              ? nn_without_i(a.server)
+              : nn[slot];
+      cost += static_cast<double>(a.reads) * o * static_cast<double>(after);
+    }
+  }
+  for (ServerId r : reps) {
+    if (r == i || r == primary) continue;
+    if (p.access.accessor_slot(r, k) == AccessMatrix::npos) {
+      cost += w_total * o * static_cast<double>(p.distance(primary, r));
+    }
+  }
+  return cost;
+}
+
+double DeltaEvaluator::cost_if_swapped(ServerId from, ServerId to,
+                                       ObjectIndex k) const {
+  const Problem& p = placement_.problem();
+  assert(placement_.is_replicator(from, k) && from != p.primary[k]);
+  assert(from != to && !placement_.is_replicator(to, k));
+  const double o = static_cast<double>(p.object_units[k]);
+  const ServerId primary = p.primary[k];
+  const double w_total = static_cast<double>(p.access.total_writes(k));
+  const auto reps = placement_.replicators(k);
+
+  const auto nn_without_from = [&](ServerId server) {
+    const auto s_row = p.distances->row(server);
+    net::Cost best = net::kUnreachable;
+    for (ServerId r : reps) {
+      if (r == from) continue;
+      best = std::min(best, s_row[r]);
+    }
+    return best;
+  };
+
+  double cost = 0.0;
+  const auto accessors = p.access.accessors(k);
+  const auto nn = placement_.nn_row(k);
+  const auto primary_row = p.distances->row(primary);
+  const auto to_row = p.distances->row(to);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const Access& a = accessors[slot];
+    const double c_primary = static_cast<double>(primary_row[a.server]);
+    cost += static_cast<double>(a.writes) * o * c_primary;
+    const bool member_after =
+        a.server == to ||
+        (placement_.is_replicator(a.server, k) && a.server != from);
+    if (member_after) {
+      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
+    } else {
+      const net::Cost base =
+          (a.server == from || placement_.nn_node_by_slot(k, slot) == from)
+              ? nn_without_from(a.server)
+              : nn[slot];
+      const net::Cost after = std::min(base, to_row[a.server]);
+      cost += static_cast<double>(a.reads) * o * static_cast<double>(after);
+    }
+  }
+  // Virtual set: (replicators \ {from}) ∪ {to}, merged sorted.
+  bool placed_to = false;
+  const auto spur = [&](ServerId r) {
+    if (r == primary) return;
+    if (p.access.accessor_slot(r, k) == AccessMatrix::npos) {
+      cost += w_total * o * static_cast<double>(p.distance(primary, r));
+    }
+  };
+  for (ServerId r : reps) {
+    if (r == from) continue;
+    if (!placed_to && to < r) {
+      spur(to);
+      placed_to = true;
+    }
+    spur(r);
+  }
+  if (!placed_to) spur(to);
+  return cost;
+}
+
+void DeltaEvaluator::add_replica(ServerId i, ObjectIndex k) {
+  placement_.add_replica(i, k);
+  refresh(k);
+  total_valid_ = false;
+}
+
+void DeltaEvaluator::remove_replica(ServerId i, ObjectIndex k) {
+  placement_.remove_replica(i, k);
+  refresh(k);
+  total_valid_ = false;
+}
+
+DeltaEvaluator::BestAdd DeltaEvaluator::best_add_for_object(
+    ObjectIndex k, const std::vector<bool>* allowed_sites,
+    ScanScratch& scratch, bool parallel) const {
+  const Problem& p = placement_.problem();
+  const std::size_t m = p.server_count();
+  const double o = static_cast<double>(p.object_units[k]);
+  const double w_total = static_cast<double>(p.access.total_writes(k));
+  const auto accessors = p.access.accessors(k);
+  const auto nn = placement_.nn_row(k);
+  const auto primary_row = p.distances->row(p.primary[k]);
+
+  std::vector<double>& benefit = scratch.benefit;
+  benefit.assign(m, 0.0);
+
+  const auto scan = [&](std::size_t first, std::size_t last) {
+    // Read-savings terms, slot-outer/server-inner: each active reader's
+    // distance row is walked sequentially, and every server accumulates its
+    // terms in slot order — the op sequence global_benefit uses.
+    for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+      const Access& a = accessors[slot];
+      if (a.reads == 0 || placement_.is_replicator(a.server, k)) continue;
+      const auto a_row = p.distances->row(a.server);
+      const net::Cost current = nn[slot];
+      const double ro = static_cast<double>(a.reads) * o;
+      for (std::size_t i = first; i < last; ++i) {
+        const net::Cost with_i = std::min(current, a_row[i]);
+        benefit[i] += ro * (static_cast<double>(current) -
+                            static_cast<double>(with_i));
+      }
+    }
+    // Broadcast price, merged two-pointer over the (server-sorted) accessor
+    // row for w_ik.  Kept as one (w_total − w_i)·o·d product so the
+    // floating-point grouping matches global_benefit's final subtraction.
+    std::size_t ptr = 0;
+    {
+      std::size_t lo = 0, hi = accessors.size();
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (accessors[mid].server < first) lo = mid + 1; else hi = mid;
+      }
+      ptr = lo;
+    }
+    for (std::size_t i = first; i < last; ++i) {
+      while (ptr < accessors.size() && accessors[ptr].server < i) ++ptr;
+      const double w_i =
+          (ptr < accessors.size() && accessors[ptr].server == i)
+              ? static_cast<double>(accessors[ptr].writes)
+              : 0.0;
+      benefit[i] -=
+          (w_total - w_i) * o * static_cast<double>(primary_row[i]);
+    }
+  };
+
+  if (parallel && m >= kParallelMinServers) {
+    common::ThreadPool::shared().parallel_for(0, m, scan, /*min_grain=*/256);
+  } else {
+    scan(0, m);
+  }
+
+  BestAdd best;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (allowed_sites && !(*allowed_sites)[i]) continue;
+    const auto server = static_cast<ServerId>(i);
+    if (!placement_.can_replicate(server, k)) continue;
+    if (benefit[i] > best.benefit) {
+      best.benefit = benefit[i];
+      best.server = server;
+    }
+  }
+  return best;
+}
+
+}  // namespace agtram::drp

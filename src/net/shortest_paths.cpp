@@ -1,6 +1,8 @@
 #include "net/shortest_paths.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <queue>
 #include <stdexcept>
 #include <utility>
@@ -30,27 +32,62 @@ std::vector<Cost> dijkstra(const Graph& graph, NodeId source) {
   return dist;
 }
 
+namespace {
+
+/// Mean over distinct pairs from the full-matrix entry sum.  The matrix is
+/// symmetric with a zero diagonal, so the upper-triangle sum is half the
+/// total; integer sums are exact, matching a direct double accumulation of
+/// the triangle for any realistic matrix (triangle sums below 2^53).
+double mean_from_total(std::size_t nodes, std::uint64_t total) {
+  if (nodes < 2) return 0.0;
+  const double pairs =
+      static_cast<double>(nodes) * static_cast<double>(nodes - 1) / 2.0;
+  return static_cast<double>(total / 2) / pairs;
+}
+
+}  // namespace
+
 DistanceMatrix DistanceMatrix::compute(const Graph& graph) {
   const std::size_t n = graph.node_count();
   std::vector<Cost> data(n * n, kUnreachable);
+  // Per-row partials folded into the fill pass: each source's Dijkstra row
+  // is scanned once, right after it is written, for reachability plus the
+  // row's max and sum — the former O(n^2) serial validation sweep and the
+  // separate diameter()/mean_distance() walks disappear into this loop.
+  std::vector<Cost> row_max(n, 0);
+  std::vector<std::uint64_t> row_sum(n, 0);
+  std::atomic<bool> disconnected{false};
   common::ThreadPool::shared().parallel_for(
       0, n,
       [&](std::size_t first, std::size_t last) {
         for (std::size_t src = first; src < last; ++src) {
           const auto row = dijkstra(graph, static_cast<NodeId>(src));
           std::copy(row.begin(), row.end(), data.begin() + src * n);
+          Cost max = 0;
+          std::uint64_t sum = 0;
+          for (const Cost c : row) {
+            max = std::max(max, c);
+            sum += c;
+          }
+          row_max[src] = max;
+          row_sum[src] = sum;
+          if (max == kUnreachable) {
+            disconnected.store(true, std::memory_order_relaxed);
+          }
         }
       },
       /*min_grain=*/1);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (data[i * n + j] == kUnreachable) {
-        throw std::runtime_error(
-            "DistanceMatrix::compute: graph is disconnected");
-      }
-    }
+  if (disconnected.load(std::memory_order_relaxed)) {
+    throw std::runtime_error("DistanceMatrix::compute: graph is disconnected");
   }
-  return DistanceMatrix(n, std::move(data));
+  Cost diameter = 0;
+  std::uint64_t total = 0;
+  for (std::size_t src = 0; src < n; ++src) {
+    diameter = std::max(diameter, row_max[src]);
+    total += row_sum[src];
+  }
+  return DistanceMatrix(n, std::move(data), diameter,
+                        mean_from_total(n, total));
 }
 
 DistanceMatrix DistanceMatrix::from_rows(std::size_t nodes,
@@ -58,36 +95,23 @@ DistanceMatrix DistanceMatrix::from_rows(std::size_t nodes,
   if (rows.size() != nodes * nodes) {
     throw std::invalid_argument("from_rows: size mismatch");
   }
+  Cost diameter = 0;
+  std::uint64_t total = 0;
   for (std::size_t i = 0; i < nodes; ++i) {
     if (rows[i * nodes + i] != 0) {
       throw std::invalid_argument("from_rows: non-zero diagonal");
     }
     for (std::size_t j = 0; j < nodes; ++j) {
-      if (rows[i * nodes + j] != rows[j * nodes + i]) {
+      const Cost c = rows[i * nodes + j];
+      if (c != rows[j * nodes + i]) {
         throw std::invalid_argument("from_rows: asymmetric matrix");
       }
+      diameter = std::max(diameter, c);
+      total += c;
     }
   }
-  return DistanceMatrix(nodes, std::move(rows));
-}
-
-Cost DistanceMatrix::diameter() const {
-  Cost best = 0;
-  for (Cost c : data_) best = std::max(best, c);
-  return best;
-}
-
-double DistanceMatrix::mean_distance() const {
-  if (nodes_ < 2) return 0.0;
-  double sum = 0.0;
-  for (std::size_t i = 0; i < nodes_; ++i) {
-    for (std::size_t j = i + 1; j < nodes_; ++j) {
-      sum += static_cast<double>(data_[i * nodes_ + j]);
-    }
-  }
-  const double pairs =
-      static_cast<double>(nodes_) * static_cast<double>(nodes_ - 1) / 2.0;
-  return sum / pairs;
+  return DistanceMatrix(nodes, std::move(rows), diameter,
+                        mean_from_total(nodes, total));
 }
 
 }  // namespace agtram::net

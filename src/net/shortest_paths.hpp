@@ -47,18 +47,28 @@ class DistanceMatrix {
     return {data_.data() + static_cast<std::size_t>(a) * nodes_, nodes_};
   }
 
-  /// Largest pairwise distance (network diameter in cost units).
-  Cost diameter() const;
+  /// Largest pairwise distance (network diameter in cost units).  Cached at
+  /// construction: both factories derive it from per-row partials folded
+  /// into the pass that already visits every entry.
+  Cost diameter() const noexcept { return diameter_; }
 
-  /// Mean pairwise distance over distinct pairs.
-  double mean_distance() const;
+  /// Mean pairwise distance over distinct pairs, cached like diameter().
+  /// Pairwise sums are exact in uint64, so the cached value equals the
+  /// historical on-demand upper-triangle accumulation.
+  double mean_distance() const noexcept { return mean_distance_; }
 
  private:
-  DistanceMatrix(std::size_t nodes, std::vector<Cost> data)
-      : nodes_(nodes), data_(std::move(data)) {}
+  DistanceMatrix(std::size_t nodes, std::vector<Cost> data, Cost diameter,
+                 double mean_distance)
+      : nodes_(nodes),
+        data_(std::move(data)),
+        diameter_(diameter),
+        mean_distance_(mean_distance) {}
 
   std::size_t nodes_;
   std::vector<Cost> data_;
+  Cost diameter_ = 0;
+  double mean_distance_ = 0.0;
 };
 
 using DistanceMatrixPtr = std::shared_ptr<const DistanceMatrix>;

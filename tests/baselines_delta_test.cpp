@@ -1,0 +1,370 @@
+// Differential suite for the delta-OTC evaluation engine (DESIGN.md §8):
+// every baseline must produce byte-identical placements and bit-identical
+// (hexfloat-equal) costs on the delta path — serial and pool-parallel — as
+// on the naive full-recomputation oracle, across instance families that
+// cover trace and Dispersed demand up to the paper's own dimensions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/aestar.hpp"
+#include "baselines/annealing.hpp"
+#include "baselines/gra.hpp"
+#include "baselines/greedy.hpp"
+#include "baselines/local_search.hpp"
+#include "baselines/selfish_caching.hpp"
+#include "common/prng.hpp"
+#include "drp/builder.hpp"
+#include "drp/cost_model.hpp"
+#include "drp/delta_evaluator.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+using namespace agtram::baselines;
+
+std::string hexfloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Byte-identical placements: same replicator set for every object, and
+/// bit-identical total costs (reported as hexfloats on mismatch).
+void expect_identical(const drp::ReplicaPlacement& naive,
+                      const drp::ReplicaPlacement& delta) {
+  const std::size_t n = naive.problem().object_count();
+  ASSERT_EQ(n, delta.problem().object_count());
+  for (drp::ObjectIndex k = 0; k < n; ++k) {
+    const auto a = naive.replicators(k);
+    const auto b = delta.replicators(k);
+    ASSERT_EQ(std::vector<drp::ServerId>(a.begin(), a.end()),
+              std::vector<drp::ServerId>(b.begin(), b.end()))
+        << "replicator sets diverge at object " << k;
+  }
+  const double cost_naive = drp::CostModel::total_cost(naive);
+  const double cost_delta = drp::CostModel::total_cost(delta);
+  EXPECT_EQ(cost_naive, cost_delta)
+      << "naive " << hexfloat(cost_naive) << " vs delta "
+      << hexfloat(cost_delta);
+  EXPECT_NO_THROW(delta.check_invariants());
+}
+
+struct Family {
+  std::string name;
+  drp::Problem problem;
+};
+
+drp::Problem generated(std::uint32_t servers, std::uint32_t objects,
+                       drp::DemandModel demand, std::uint64_t seed) {
+  drp::InstanceSpec spec;
+  spec.servers = servers;
+  spec.objects = objects;
+  spec.seed = seed;
+  spec.demand = demand;
+  spec.instance.capacity_fraction = 0.05;
+  spec.instance.rw_ratio = 0.9;
+  return drp::make_instance(spec);
+}
+
+/// The standard cross-family battery: small trace, mid trace, mid
+/// dispersed, larger dispersed.  (Paper-scale dims get their own targeted
+/// tests below; running every baseline's naive oracle there would dominate
+/// suite time.)
+const std::vector<Family>& families() {
+  static const std::vector<Family> fams = [] {
+    std::vector<Family> f;
+    f.push_back({"small-trace-16x40", testutil::small_instance(7)});
+    f.push_back(
+        {"trace-64x640", generated(64, 640, drp::DemandModel::Trace, 21)});
+    f.push_back({"dispersed-64x640",
+                 generated(64, 640, drp::DemandModel::Dispersed, 22)});
+    f.push_back({"dispersed-256x2560",
+                 generated(256, 2560, drp::DemandModel::Dispersed, 23)});
+    return f;
+  }();
+  return fams;
+}
+
+TEST(BaselinesDelta, GreedyMatchesNaive) {
+  for (const Family& fam : families()) {
+    SCOPED_TRACE(fam.name);
+    GreedyConfig naive_cfg;
+    naive_cfg.eval = EvalPath::Naive;
+    const auto naive = run_greedy(fam.problem, naive_cfg);
+    for (const bool parallel : {false, true}) {
+      SCOPED_TRACE(parallel ? "parallel" : "serial");
+      GreedyConfig delta_cfg;
+      delta_cfg.eval = EvalPath::Delta;
+      delta_cfg.parallel_scan = parallel;
+      expect_identical(naive, run_greedy(fam.problem, delta_cfg));
+    }
+  }
+}
+
+TEST(BaselinesDelta, GreedyFromStartAndCapMatchesNaive) {
+  const drp::Problem& p = families()[2].problem;
+  GreedyConfig naive_cfg;
+  naive_cfg.eval = EvalPath::Naive;
+  naive_cfg.max_replicas = 17;
+  GreedyConfig delta_cfg = naive_cfg;
+  delta_cfg.eval = EvalPath::Delta;
+  // Start from a partially filled scheme so re-validation paths engage.
+  SelfishCachingConfig seed_cfg;
+  seed_cfg.seed = 5;
+  const auto start = run_selfish_caching(p, seed_cfg).placement;
+  expect_identical(run_greedy_from(p, start, naive_cfg),
+                   run_greedy_from(p, start, delta_cfg));
+}
+
+TEST(BaselinesDelta, GraMatchesNaive) {
+  for (const Family& fam : families()) {
+    SCOPED_TRACE(fam.name);
+    GraConfig naive_cfg;
+    naive_cfg.eval = EvalPath::Naive;
+    naive_cfg.population = 8;
+    naive_cfg.generations = 6;
+    naive_cfg.seed = 3;
+    const auto naive = run_gra(fam.problem, naive_cfg);
+    for (const bool parallel : {false, true}) {
+      SCOPED_TRACE(parallel ? "parallel" : "serial");
+      GraConfig delta_cfg = naive_cfg;
+      delta_cfg.eval = EvalPath::Delta;
+      delta_cfg.parallel_scan = parallel;
+      expect_identical(naive, run_gra(fam.problem, delta_cfg));
+    }
+  }
+}
+
+TEST(BaselinesDelta, AeStarMatchesNaive) {
+  for (const Family& fam : families()) {
+    SCOPED_TRACE(fam.name);
+    AeStarConfig naive_cfg;
+    naive_cfg.eval = EvalPath::Naive;
+    naive_cfg.max_expansions = 40;
+    const auto naive = run_aestar(fam.problem, naive_cfg);
+    for (const bool parallel : {false, true}) {
+      SCOPED_TRACE(parallel ? "parallel" : "serial");
+      AeStarConfig delta_cfg = naive_cfg;
+      delta_cfg.eval = EvalPath::Delta;
+      delta_cfg.parallel_scan = parallel;
+      expect_identical(naive, run_aestar(fam.problem, delta_cfg));
+    }
+  }
+}
+
+TEST(BaselinesDelta, SelfishMatchesNaive) {
+  for (const Family& fam : families()) {
+    SCOPED_TRACE(fam.name);
+    SelfishCachingConfig naive_cfg;
+    naive_cfg.eval = EvalPath::Naive;
+    naive_cfg.seed = 9;
+    const auto naive = run_selfish_caching(fam.problem, naive_cfg);
+    SelfishCachingConfig delta_cfg = naive_cfg;
+    delta_cfg.eval = EvalPath::Delta;
+    const auto delta = run_selfish_caching(fam.problem, delta_cfg);
+    EXPECT_EQ(naive.sweeps, delta.sweeps);
+    EXPECT_EQ(naive.moves, delta.moves);
+    EXPECT_EQ(naive.equilibrium_reached, delta.equilibrium_reached);
+    expect_identical(naive.placement, delta.placement);
+  }
+}
+
+TEST(BaselinesDelta, LocalSearchMatchesNaive) {
+  for (const Family& fam : families()) {
+    SCOPED_TRACE(fam.name);
+    LocalSearchConfig naive_cfg;
+    naive_cfg.eval = EvalPath::Naive;
+    naive_cfg.seed = 4;
+    naive_cfg.max_proposals = 4000;
+    LocalSearchConfig delta_cfg = naive_cfg;
+    delta_cfg.eval = EvalPath::Delta;
+    expect_identical(run_local_search(fam.problem, naive_cfg),
+                     run_local_search(fam.problem, delta_cfg));
+  }
+}
+
+TEST(BaselinesDelta, AnnealingMatchesNaiveAcrossBatchSizes) {
+  for (const Family& fam : families()) {
+    SCOPED_TRACE(fam.name);
+    AnnealingConfig naive_cfg;
+    naive_cfg.eval = EvalPath::Naive;
+    naive_cfg.seed = 6;
+    naive_cfg.proposals = 6000;
+    const auto naive = run_annealing(fam.problem, naive_cfg);
+    // Per-proposal rng streams make the trajectory independent of the
+    // speculative batch size and of parallel pricing.
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{7}}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch));
+      AnnealingConfig delta_cfg = naive_cfg;
+      delta_cfg.eval = EvalPath::Delta;
+      delta_cfg.batch = batch;
+      expect_identical(naive, run_annealing(fam.problem, delta_cfg));
+    }
+    AnnealingConfig par_cfg = naive_cfg;
+    par_cfg.eval = EvalPath::Delta;
+    par_cfg.batch = 32;
+    par_cfg.parallel_scan = true;
+    par_cfg.parallel_min_work = 1;  // force the pool even on tiny batches
+    expect_identical(naive, run_annealing(fam.problem, par_cfg));
+  }
+}
+
+// ------------------------------------------------------ paper-scale dims
+
+/// Paper-scale (M = 3000, N = 25600, Dispersed) differential check for the
+/// two baselines the bench gate tracks.  Configs are trimmed so the naive
+/// oracle stays affordable inside the suite; the scans still cross the
+/// parallel cutoffs (M >= 1024) and the CSR layout's arena paths.
+class PaperScaleDelta : public ::testing::Test {
+ protected:
+  static const drp::Problem& problem() {
+    static const drp::Problem p = [] {
+      drp::InstanceSpec spec;
+      spec.servers = 3000;
+      spec.objects = 25600;
+      spec.seed = 42;
+      spec.topology = net::TopologyKind::PowerLaw;
+      spec.demand = drp::DemandModel::Dispersed;
+      spec.readers_per_object = 8.0;
+      spec.instance.capacity_fraction = 0.01;
+      spec.instance.rw_ratio = 0.9;
+      return drp::make_instance(spec);
+    }();
+    return p;
+  }
+};
+
+TEST_F(PaperScaleDelta, GreedyMatchesNaive) {
+  GreedyConfig naive_cfg;
+  naive_cfg.eval = EvalPath::Naive;
+  naive_cfg.max_replicas = 64;
+  const auto naive = run_greedy(problem(), naive_cfg);
+  for (const bool parallel : {false, true}) {
+    SCOPED_TRACE(parallel ? "parallel" : "serial");
+    GreedyConfig delta_cfg = naive_cfg;
+    delta_cfg.eval = EvalPath::Delta;
+    delta_cfg.parallel_scan = parallel;
+    expect_identical(naive, run_greedy(problem(), delta_cfg));
+  }
+}
+
+TEST_F(PaperScaleDelta, GraMatchesNaive) {
+  GraConfig naive_cfg;
+  naive_cfg.eval = EvalPath::Naive;
+  naive_cfg.population = 6;
+  naive_cfg.generations = 3;
+  naive_cfg.seed = 8;
+  const auto naive = run_gra(problem(), naive_cfg);
+  GraConfig delta_cfg = naive_cfg;
+  delta_cfg.eval = EvalPath::Delta;
+  delta_cfg.parallel_scan = true;
+  expect_identical(naive, run_gra(problem(), delta_cfg));
+}
+
+// ------------------------------------------------- delta-evaluator fuzz
+
+/// Random add/drop/swap walk on a roomy-capacity instance, asserting after
+/// every mutation that the evaluator's caches and hypothetical deltas are
+/// bitwise equal to fresh full recomputations.  Capacities are inflated so
+/// replicator sets grow past kInlineReplicators (8) and cross the
+/// inline->arena boundary mid-walk.
+TEST(DeltaEvaluatorFuzz, HypotheticalsMatchFreshRecomputation) {
+  drp::Problem p = testutil::small_instance(31, 24, 20, /*capacity=*/3.0);
+  common::Rng rng(1234);
+  drp::DeltaEvaluator eval{drp::ReplicaPlacement(p)};
+  bool crossed_arena_boundary = false;
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto k = static_cast<drp::ObjectIndex>(rng.below(p.object_count()));
+    const auto i = static_cast<drp::ServerId>(rng.below(p.server_count()));
+    switch (rng.below(3)) {
+      case 0: {
+        if (!eval.can_replicate(i, k)) break;
+        const double predicted = eval.delta_of_add(i, k);
+        const double before = eval.object_cost(k);
+        eval.add_replica(i, k);
+        const double fresh =
+            drp::CostModel::object_cost(eval.placement(), k);
+        ASSERT_EQ(eval.object_cost(k), fresh) << "add cache, step " << step;
+        ASSERT_EQ(predicted, fresh - before) << "add delta, step " << step;
+        break;
+      }
+      case 1: {
+        if (!eval.placement().is_replicator(i, k) || i == p.primary[k]) break;
+        const double predicted = eval.delta_of_drop(i, k);
+        const double before = eval.object_cost(k);
+        eval.remove_replica(i, k);
+        const double fresh =
+            drp::CostModel::object_cost(eval.placement(), k);
+        ASSERT_EQ(eval.object_cost(k), fresh) << "drop cache, step " << step;
+        ASSERT_EQ(predicted, fresh - before) << "drop delta, step " << step;
+        break;
+      }
+      default: {
+        const auto to = static_cast<drp::ServerId>(rng.below(p.server_count()));
+        if (!eval.placement().is_replicator(i, k) || i == p.primary[k] ||
+            i == to || eval.placement().is_replicator(to, k) ||
+            !eval.can_replicate(to, k)) {
+          break;
+        }
+        const double predicted = eval.delta_of_swap(i, to, k);
+        const double before = eval.object_cost(k);
+        eval.remove_replica(i, k);
+        eval.add_replica(to, k);
+        const double fresh =
+            drp::CostModel::object_cost(eval.placement(), k);
+        ASSERT_EQ(eval.object_cost(k), fresh) << "swap cache, step " << step;
+        ASSERT_EQ(predicted, fresh - before) << "swap delta, step " << step;
+        break;
+      }
+    }
+    if (eval.placement().replicators(k).size() >
+        drp::ReplicaPlacement::kInlineReplicators) {
+      crossed_arena_boundary = true;
+    }
+    ASSERT_EQ(eval.total(), drp::CostModel::total_cost(eval.placement()))
+        << "total, step " << step;
+  }
+  EXPECT_TRUE(crossed_arena_boundary)
+      << "fuzz walk never spilled a replicator set to the arena; "
+         "raise capacities or steps";
+  EXPECT_NO_THROW(eval.placement().check_invariants());
+}
+
+TEST(DeltaEvaluatorFuzz, BestAddMatchesNaiveArgmaxUnderMask) {
+  const drp::Problem p = testutil::small_instance(17, 32, 60);
+  SelfishCachingConfig seed_cfg;
+  seed_cfg.seed = 2;
+  drp::DeltaEvaluator eval{run_selfish_caching(p, seed_cfg).placement};
+  std::vector<bool> mask(p.server_count(), true);
+  common::Rng rng(77);
+  for (std::size_t i = 0; i < mask.size(); ++i) mask[i] = rng.chance(0.7);
+
+  drp::DeltaEvaluator::ScanScratch scratch;
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    double naive_benefit = 0.0;
+    drp::ServerId naive_server = 0;
+    for (drp::ServerId i = 0; i < p.server_count(); ++i) {
+      if (!mask[i] || !eval.can_replicate(i, k)) continue;
+      const double b =
+          drp::CostModel::global_benefit(eval.placement(), i, k);
+      if (b > naive_benefit) {
+        naive_benefit = b;
+        naive_server = i;
+      }
+    }
+    for (const bool parallel : {false, true}) {
+      const auto best = eval.best_add_for_object(k, &mask, scratch, parallel);
+      ASSERT_EQ(best.benefit, naive_benefit)
+          << "object " << k << " benefit " << hexfloat(best.benefit) << " vs "
+          << hexfloat(naive_benefit);
+      ASSERT_EQ(best.server, naive_server) << "object " << k;
+    }
+  }
+}
+
+}  // namespace

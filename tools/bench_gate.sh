@@ -2,12 +2,14 @@
 # Perf-regression gate for the mechanism trajectory.
 #
 # Re-runs the micro_core trajectory into a scratch JSON and diffs its
-# mechanism_full_run rows against the committed BENCH_mechanism.json: any
-# row whose wall time regressed by more than the threshold (default 25%)
-# fails the gate.  Rows are matched on the full identity key
-# (servers, objects, demand, layout, incremental_reports, parallel_agents);
-# committed rows with no fresh counterpart (historical captures, e.g. the
-# layout="nested" before-rows) are skipped, as are fresh rows that are new.
+# mechanism_full_run and baseline_run rows against the committed
+# BENCH_mechanism.json: any row whose wall time regressed by more than the
+# threshold (default 25%) fails the gate.  Rows are matched on the full
+# identity key (servers, objects, demand, layout, incremental_reports,
+# parallel_agents, algorithm, eval, parallel_scan — absent fields match as
+# null); committed rows with no fresh counterpart (historical captures,
+# e.g. the layout="nested" before-rows) are skipped, as are fresh rows that
+# are new.
 #
 # A row fails only when it regresses BOTH relatively (>threshold%) and
 # absolutely (>min-delta seconds): millisecond-scale rows jitter by tens of
@@ -67,14 +69,16 @@ import json, sys
 committed_path, fresh_path = sys.argv[1], sys.argv[2]
 threshold, min_delta = float(sys.argv[3]), float(sys.argv[4])
 KEY = ("benchmark", "servers", "objects", "demand", "layout",
-       "incremental_reports", "parallel_agents")
+       "incremental_reports", "parallel_agents",
+       "algorithm", "eval", "parallel_scan")
+GATED = ("mechanism_full_run", "baseline_run")
 
 def rows(path):
     with open(path) as f:
         doc = json.load(f)
     out = {}
     for r in doc.get("results", []):
-        if r.get("benchmark") != "mechanism_full_run":
+        if r.get("benchmark") not in GATED:
             continue
         if r.get("captured_at"):  # historical capture, not reproducible here
             continue
@@ -92,7 +96,7 @@ for key, base in sorted(baseline.items()):
     compared += 1
     base_s, cur_s = base["seconds"], cur["seconds"]
     ratio = (cur_s / base_s - 1.0) * 100.0 if base_s > 0 else 0.0
-    label = "/".join(str(k) for k in key[1:])
+    label = "/".join(str(k) for k in key[1:] if k is not None)
     regressed = ratio > threshold and (cur_s - base_s) > min_delta
     verdict = "FAIL" if regressed else ("ok~" if ratio > threshold else "ok")
     print(f"  {verdict:4} {label}: {base_s:.4g}s -> {cur_s:.4g}s ({ratio:+.1f}%)")
