@@ -73,6 +73,19 @@ class JsonWriter {
       body_ += value ? "true" : "false";
       return *this;
     }
+    /// Nests another record as an object value (e.g. the `obs` block a row
+    /// carries when the binary was built with -DAGTRAM_OBS=ON).
+    Record& object_field(const std::string& key, const Record& nested) {
+      append_key(key);
+      body_ += nested.body_.empty() ? "{" : nested.body_;
+      body_ += '}';
+      return *this;
+    }
+    /// The record as one standalone JSON object (used by the --obs-trace
+    /// JSONL writer, which emits records outside a JsonWriter array).
+    std::string json() const {
+      return body_.empty() ? std::string("{}") : body_ + "}";
+    }
 
    private:
     friend class JsonWriter;

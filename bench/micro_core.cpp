@@ -14,6 +14,8 @@
 //   --paper-scale=0                        skip the paper-scale family
 //   --reps=N / --paper-reps=N              timing repetitions (best-of)
 //   --json=PATH                            output path
+//   --obs-trace=PATH                       per-round JSONL from an untimed
+//                                          Auto-mode run per family
 //
 // The trajectory run *enforces* the parallel execution policy: if any
 // emitted mechanism_full_run row shows parallel_agents=true slower than its
@@ -23,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,6 +39,7 @@
 #include "drp/cost_model.hpp"
 #include "net/shortest_paths.hpp"
 #include "net/topology.hpp"
+#include "obs_writer.hpp"
 
 namespace {
 
@@ -247,6 +251,10 @@ struct TrajectoryOptions {
   bool baselines = true;
   int baseline_reps = 2;
   std::string json_path = bench::kMechanismJsonPath;
+  /// Per-round JSONL sink (--obs-trace=PATH): one meta line per traced
+  /// Auto-mode run, then one line per mechanism round.  Round lines carry
+  /// gauges only when the binary was built with -DAGTRAM_OBS=ON.
+  std::string obs_trace_path;
 };
 
 /// Parallel-vs-serial noise tolerance.  With the round-size cutoff in place
@@ -343,14 +351,20 @@ struct FamilyReport {
 
 FamilyReport run_family(bench::JsonWriter& json, const drp::Problem& p,
                         const char* demand, std::uint32_t servers,
-                        std::uint32_t objects, int reps) {
+                        std::uint32_t objects, int reps,
+                        bench::JsonlTrace* trace) {
   FamilyReport family;
   ModeOutcome outcomes[2][2];  // [incremental][parallel]
   for (const bool incremental : {false, true}) {
     const core::ReportMode mode = incremental ? core::ReportMode::Incremental
                                               : core::ReportMode::Naive;
     for (const bool parallel : {false, true}) {
+      core::AgtRamConfig cfg;
+      cfg.report_mode = mode;
+      cfg.parallel_agents = parallel;
+      const bench::ObsSnapshot obs_before = bench::ObsSnapshot::take();
       const ModeOutcome o = time_mechanism(p, mode, parallel, reps);
+      const bench::ObsSnapshot obs_after = bench::ObsSnapshot::take();
       outcomes[incremental ? 1 : 0][parallel ? 1 : 0] = o;
       bench::JsonWriter::Record record;
       record.field("benchmark", "mechanism_full_run")
@@ -363,7 +377,11 @@ FamilyReport run_family(bench::JsonWriter& json, const drp::Problem& p,
           .field("seconds", o.seconds)
           .field("rounds", o.rounds)
           .field("candidate_evaluations", o.evaluations)
-          .field("reports_computed", o.reports);
+          .field("reports_computed", o.reports)
+          .object_field("obs",
+                        bench::obs_block(bench::mechanism_decisions(p, cfg),
+                                         obs_before, obs_after,
+                                         static_cast<std::uint64_t>(reps)));
       json.add(std::move(record));
       std::printf("mechanism %ux%u %s/%s/%s: %.4fs, %llu rounds, %llu reports\n",
                   servers, objects, demand,
@@ -455,8 +473,13 @@ FamilyReport run_family(bench::JsonWriter& json, const drp::Problem& p,
 
   // ReportMode::Auto must land on the winning path for the family.
   {
+    core::AgtRamConfig auto_cfg;
+    auto_cfg.report_mode = core::ReportMode::Auto;
+    auto_cfg.parallel_agents = false;
+    const bench::ObsSnapshot before = bench::ObsSnapshot::take();
     const ModeOutcome o =
         time_mechanism(p, core::ReportMode::Auto, /*parallel=*/false, reps);
+    const bench::ObsSnapshot after = bench::ObsSnapshot::take();
     const double naive = outcomes[0][0].seconds;
     const double incr = outcomes[1][0].seconds;
     const char* picked = bench::report_mode_name(o.resolved);
@@ -470,10 +493,36 @@ FamilyReport run_family(bench::JsonWriter& json, const drp::Problem& p,
         .field("measured_winner", winner)
         .field("seconds", o.seconds)
         .field("naive_seconds", naive)
-        .field("incremental_seconds", incr);
+        .field("incremental_seconds", incr)
+        .object_field("obs",
+                      bench::obs_block(bench::mechanism_decisions(p, auto_cfg),
+                                       before, after,
+                                       static_cast<std::uint64_t>(reps)));
     json.add(std::move(record));
     std::printf("auto mode (%s): picked %s, measured winner %s (%.4fs)\n",
                 demand, picked, winner, o.seconds);
+  }
+
+  // Per-round trace: one untimed Auto-mode run under the JSONL sink.  Kept
+  // outside the timing loops above so tracing never perturbs the numbers.
+  if (trace != nullptr) {
+    core::AgtRamConfig cfg;
+    cfg.report_mode = core::ReportMode::Auto;
+    bench::JsonWriter::Record meta;
+    meta.field("benchmark", "mechanism_obs_trace")
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("obs_enabled", bench::obs_enabled())
+        .object_field("decisions", bench::mechanism_decisions(p, cfg));
+    trace->meta(meta);
+    const core::MechanismResult result = [&] {
+      bench::ScopedTrace scoped(*trace);
+      return core::run_agt_ram(p, cfg);
+    }();
+    trace->close();
+    std::printf("obs trace (%ux%u %s): %zu rounds traced\n", servers, objects,
+                demand, result.rounds.size());
   }
   return family;
 }
@@ -533,7 +582,9 @@ bool run_baseline_family(bench::JsonWriter& json, const drp::Problem& p,
     for (int v = 0; v < 3; ++v) {
       const baselines::AlgorithmEntry algo =
           baselines::find_algorithm(name, variants[v].options);
+      const bench::ObsSnapshot before = bench::ObsSnapshot::take();
       out[v] = time_baseline(p, algo, reps);
+      const bench::ObsSnapshot after = bench::ObsSnapshot::take();
       bench::JsonWriter::Record record;
       record.field("benchmark", "baseline_run")
           .field("algorithm", name)
@@ -544,7 +595,15 @@ bool run_baseline_family(bench::JsonWriter& json, const drp::Problem& p,
           .field("parallel_scan", variants[v].parallel)
           .field("seconds", out[v].seconds)
           .field("total_cost", out[v].cost)
-          .field("extra_replicas", out[v].replicas);
+          .field("extra_replicas", out[v].replicas)
+          .object_field(
+              "obs",
+              bench::obs_block(
+                  bench::baseline_decisions(
+                      p,
+                      variants[v].options.eval == baselines::EvalPath::Delta,
+                      variants[v].parallel),
+                  before, after, static_cast<std::uint64_t>(reps)));
       json.add(std::move(record));
       std::printf("baseline %-11s %ux%u %s %s/%s: %.4fs, %llu replicas\n",
                   name.c_str(), servers, objects, demand, variants[v].eval,
@@ -629,6 +688,16 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
   bench::JsonWriter json;
   bool parallel_ok = true;
 
+  std::unique_ptr<bench::JsonlTrace> trace;
+  if (!opts.obs_trace_path.empty()) {
+    trace = std::make_unique<bench::JsonlTrace>(opts.obs_trace_path);
+    if (!trace->ok()) {
+      std::fprintf(stderr, "failed to open obs trace %s\n",
+                   opts.obs_trace_path.c_str());
+      return 1;
+    }
+  }
+
   for (const bool dispersed : {false, true}) {
     const char* demand = dispersed ? "dispersed" : "trace";
     const drp::Problem& p =
@@ -636,7 +705,7 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
                   : cached_instance(opts.mech_servers, opts.mech_objects);
     const FamilyReport family =
         run_family(json, p, demand, opts.mech_servers, opts.mech_objects,
-                   opts.reps);
+                   opts.reps, trace.get());
     parallel_ok = parallel_ok && family.parallel_ok;
   }
 
@@ -651,7 +720,7 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
                 build_timer.seconds(), p.summary().c_str());
     const FamilyReport family =
         run_family(json, p, "dispersed", opts.paper_servers,
-                   opts.paper_objects, opts.paper_reps);
+                   opts.paper_objects, opts.paper_reps, trace.get());
     parallel_ok = parallel_ok && family.parallel_ok;
   }
 
@@ -683,6 +752,10 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
     }
   }
 
+  if (trace) {
+    trace->close();
+    std::printf("obs trace written to %s\n", opts.obs_trace_path.c_str());
+  }
   if (json.write_file(opts.json_path, "micro_core")) {
     std::printf("mechanism trajectory written to %s\n",
                 opts.json_path.c_str());
@@ -741,6 +814,8 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
       opts.baseline_reps = std::atoi(v);
     } else if (value_of(argv[i], "--json", &v)) {
       opts.json_path = v;
+    } else if (value_of(argv[i], "--obs-trace", &v)) {
+      opts.obs_trace_path = v;
     } else {
       argv[out++] = argv[i];  // not ours — leave for google-benchmark
       continue;

@@ -7,9 +7,11 @@
 // slowest; the default bench grid scales both axes by ~10.
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/agt_ram.hpp"
+#include "obs_writer.hpp"
 
 int main(int argc, char** argv) {
   using namespace agtram;
@@ -23,6 +25,9 @@ int main(int argc, char** argv) {
   cli.add_flag("n-grid", "1500,2000,2500", "object counts (paper: 15k,20k,25k)");
   cli.add_flag("json", bench::kMechanismJsonPath,
                "write per-cell wall times as JSON here ('' disables)");
+  cli.add_flag("obs-trace", "",
+               "write per-round JSONL from an untimed Auto-mode mechanism "
+               "run per cell to this path ('' disables)");
   bench::add_baseline_eval_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
@@ -48,6 +53,15 @@ int main(int argc, char** argv) {
                   "in seconds [C=" + common::Table::num(capacity, 0) +
                   "%, R/W=" + common::Table::num(rw, 2) + "]");
 
+  std::unique_ptr<bench::JsonlTrace> trace;
+  if (!cli.get("obs-trace").empty()) {
+    trace = std::make_unique<bench::JsonlTrace>(cli.get("obs-trace"));
+    if (!trace->ok()) {
+      std::cerr << "failed to open obs trace " << cli.get("obs-trace") << "\n";
+      return 1;
+    }
+  }
+
   bench::JsonWriter json;
   for (const double m : m_grid) {
     for (const double n : n_grid) {
@@ -63,8 +77,10 @@ int main(int argc, char** argv) {
       double slowest = 0.0;
       double fastest = 1e30;
       for (const auto& algorithm : algorithms) {
+        const bench::ObsSnapshot obs_before = bench::ObsSnapshot::take();
         const auto outcome =
             bench::run_algorithm(algorithm, problem, initial, seed);
+        const bench::ObsSnapshot obs_after = bench::ObsSnapshot::take();
         row.push_back(common::Table::num(outcome.seconds, 3));
         slowest = std::max(slowest, outcome.seconds);
         fastest = std::min(fastest, outcome.seconds);
@@ -77,7 +93,15 @@ int main(int argc, char** argv) {
             .field("eval", eval_name)
             .field("seconds", outcome.seconds)
             .field("savings", outcome.savings)
-            .field("replicas", static_cast<std::uint64_t>(outcome.replicas));
+            .field("replicas", static_cast<std::uint64_t>(outcome.replicas))
+            .object_field(
+                "obs",
+                bench::obs_block(
+                    bench::baseline_decisions(
+                        problem,
+                        algo_options.eval == baselines::EvalPath::Delta,
+                        algo_options.parallel_scans),
+                    obs_before, obs_after, /*runs=*/1));
         json.add(std::move(record));
       }
 
@@ -88,8 +112,11 @@ int main(int argc, char** argv) {
             core::ReportMode::Auto}) {
         core::AgtRamConfig cfg;
         cfg.report_mode = mode;
+        const bench::ObsSnapshot obs_before = bench::ObsSnapshot::take();
         common::Timer timer;
         const core::MechanismResult result = core::run_agt_ram(problem, cfg);
+        const double seconds = timer.seconds();
+        const bench::ObsSnapshot obs_after = bench::ObsSnapshot::take();
         bench::JsonWriter::Record record;
         record.field("benchmark", "table1_agt_ram_paths")
             .field("servers", static_cast<std::uint64_t>(dims.servers))
@@ -97,11 +124,31 @@ int main(int argc, char** argv) {
             .field("report_mode", bench::report_mode_name(mode))
             .field("resolved_mode",
                    bench::report_mode_name(result.resolved_mode))
-            .field("seconds", timer.seconds())
+            .field("seconds", seconds)
             .field("rounds", static_cast<std::uint64_t>(result.rounds.size()))
             .field("candidate_evaluations", result.candidate_evaluations)
-            .field("reports_computed", result.reports_computed);
+            .field("reports_computed", result.reports_computed)
+            .object_field(
+                "obs",
+                bench::obs_block(bench::mechanism_decisions(problem, cfg),
+                                 obs_before, obs_after, /*runs=*/1));
         json.add(std::move(record));
+      }
+
+      // Per-round trace of an untimed Auto-mode run for this cell.
+      if (trace) {
+        core::AgtRamConfig cfg;
+        cfg.report_mode = core::ReportMode::Auto;
+        bench::JsonWriter::Record meta;
+        meta.field("benchmark", "table1_obs_trace")
+            .field("servers", static_cast<std::uint64_t>(dims.servers))
+            .field("objects", static_cast<std::uint64_t>(dims.objects))
+            .field("obs_enabled", bench::obs_enabled())
+            .object_field("decisions",
+                          bench::mechanism_decisions(problem, cfg));
+        trace->meta(meta);
+        bench::ScopedTrace scoped(*trace);
+        core::run_agt_ram(problem, cfg);
       }
 
       // The paper reports the % improvement AGT-RAM brings over the row.
@@ -112,6 +159,10 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(cli, table);
+  if (trace) {
+    trace->close();
+    std::cout << "obs trace written to " << cli.get("obs-trace") << "\n";
+  }
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
     if (json.write_file(json_path, "table1_exec_time")) {

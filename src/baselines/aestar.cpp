@@ -12,6 +12,7 @@
 #include "common/thread_pool.hpp"
 #include "drp/cost_model.hpp"
 #include "drp/delta_evaluator.hpp"
+#include "obs/obs.hpp"
 
 namespace agtram::baselines {
 
@@ -98,6 +99,7 @@ std::vector<Move> candidate_moves(const drp::ReplicaPlacement& placement,
     score_chunk(0, n);
   }
 
+  AGTRAM_OBS_COUNT("aestar.shortlist_scored", n);
   std::vector<Scored> shortlist;
   shortlist.reserve(n);
   for (std::size_t k = 0; k < n; ++k) {
@@ -111,6 +113,7 @@ std::vector<Move> candidate_moves(const drp::ReplicaPlacement& placement,
   std::vector<Move> moves;
   for (std::size_t s = 0; s < shortlist.size(); ++s) {
     if (s >= std::size_t{4} * want && moves.size() >= want) break;
+    AGTRAM_OBS_COUNT("aestar.exact_evals", 1);
     const double benefit = drp::CostModel::global_benefit(
         placement, shortlist[s].server, shortlist[s].object);
     if (benefit > 0.0) {
@@ -121,6 +124,7 @@ std::vector<Move> candidate_moves(const drp::ReplicaPlacement& placement,
     return a.benefit > b.benefit;
   });
   if (moves.size() > want) moves.resize(want);
+  AGTRAM_OBS_COUNT("aestar.moves_returned", moves.size());
   return moves;
 }
 

@@ -10,6 +10,7 @@
 #include "common/thread_pool.hpp"
 #include "drp/cost_model.hpp"
 #include "drp/delta_evaluator.hpp"
+#include "obs/obs.hpp"
 
 namespace agtram::baselines {
 
@@ -226,6 +227,7 @@ drp::ReplicaPlacement run_annealing(const drp::Problem& problem,
     bool accepted_in_batch = false;
     for (std::size_t j = batch_start; j < batch_end; ++j) {
       MoveSpec& spec = specs[j - batch_start];
+      AGTRAM_OBS_COUNT("sa.proposals", 1);
       if (spec.kind != MoveSpec::Kind::None) {
         const double delta = use_delta ? deltas[j - batch_start]
                                        : measure_applied(placement, spec);
@@ -234,6 +236,7 @@ drp::ReplicaPlacement run_annealing(const drp::Problem& problem,
             (temperature > floor_temperature &&
              spec.accept_rng.uniform() < std::exp(-delta / temperature));
         if (accept) {
+          AGTRAM_OBS_COUNT("sa.accepted", 1);
           if (use_delta) apply(*eval, spec);
           current_cost += delta;
           if (current_cost < best_cost) {
@@ -249,7 +252,10 @@ drp::ReplicaPlacement run_annealing(const drp::Problem& problem,
         temperature *= config.cooling_rate;
       }
       consumed = j + 1;
-      if (accepted_in_batch) break;  // tail specs are stale — redraw
+      if (accepted_in_batch) {  // tail specs are stale — redraw
+        AGTRAM_OBS_COUNT("sa.stale_discarded", batch_end - consumed);
+        break;
+      }
     }
   }
   return best;

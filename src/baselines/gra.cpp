@@ -11,6 +11,7 @@
 #include "common/prng.hpp"
 #include "common/thread_pool.hpp"
 #include "drp/cost_model.hpp"
+#include "obs/obs.hpp"
 
 namespace agtram::baselines {
 
@@ -63,6 +64,7 @@ drp::ReplicaPlacement materialise(const drp::Problem& p, const Genome& g) {
 }
 
 double fitness(const drp::Problem& p, const Genome& g) {
+  AGTRAM_OBS_COUNT("gra.fitness_evals", 1);
   return drp::CostModel::total_cost(materialise(p, g));
 }
 
@@ -110,6 +112,7 @@ double delta_fitness(const drp::Problem& p, const Genome& g,
                      const std::vector<double>& base,
                      const std::vector<std::uint64_t>& headroom,
                      GraScratch& s) {
+  AGTRAM_OBS_COUNT("gra.delta_fitness_evals", 1);
   const std::size_t n = p.object_count();
   s.count.assign(n, 0);
   std::size_t replicas = 0;
@@ -120,6 +123,7 @@ double delta_fitness(const drp::Problem& p, const Genome& g,
     bool first = true;
     for (drp::ObjectIndex k : g.rows[i]) {
       if ((!first && k <= prev) || p.primary[k] == i) {
+        AGTRAM_OBS_COUNT("gra.naive_fallbacks", 1);
         return fitness(p, g);
       }
       units += p.object_units[k];
@@ -128,7 +132,10 @@ double delta_fitness(const drp::Problem& p, const Genome& g,
       prev = k;
       first = false;
     }
-    if (units > headroom[i]) return fitness(p, g);
+    if (units > headroom[i]) {
+      AGTRAM_OBS_COUNT("gra.naive_fallbacks", 1);
+      return fitness(p, g);
+    }
   }
 
   s.offset.resize(n + 1);
@@ -171,6 +178,11 @@ double delta_fitness(const drp::Problem& p, const Genome& g,
         found = true;
         break;
       }
+    }
+    if (found) {
+      AGTRAM_OBS_COUNT("gra.memo_hits", 1);
+    } else {
+      AGTRAM_OBS_COUNT("gra.memo_misses", 1);
     }
     if (!found) {
       cost = drp::CostModel::object_cost_with_replicators(

@@ -5,6 +5,7 @@
 #include "common/thread_pool.hpp"
 #include "drp/cost_model.hpp"
 #include "drp/delta_evaluator.hpp"
+#include "obs/obs.hpp"
 
 namespace agtram::baselines {
 
@@ -31,15 +32,19 @@ Candidate best_move_for_object(const drp::Problem& problem,
                                const std::vector<bool>* allowed_sites) {
   Candidate best{0.0, k, 0};
   const std::size_t m = problem.server_count();
+  std::size_t scanned = 0;
   for (drp::ServerId i = 0; i < m; ++i) {
     if (allowed_sites && !(*allowed_sites)[i]) continue;
     if (!placement.can_replicate(i, k)) continue;
+    ++scanned;
     const double benefit = drp::CostModel::global_benefit(placement, i, k);
     if (benefit > best.benefit) {
       best.benefit = benefit;
       best.server = i;
     }
   }
+  AGTRAM_OBS_COUNT("greedy.candidates_scanned", scanned);
+  AGTRAM_OBS_COUNT("greedy.candidates_pruned", m - scanned);
   return best;
 }
 
@@ -56,12 +61,17 @@ void greedy_loop(std::size_t object_count, const GreedyConfig& config,
     if (config.max_replicas != 0 && placed >= config.max_replicas) break;
     const Candidate top = heap.top();
     heap.pop();
+    AGTRAM_OBS_COUNT("greedy.heap_pops", 1);
     // Re-validate: capacities and NN tables may have moved underneath this
     // entry.  Benefits only decrease, so if the fresh value still dominates
     // the heap it is the true global max.
     const Candidate fresh = scan(top.object);
-    if (fresh.benefit <= 0.0) continue;  // object exhausted
+    if (fresh.benefit <= 0.0) {
+      AGTRAM_OBS_COUNT("greedy.objects_exhausted", 1);
+      continue;
+    }
     if (!heap.empty() && fresh.benefit < heap.top().benefit) {
+      AGTRAM_OBS_COUNT("greedy.repushes", 1);
       heap.push(fresh);
       continue;
     }

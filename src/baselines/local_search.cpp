@@ -6,6 +6,7 @@
 #include "common/prng.hpp"
 #include "drp/cost_model.hpp"
 #include "drp/delta_evaluator.hpp"
+#include "obs/obs.hpp"
 
 namespace agtram::baselines {
 
@@ -138,6 +139,8 @@ void propose_loop(const drp::Problem& problem, const LocalSearchConfig& config,
         break;
       }
     }
+    AGTRAM_OBS_COUNT("local_search.proposals", 1);
+    if (accepted) AGTRAM_OBS_COUNT("local_search.accepted", 1);
     quiet = accepted ? 0 : quiet + 1;
   }
 }

@@ -7,6 +7,7 @@
 #include "common/prng.hpp"
 #include "common/thread_pool.hpp"
 #include "drp/cost_model.hpp"
+#include "obs/obs.hpp"
 
 namespace agtram::baselines {
 
@@ -20,9 +21,14 @@ bool naive_turn(const drp::Problem& problem, drp::ReplicaPlacement& placement,
   for (;;) {
     double best = 0.0;
     drp::ObjectIndex best_k = 0;
+    std::size_t scanned = 0;
+    std::size_t pruned = 0;
     for (const auto& access : problem.access.server_objects(i)) {
-      if (access.reads == 0) continue;
-      if (!placement.can_replicate(i, access.object)) continue;
+      if (access.reads == 0 || !placement.can_replicate(i, access.object)) {
+        ++pruned;
+        continue;
+      }
+      ++scanned;
       const double benefit =
           drp::CostModel::agent_benefit(placement, i, access.object);
       if (benefit > best) {
@@ -30,6 +36,8 @@ bool naive_turn(const drp::Problem& problem, drp::ReplicaPlacement& placement,
         best_k = access.object;
       }
     }
+    AGTRAM_OBS_COUNT("selfish.candidates_scanned", scanned);
+    AGTRAM_OBS_COUNT("selfish.candidates_pruned", pruned);
     if (best <= 0.0) break;
     placement.add_replica(i, best_k);
     ++moves;
@@ -51,14 +59,18 @@ bool delta_turn(const drp::Problem& problem, drp::ReplicaPlacement& placement,
                 std::size_t& moves) {
   candidates.clear();
   const auto objects = problem.access.server_objects(i);
+  std::size_t scanned = 0;
   for (std::size_t c = 0; c < objects.size(); ++c) {
     const auto& access = objects[c];
     if (access.reads == 0) continue;
     if (!placement.can_replicate(i, access.object)) continue;
+    ++scanned;
     const double benefit = drp::CostModel::agent_benefit_at(
         placement, i, access.object, slots[c]);
     if (benefit > 0.0) candidates.emplace_back(benefit, access.object);
   }
+  AGTRAM_OBS_COUNT("selfish.candidates_scanned", scanned);
+  AGTRAM_OBS_COUNT("selfish.candidates_pruned", objects.size() - scanned);
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) {
               if (a.first != b.first) return a.first > b.first;
@@ -122,8 +134,10 @@ SelfishCachingResult run_selfish_caching(const drp::Problem& problem,
                            result.moves)
               : naive_turn(problem, result.placement, i, result.moves);
       anyone_moved = anyone_moved || moved;
+      if (moved) AGTRAM_OBS_COUNT("selfish.moves", 1);
     }
     ++result.sweeps;
+    AGTRAM_OBS_COUNT("selfish.sweeps", 1);
   }
   result.equilibrium_reached = !anyone_moved;
   return result;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace agtram::common {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -43,6 +45,7 @@ void ThreadPool::run_chunks(ParallelJob& job) {
   for (;;) {
     const std::size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= job.chunk_count) return;
+    AGTRAM_OBS_COUNT("pool.chunks_claimed", 1);
     const std::size_t first = job.begin + c * job.step;
     const std::size_t last = std::min(job.end, first + job.step);
     if (first < last) (*job.body)(first, last);
@@ -58,11 +61,13 @@ void ThreadPool::parallel_for(
     const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t min_grain) {
   if (begin >= end) return;
+  AGTRAM_OBS_COUNT("pool.parallel_for_calls", 1);
   const std::size_t n = end - begin;
   // A single-worker pool can never overlap chunks with the caller, so the
   // fork/join handshake (publish, wake, claim, drain) is pure overhead —
   // run the whole range inline.
   if (thread_count() <= 1) {
+    AGTRAM_OBS_COUNT("pool.inline_single_worker", 1);
     body(begin, end);
     return;
   }
@@ -70,6 +75,7 @@ void ThreadPool::parallel_for(
   const std::size_t chunks =
       std::min(max_chunks, std::max<std::size_t>(1, thread_count() * 4));
   if (chunks <= 1) {
+    AGTRAM_OBS_COUNT("pool.inline_small_range", 1);
     body(begin, end);
     return;
   }
@@ -79,9 +85,11 @@ void ThreadPool::parallel_for(
   // may be waiting on *this* thread's chunk — so losers run inline.
   std::unique_lock owner(job_owner_mutex_, std::try_to_lock);
   if (!owner.owns_lock()) {
+    AGTRAM_OBS_COUNT("pool.inline_nested", 1);
     body(begin, end);
     return;
   }
+  AGTRAM_OBS_COUNT("pool.forked_jobs", 1);
 
   ParallelJob job;
   job.body = &body;
@@ -103,6 +111,7 @@ void ThreadPool::parallel_for(
 
   std::size_t done = job.chunks_done.load(std::memory_order_acquire);
   while (done < chunks) {
+    AGTRAM_OBS_COUNT("pool.idle_waits", 1);
     job.chunks_done.wait(done, std::memory_order_acquire);
     done = job.chunks_done.load(std::memory_order_acquire);
   }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace agtram::core {
 
@@ -37,18 +38,36 @@ double MechanismResult::total_payments() const {
 static constexpr double kAutoIncrementalFraction = 4.0;
 static constexpr double kAutoMinEffectiveHotObjects = 50.0;
 
+AutoPolicyDecision explain_report_mode(const drp::Problem& problem,
+                                       std::size_t agent_count,
+                                       ReportMode requested) {
+  AutoPolicyDecision decision;
+  decision.requested = requested;
+  decision.size_biased_readers =
+      problem.access.size_biased_readers_per_object();
+  decision.effective_hot_objects = problem.access.effective_hot_objects();
+  decision.agent_count = agent_count;
+  decision.incremental_fraction = kAutoIncrementalFraction;
+  decision.min_effective_hot_objects = kAutoMinEffectiveHotObjects;
+  decision.dirty_is_local =
+      decision.size_biased_readers * kAutoIncrementalFraction <
+      static_cast<double>(agent_count);
+  decision.demand_is_dispersed =
+      decision.effective_hot_objects >= kAutoMinEffectiveHotObjects;
+  if (requested != ReportMode::Auto) {
+    decision.resolved = requested;
+  } else {
+    decision.resolved = decision.dirty_is_local && decision.demand_is_dispersed
+                            ? ReportMode::Incremental
+                            : ReportMode::Naive;
+  }
+  return decision;
+}
+
 ReportMode resolve_report_mode(const drp::Problem& problem,
                                std::size_t agent_count, ReportMode requested) {
   if (requested != ReportMode::Auto) return requested;
-  const double expected_dirty =
-      problem.access.size_biased_readers_per_object();
-  const bool dirty_is_local =
-      expected_dirty * kAutoIncrementalFraction <
-      static_cast<double>(agent_count);
-  const bool demand_is_dispersed =
-      problem.access.effective_hot_objects() >= kAutoMinEffectiveHotObjects;
-  return dirty_is_local && demand_is_dispersed ? ReportMode::Incremental
-                                               : ReportMode::Naive;
+  return explain_report_mode(problem, agent_count, requested).resolved;
 }
 
 namespace {
@@ -61,9 +80,11 @@ void round_parfor(const AgtRamConfig& config, std::size_t count,
                   const std::function<void(std::size_t, std::size_t)>& body) {
   if (config.parallel_agents && count >= config.parallel_min_agents &&
       common::ThreadPool::shared().thread_count() > 1) {
+    AGTRAM_OBS_COUNT("agt_ram.parfor_forked", 1);
     common::ThreadPool::shared().parallel_for(0, count, body,
                                               /*min_grain=*/16);
   } else {
+    AGTRAM_OBS_COUNT("agt_ram.parfor_inline", 1);
     body(0, count);
   }
 }
@@ -129,6 +150,11 @@ MechanismResult run_rounds_naive(const drp::Problem& problem,
   while (!live.empty()) {
     if (config.max_rounds != 0 && round >= config.max_rounds) break;
     if (config.observer) config.observer->on_round_begin(round);
+    AGTRAM_OBS_ROUND(round);
+    AGTRAM_OBS_COUNT("agt_ram.rounds", 1);
+    AGTRAM_OBS_COUNT("agt_ram.reports_fresh", live.size());
+    AGTRAM_OBS_GAUGE("polled", static_cast<std::uint64_t>(live.size()));
+    AGTRAM_OBS_GAUGE("live", static_cast<std::uint64_t>(live.size()));
 
     // --- First PARFOR: every live agent evaluates its list and reports.
     const auto evaluate = [&](std::size_t first, std::size_t last) {
@@ -183,6 +209,10 @@ MechanismResult run_rounds_naive(const drp::Problem& problem,
       config.observer->on_allocation(winner, winning.object, payment);
       config.observer->on_broadcast(winner, winning.object, reporting);
     }
+    AGTRAM_OBS_GAUGE("winner", static_cast<std::uint64_t>(winner));
+    AGTRAM_OBS_GAUGE("object", static_cast<std::uint64_t>(winning.object));
+    AGTRAM_OBS_GAUGE("claimed_value", winning.claimed_value);
+    AGTRAM_OBS_GAUGE("payment", payment);
 
     live = std::move(next_live);
     ++round;
@@ -220,6 +250,7 @@ struct HeapCompare {
 class LazyBidHeap {
  public:
   void push(HeapEntry entry) {
+    AGTRAM_OBS_COUNT("agt_ram.heap_pushes", 1);
     entries_.push_back(entry);
     std::push_heap(entries_.begin(), entries_.end(), HeapCompare{});
   }
@@ -231,6 +262,7 @@ class LazyBidHeap {
   void maybe_compact(const std::vector<std::uint32_t>& epoch,
                      std::size_t live_count) {
     if (entries_.size() <= 2 * live_count + 64) return;
+    AGTRAM_OBS_COUNT("agt_ram.heap_compactions", 1);
     std::erase_if(entries_, [&](const HeapEntry& e) {
       return e.epoch != epoch[e.server];
     });
@@ -243,7 +275,11 @@ class LazyBidHeap {
       std::pop_heap(entries_.begin(), entries_.end(), HeapCompare{});
       const HeapEntry top = entries_.back();
       entries_.pop_back();
-      if (top.epoch != epoch[top.server]) continue;
+      if (top.epoch != epoch[top.server]) {
+        AGTRAM_OBS_COUNT("agt_ram.heap_stale_skipped", 1);
+        continue;
+      }
+      AGTRAM_OBS_COUNT("agt_ram.heap_pops", 1);
       out = top;
       return true;
     }
@@ -256,6 +292,7 @@ class LazyBidHeap {
       if (entries_.front().epoch == epoch[entries_.front().server]) {
         return entries_.front().value;
       }
+      AGTRAM_OBS_COUNT("agt_ram.heap_stale_skipped", 1);
       std::pop_heap(entries_.begin(), entries_.end(), HeapCompare{});
       entries_.pop_back();
     }
@@ -307,6 +344,12 @@ MechanismResult run_rounds_incremental(const drp::Problem& problem,
   while (!dirty.empty()) {
     if (config.max_rounds != 0 && round >= config.max_rounds) break;
     if (config.observer) config.observer->on_round_begin(round);
+    AGTRAM_OBS_ROUND(round);
+    AGTRAM_OBS_COUNT("agt_ram.rounds", 1);
+    AGTRAM_OBS_COUNT("agt_ram.reports_fresh", dirty.size());
+    AGTRAM_OBS_COUNT("agt_ram.reports_cached", live.size() - dirty.size());
+    AGTRAM_OBS_GAUGE("dirty", static_cast<std::uint64_t>(dirty.size()));
+    AGTRAM_OBS_GAUGE("live", static_cast<std::uint64_t>(live.size()));
 
     // --- First PARFOR, restricted to the dirty set.
     const auto evaluate = [&](std::size_t first, std::size_t last) {
@@ -384,6 +427,10 @@ MechanismResult run_rounds_incremental(const drp::Problem& problem,
       // the centre answers for everyone else out of its report cache.
       config.observer->on_broadcast(winner, winning.object, dirty.size());
     }
+    AGTRAM_OBS_GAUGE("winner", static_cast<std::uint64_t>(winner));
+    AGTRAM_OBS_GAUGE("object", static_cast<std::uint64_t>(winning.object));
+    AGTRAM_OBS_GAUGE("claimed_value", winning.claimed_value);
+    AGTRAM_OBS_GAUGE("payment", payment);
     ++round;
   }
   return result;
@@ -393,6 +440,7 @@ MechanismResult run_rounds(const drp::Problem& problem,
                            const AgtRamConfig& config,
                            drp::ReplicaPlacement start,
                            std::vector<Agent> agents) {
+  AGTRAM_OBS_SPAN("agt_ram.run");
   const ReportMode mode =
       resolve_report_mode(problem, agents.size(), config.report_mode);
   MechanismResult result =

@@ -108,6 +108,33 @@ struct AgtRamConfig {
 ReportMode resolve_report_mode(const drp::Problem& problem,
                                std::size_t agent_count, ReportMode requested);
 
+/// The Auto resolution together with the inputs and thresholds that decided
+/// it — what the bench JSON `obs` blocks and `--obs-trace` dumps record so a
+/// regression can be traced to the signal that flipped (DESIGN.md §9).  For
+/// a non-Auto `requested` the signals are still populated (they are cheap
+/// statistics) but `resolved == requested`.
+struct AutoPolicyDecision {
+  ReportMode requested = ReportMode::Auto;
+  ReportMode resolved = ReportMode::Naive;
+  /// Expected dirty-set size: size-biased mean readers per object.
+  double size_biased_readers = 0.0;
+  /// Participation ratio of object read volumes.
+  double effective_hot_objects = 0.0;
+  std::size_t agent_count = 0;
+  /// The thresholds the signals were compared against
+  /// (kAutoIncrementalFraction / kAutoMinEffectiveHotObjects).
+  double incremental_fraction = 0.0;
+  double min_effective_hot_objects = 0.0;
+  /// size_biased_readers * incremental_fraction < agent_count
+  bool dirty_is_local = false;
+  /// effective_hot_objects >= min_effective_hot_objects
+  bool demand_is_dispersed = false;
+};
+
+AutoPolicyDecision explain_report_mode(const drp::Problem& problem,
+                                       std::size_t agent_count,
+                                       ReportMode requested);
+
 /// Per-agent game-theoretic outcome.
 ///
 /// Sign convention: `payments` is the Vickrey *clearing charge* of each won

@@ -4,18 +4,9 @@
 #include <cassert>
 
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace agtram::drp {
-
-namespace {
-
-/// Per-server scan cutoff: below this many servers the chunked row walk
-/// cannot amortise a pool fork, so best_add_for_object stays inline even
-/// when asked to parallelise (round-size-aware cutoff, same policy as the
-/// mechanism's parallel_min_agents).
-constexpr std::size_t kParallelMinServers = 1024;
-
-}  // namespace
 
 DeltaEvaluator::DeltaEvaluator(ReplicaPlacement placement)
     : placement_(std::move(placement)) {
@@ -33,6 +24,7 @@ DeltaEvaluator::DeltaEvaluator(ReplicaPlacement placement)
 }
 
 void DeltaEvaluator::refresh(ObjectIndex k) {
+  AGTRAM_OBS_COUNT("delta_eval.refreshes", 1);
   // Mirrors CostModel::object_cost term for term (the `cost` accumulator
   // sees the identical op sequence — DESIGN.md §8), folding the optimistic
   // saving bound into the same accessor walk.
@@ -78,15 +70,19 @@ double DeltaEvaluator::optimistic_saving() const {
 
 double DeltaEvaluator::total() const {
   if (!total_valid_) {
+    AGTRAM_OBS_COUNT("delta_eval.total_resums", 1);
     double total = 0.0;
     for (const double v : obj_cost_) total += v;
     total_ = total;
     total_valid_ = true;
+  } else {
+    AGTRAM_OBS_COUNT("delta_eval.total_cached", 1);
   }
   return total_;
 }
 
 double DeltaEvaluator::cost_if_added(ServerId i, ObjectIndex k) const {
+  AGTRAM_OBS_COUNT("delta_eval.hypo_add", 1);
   const Problem& p = placement_.problem();
   assert(placement_.can_replicate(i, k));
   const double o = static_cast<double>(p.object_units[k]);
@@ -131,6 +127,7 @@ double DeltaEvaluator::cost_if_added(ServerId i, ObjectIndex k) const {
 }
 
 double DeltaEvaluator::cost_if_dropped(ServerId i, ObjectIndex k) const {
+  AGTRAM_OBS_COUNT("delta_eval.hypo_drop", 1);
   const Problem& p = placement_.problem();
   assert(placement_.is_replicator(i, k) && i != p.primary[k]);
   const double o = static_cast<double>(p.object_units[k]);
@@ -182,6 +179,7 @@ double DeltaEvaluator::cost_if_dropped(ServerId i, ObjectIndex k) const {
 
 double DeltaEvaluator::cost_if_swapped(ServerId from, ServerId to,
                                        ObjectIndex k) const {
+  AGTRAM_OBS_COUNT("delta_eval.hypo_swap", 1);
   const Problem& p = placement_.problem();
   assert(placement_.is_replicator(from, k) && from != p.primary[k]);
   assert(from != to && !placement_.is_replicator(to, k));
@@ -308,9 +306,12 @@ DeltaEvaluator::BestAdd DeltaEvaluator::best_add_for_object(
     }
   };
 
+  AGTRAM_OBS_COUNT("delta_eval.scans", 1);
   if (parallel && m >= kParallelMinServers) {
+    AGTRAM_OBS_COUNT("delta_eval.scans_parallel", 1);
     common::ThreadPool::shared().parallel_for(0, m, scan, /*min_grain=*/256);
   } else {
+    AGTRAM_OBS_COUNT("delta_eval.scans_inline", 1);
     scan(0, m);
   }
 

@@ -9,6 +9,7 @@
 #include "common/prng.hpp"
 #include "core/agent.hpp"
 #include "net/clustering.hpp"
+#include "obs/obs.hpp"
 #include "runtime/message_bus.hpp"
 
 namespace agtram::runtime {
@@ -31,11 +32,15 @@ struct Wire {
             model->seconds_per_cost_unit +
         model->message_overhead;
     ++trace->messages_sent;
+    AGTRAM_OBS_COUNT("event_sim.messages", 1);
     while (model->loss_probability > 0.0 &&
            rng->chance(model->loss_probability)) {
       ++trace->messages_lost;
       ++trace->retransmissions;
       ++trace->messages_sent;
+      AGTRAM_OBS_COUNT("event_sim.losses", 1);
+      AGTRAM_OBS_COUNT("event_sim.retransmits", 1);
+      AGTRAM_OBS_COUNT("event_sim.messages", 1);
       delay += model->retransmit_timeout;
     }
     return delay;
@@ -67,6 +72,7 @@ struct GroupSim {
                         Rng& rng, ProtocolTrace& trace) {
     RoundResult result;
     if (live.empty()) return result;
+    AGTRAM_OBS_COUNT("event_sim.rounds", 1);
 
     // Poll + compute + report, all agents in parallel; the barrier closes
     // on the slowest (poll -> compute -> report) chain.
@@ -102,6 +108,7 @@ struct GroupSim {
     live = std::move(next_live);
     if (bidders.empty()) {
       // The terminating round still costs a full barrier.
+      AGTRAM_OBS_COUNT("event_sim.critical_legs", 1);
       result.duration = slowest_chain;
       result.network = critical_network;
       result.compute = critical_compute;
@@ -133,6 +140,10 @@ struct GroupSim {
           std::max(slowest_fanout, wire.send(centre, agents[a].id()));
     }
 
+    // An allocating round's critical path has three legs: the slowest
+    // poll→compute→reply chain, the centre's decide scan, and the slowest
+    // fan-out message.
+    AGTRAM_OBS_COUNT("event_sim.critical_legs", 3);
     result.duration = slowest_chain + decide + slowest_fanout;
     result.network = critical_network + slowest_fanout;
     result.compute = critical_compute;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace agtram::runtime {
 
 MessageBus::MessageBus(const drp::Problem& problem, drp::ServerId centre,
@@ -19,6 +21,7 @@ double MessageBus::latency(drp::ServerId server) const {
 
 void MessageBus::on_round_begin(std::size_t) {
   ++stats_.rounds;
+  AGTRAM_OBS_COUNT("bus.rounds", 1);
   round_slowest_report_ = 0.0;
 }
 
@@ -30,6 +33,9 @@ void MessageBus::on_report(drp::ServerId agent, const core::Report& report,
   // centre can retire the agent from LS.
   ++stats_.report_messages;
   stats_.report_bytes += report.has_candidate ? wire_.report : 4;
+  AGTRAM_OBS_COUNT("bus.report_msgs", 1);
+  AGTRAM_OBS_COUNT("bus.report_bytes",
+                   report.has_candidate ? wire_.report : 4);
   round_slowest_report_ = std::max(round_slowest_report_, latency(agent));
 }
 
@@ -37,6 +43,8 @@ void MessageBus::on_allocation(drp::ServerId winner, drp::ObjectIndex,
                                double) {
   ++stats_.allocation_messages;
   stats_.allocation_bytes += wire_.allocation;
+  AGTRAM_OBS_COUNT("bus.alloc_msgs", 1);
+  AGTRAM_OBS_COUNT("bus.alloc_bytes", wire_.allocation);
   // Reports travel concurrently; the round cannot close before the slowest
   // one lands, then the allocation goes back out to the winner.
   stats_.simulated_seconds += round_slowest_report_ + latency(winner);
@@ -49,6 +57,9 @@ void MessageBus::on_broadcast(drp::ServerId, drp::ObjectIndex,
   stats_.broadcast_messages += notified;
   stats_.broadcast_bytes +=
       static_cast<std::uint64_t>(wire_.broadcast) * notified;
+  AGTRAM_OBS_COUNT("bus.broadcast_msgs", notified);
+  AGTRAM_OBS_COUNT("bus.broadcast_bytes",
+                   static_cast<std::uint64_t>(wire_.broadcast) * notified);
   // The fan-out completes when the farthest agent hears about OMAX; bound
   // it by the diameter leg from the centre (conservative, O(1) to compute).
   double slowest = round_slowest_report_;

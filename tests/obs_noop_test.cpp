@@ -1,0 +1,79 @@
+// Proves the AGTRAM_OBS=OFF contract: with the macros disabled in this TU
+// (regardless of the build-wide setting) every macro compiles at block
+// scope, its arguments are never evaluated, and no registry entry is ever
+// created — the hot paths genuinely carry zero instrumentation.
+#undef AGTRAM_OBS
+#define AGTRAM_OBS 0
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+namespace {
+
+using namespace agtram;
+
+// The compile-time half of the contract.
+static_assert(AGTRAM_OBS_ENABLED == 0,
+              "this TU opts out of the instrumented macro variants");
+
+TEST(ObsNoopTest, MacroArgumentsAreNeverEvaluated) {
+  int fired = 0;
+  AGTRAM_OBS_COUNT("obs_noop_test.count", (++fired, 1));
+  AGTRAM_OBS_SPAN((++fired, "obs_noop_test.span"));
+  AGTRAM_OBS_ROUND((++fired, std::uint64_t{7}));
+  AGTRAM_OBS_GAUGE((++fired, std::string_view("obs_noop_test.gauge")), 1.5);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ObsNoopTest, NoRegistryEntriesAreCreated) {
+  for (int i = 0; i < 3; ++i) {
+    AGTRAM_OBS_COUNT("obs_noop_test.silent", 1);
+    AGTRAM_OBS_SPAN("obs_noop_test.silent_span");
+  }
+  EXPECT_EQ(obs::Registry::instance().find_counter("obs_noop_test.silent"),
+            nullptr);
+  EXPECT_EQ(obs::Registry::instance().find_span("obs_noop_test.silent_span"),
+            nullptr);
+}
+
+TEST(ObsNoopTest, MacrosCompileInControlFlowPositions) {
+  // Single-statement bodies: the do/while(0) shape must swallow the
+  // semicolon wherever a statement is legal.
+  for (int i = 0; i < 2; ++i) AGTRAM_OBS_COUNT("obs_noop_test.flow", 1);
+  if (true)
+    AGTRAM_OBS_ROUND(1);
+  else
+    AGTRAM_OBS_ROUND(2);
+  SUCCEED();
+}
+
+TEST(ObsNoopTest, RegistryApiStaysFunctionalWhenMacrosAreOff) {
+  // The classes are always compiled — only the macro sites disappear — so
+  // explicit instrumentation (and the bench ObsWriter) keeps working.
+  obs::Counter& c = obs::Registry::instance().counter("obs_noop_test.manual");
+  const std::uint64_t start = c.value();
+  c.add(3);
+  EXPECT_EQ(c.value() - start, 3u);
+  EXPECT_EQ(obs::Registry::instance().find_counter("obs_noop_test.manual"),
+            &c);
+}
+
+TEST(ObsNoopTest, TraceInstallIsInertWithoutMacroSites) {
+  struct CountingSink : obs::TraceSink {
+    int calls = 0;
+    void round_begin(std::uint64_t) override { ++calls; }
+    void gauge(std::string_view, double) override { ++calls; }
+    void gauge(std::string_view, std::uint64_t) override { ++calls; }
+    void gauge(std::string_view, std::string_view) override { ++calls; }
+  };
+  CountingSink sink;
+  obs::install_trace(&sink);
+  AGTRAM_OBS_ROUND(1);
+  AGTRAM_OBS_GAUGE("k", 2.0);
+  obs::install_trace(nullptr);
+  EXPECT_EQ(sink.calls, 0);
+}
+
+}  // namespace

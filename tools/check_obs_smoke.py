@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Asserts the bench observability surface is well-formed.
+
+Usage: check_obs_smoke.py BENCH_JSON OBS_JSONL [--expect-counters]
+
+Checks that the micro_core trajectory JSON parses, that every timed row
+carries an `obs` block whose decisions name the Auto-policy pick
+(ReportMode / EvalPath) together with the inputs that decided it, and that
+the --obs-trace JSONL parses line by line.  With --expect-counters (an
+-DAGTRAM_OBS=ON binary) it additionally requires counter deltas on the rows
+and per-round gauge lines in the trace.
+"""
+import json
+import sys
+
+MECHANISM_DECISIONS = [
+    "report_mode_requested",
+    "report_mode_resolved",
+    "auto_size_biased_readers",
+    "auto_effective_hot_objects",
+    "auto_agent_count",
+    "auto_incremental_fraction",
+    "auto_min_effective_hot_objects",
+    "auto_dirty_is_local",
+    "auto_demand_is_dispersed",
+    "parallel_agents",
+    "parallel_min_agents",
+    "pool_workers",
+]
+BASELINE_DECISIONS = [
+    "eval_path",
+    "parallel_scan",
+    "scan_min_servers",
+    "scan_servers",
+    "pool_workers",
+]
+
+
+def fail(message):
+    print(f"check_obs_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_decisions(row, keys, where):
+    obs = row.get("obs")
+    if not isinstance(obs, dict):
+        fail(f"{where}: missing obs block")
+    decisions = obs.get("decisions")
+    if not isinstance(decisions, dict):
+        fail(f"{where}: obs block has no decisions")
+    for key in keys:
+        if key not in decisions:
+            fail(f"{where}: decisions missing '{key}'")
+    return obs
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    expect_counters = "--expect-counters" in sys.argv[1:]
+    if len(args) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_JSON OBS_JSONL [--expect-counters]")
+    bench_path, trace_path = args
+
+    with open(bench_path) as fh:
+        rows = json.load(fh)["results"]
+
+    mech = [r for r in rows if r.get("benchmark") == "mechanism_full_run"]
+    auto = [r for r in rows if r.get("benchmark") == "mechanism_auto_mode"]
+    base = [r for r in rows if r.get("benchmark") == "baseline_run"]
+    if not mech or not auto or not base:
+        fail(
+            f"{bench_path}: expected mechanism_full_run / mechanism_auto_mode"
+            f" / baseline_run rows, got {len(mech)}/{len(auto)}/{len(base)}"
+        )
+
+    for row in mech + auto:
+        obs = check_decisions(
+            row, MECHANISM_DECISIONS, f"{row['benchmark']} row"
+        )
+        decisions = obs["decisions"]
+        if decisions["report_mode_resolved"] not in ("naive", "incremental"):
+            fail(
+                "resolved mode must be concrete, got "
+                f"'{decisions['report_mode_resolved']}'"
+            )
+        if expect_counters:
+            if not obs.get("enabled"):
+                fail(f"{row['benchmark']} row: obs.enabled is false")
+            if not obs.get("counters"):
+                fail(f"{row['benchmark']} row: no counter deltas")
+    for row in auto:
+        if row["obs"]["decisions"]["report_mode_requested"] != "auto":
+            fail("mechanism_auto_mode row did not request auto")
+    for row in base:
+        obs = check_decisions(row, BASELINE_DECISIONS, "baseline_run row")
+        if obs["decisions"]["eval_path"] != row["eval"]:
+            fail("baseline_run eval_path disagrees with the row's eval field")
+
+    metas, rounds = 0, 0
+    with open(trace_path) as fh:
+        for n, line in enumerate(fh, 1):
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(f"{trace_path}:{n}: invalid JSON ({err})")
+            kind = entry.get("kind")
+            if kind == "meta":
+                metas += 1
+                if "decisions" not in entry.get("data", {}):
+                    fail(f"{trace_path}:{n}: meta line without decisions")
+            elif kind == "round":
+                rounds += 1
+                if "round" not in entry:
+                    fail(f"{trace_path}:{n}: round line without round index")
+                if len(entry) < 3:
+                    fail(f"{trace_path}:{n}: round line carries no gauges")
+            else:
+                fail(f"{trace_path}:{n}: unknown kind '{kind}'")
+    if metas == 0:
+        fail(f"{trace_path}: no meta lines")
+    if expect_counters and rounds == 0:
+        fail(f"{trace_path}: instrumented run produced no round lines")
+
+    print(
+        f"check_obs_smoke: OK — {len(mech)} mechanism rows, {len(auto)} auto"
+        f" rows, {len(base)} baseline rows, {metas} traces, {rounds} round"
+        f" lines{' (counters required)' if expect_counters else ''}"
+    )
+
+
+if __name__ == "__main__":
+    main()

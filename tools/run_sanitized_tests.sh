@@ -3,7 +3,9 @@
 # AddressSanitizer with SAN=address) and runs them.  The thread-pool's
 # lock-lean parallel_for and the mechanism's PARFOR rounds are the targets:
 # chunk claiming, the completion latch, and the stack-job entrants drain are
-# all bare atomics, exactly what TSan is for.
+# all bare atomics, exactly what TSan is for.  The build instruments the
+# observability layer too (-DAGTRAM_OBS=ON) so the relaxed counter atomics
+# and the trace-sink pointer are under the same sanitizers as the pool.
 #
 # Usage:  tools/run_sanitized_tests.sh [build-dir]
 #   SAN=address|thread   sanitizer to use (default: thread)
@@ -15,14 +17,17 @@ SRC="$(cd "$(dirname "$0")/.." && pwd)"
 
 cmake -B "$BUILD" -S "$SRC" \
   -DAGTRAM_SANITIZE="$SAN" \
+  -DAGTRAM_OBS=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAGTRAM_BUILD_BENCH=OFF \
   -DAGTRAM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j "$(nproc)" \
-  --target test_common test_mechanism test_runtime test_baselines_delta
+  --target test_common test_mechanism test_runtime test_baselines_delta \
+           test_obs test_obs_noop
 
 status=0
-for t in test_common test_mechanism test_runtime test_baselines_delta; do
+for t in test_common test_mechanism test_runtime test_baselines_delta \
+         test_obs test_obs_noop; do
   echo "== $SAN-sanitized $t =="
   # The paper-scale differential cases take minutes under a sanitizer's
   # slowdown; the small-family + fuzz cases exercise the same parallel scans.
