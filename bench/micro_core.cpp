@@ -13,6 +13,7 @@
 //   --paper-servers=N / --paper-objects=N  paper-scale instance (3000x25600)
 //   --paper-scale=0                        skip the paper-scale family
 //   --reps=N / --paper-reps=N              timing repetitions (best-of)
+//   --kernels=0                            skip the kernel-engine family
 //   --json=PATH                            output path
 //   --obs-trace=PATH                       per-round JSONL from an untimed
 //                                          Auto-mode run per family
@@ -22,6 +23,9 @@
 // serial twin by more than the noise tolerance, the process exits nonzero.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -37,6 +41,8 @@
 #include "core/agt_ram.hpp"
 #include "drp/builder.hpp"
 #include "drp/cost_model.hpp"
+#include "drp/delta_evaluator.hpp"
+#include "drp/kernels.hpp"
 #include "net/shortest_paths.hpp"
 #include "net/topology.hpp"
 #include "obs_writer.hpp"
@@ -250,6 +256,9 @@ struct TrajectoryOptions {
   /// LocalSearch, SA at the base scale; Greedy + GRA at paper scale).
   bool baselines = true;
   int baseline_reps = 2;
+  /// Kernel-engine family: the DESIGN.md §10 kernels timed aos / scalar /
+  /// simd at both scales, with a bitwise cross-variant identity check.
+  bool kernels = true;
   std::string json_path = bench::kMechanismJsonPath;
   /// Per-round JSONL sink (--obs-trace=PATH): one meta line per traced
   /// Auto-mode run, then one line per mechanism round.  Round lines carry
@@ -684,6 +693,400 @@ bool run_baseline_family(bench::JsonWriter& json, const drp::Problem& p,
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-engine family (--kernels=0 skips).
+//
+// The kernel shapes of DESIGN.md §10 timed three ways over one seeded
+// placement per scale:
+//
+//   aos    — the pre-change AoS loops (per-slot is_replicator probes,
+//            per-use static_casts, the two-pointer w_ik merge), transcribed
+//            verbatim below; the capture the issue's >= 1.5x acceptance
+//            speedup is measured against,
+//   scalar — the shipped kernel entry points with the vector paths forced
+//            off (kernels::set_simd_enabled(false)): SoA streams + member
+//            masks, portable loops,
+//   simd   — the same entry points with the vector paths on; rows emitted
+//            only when the binary carries the AVX2 TU and the CPU runs it.
+//
+// Each row reports best-of wall seconds plus ns per processed item
+// (accessor slots for the sweeps, rep entries for the min-reduce, benefit
+// cells for the candidate scan) under the shared ns_per_accessor field.
+// The family asserts — nonzero exit — that every variant lands on
+// bit-identical checksums: the FP contract, enforced at the exact
+// workloads where the speedup is claimed.
+
+struct KernelWork {
+  double checksum = 0.0;    ///< primary bitwise-compared accumulator
+  double checksum2 = 0.0;   ///< secondary accumulator (savings / winners)
+  std::uint64_t items = 0;  ///< ns_per_accessor denominator
+};
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Deterministic replica seeding for the kernel workloads: each object's
+/// first two accessor servers (so the member branches of the sweeps fire),
+/// then a strided probe over all servers — most reader slots stay active,
+/// keeping the read-savings loops the scan kernels exist for on the hot
+/// path.  Round-robin across objects so the capacity budget spreads instead
+/// of draining on the first objects; depth 24 pushes typical rep lists past
+/// the SIMD min-reduce cutoff wherever capacity allows.
+drp::ReplicaPlacement seeded_placement(const drp::Problem& p) {
+  constexpr std::uint32_t kDepth = 24;
+  const auto m = static_cast<std::uint32_t>(p.server_count());
+  drp::ReplicaPlacement placement(p);
+  for (std::uint32_t depth = 0; depth < kDepth; ++depth) {
+    for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+      const auto accessors = p.access.accessors(k);
+      const drp::ServerId i =
+          depth < 2 && depth < accessors.size()
+              ? accessors[depth].server
+              : static_cast<drp::ServerId>((k * 61u + depth * 97u + 1u) % m);
+      if (placement.can_replicate(i, k)) placement.add_replica(i, k);
+    }
+  }
+  return placement;
+}
+
+/// Pre-change accessor sweep of CostModel::object_cost /
+/// DeltaEvaluator::refresh (the loop kernels::object_cost_accumulate
+/// replaced), minus the demandless-replicator spur both code paths still
+/// share.
+void aos_object_cost_sweep(const drp::ReplicaPlacement& placement,
+                           drp::ObjectIndex k, double& cost, double& saving) {
+  const drp::Problem& p = placement.problem();
+  const double o = static_cast<double>(p.object_units[k]);
+  const double w_total = static_cast<double>(p.access.total_writes(k));
+  const auto accessors = p.access.accessors(k);
+  const auto nn = placement.nn_row(k);
+  const auto primary_row = p.distances->row(p.primary[k]);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const drp::Access& a = accessors[slot];
+    const double c_primary = static_cast<double>(primary_row[a.server]);
+    cost += static_cast<double>(a.writes) * o * c_primary;
+    if (placement.is_replicator(a.server, k)) {
+      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
+    } else {
+      cost += static_cast<double>(a.reads) * o * static_cast<double>(nn[slot]);
+      if (a.reads != 0) {
+        saving +=
+            static_cast<double>(a.reads) * o * static_cast<double>(nn[slot]);
+      }
+    }
+  }
+}
+
+/// Pre-change CostModel::global_benefit: per-slot is_replicator probes over
+/// the AoS cells, then the broadcast-price subtraction off a per-call
+/// writes(i, k) lookup.
+double aos_global_benefit(const drp::ReplicaPlacement& placement,
+                          drp::ServerId i, drp::ObjectIndex k) {
+  const drp::Problem& p = placement.problem();
+  const double o = static_cast<double>(p.object_units[k]);
+  double benefit = 0.0;
+  const auto accessors = p.access.accessors(k);
+  const auto nn = placement.nn_row(k);
+  const auto i_row = p.distances->row(i);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const drp::Access& a = accessors[slot];
+    if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
+    const net::Cost current = nn[slot];
+    const net::Cost with_i = std::min(current, i_row[a.server]);
+    benefit += static_cast<double>(a.reads) * o *
+               (static_cast<double>(current) - static_cast<double>(with_i));
+  }
+  benefit -= (static_cast<double>(p.access.total_writes(k)) -
+              static_cast<double>(p.access.writes(i, k))) *
+             o * static_cast<double>(p.distance(p.primary[k], i));
+  return benefit;
+}
+
+/// Pre-change DeltaEvaluator::best_add_for_object, inline scan: per-slot
+/// is_replicator probes, scalar row walks, and the two-pointer w_ik merge
+/// for the broadcast pass.
+drp::DeltaEvaluator::BestAdd aos_best_add(
+    const drp::ReplicaPlacement& placement, drp::ObjectIndex k,
+    std::vector<double>& benefit) {
+  const drp::Problem& p = placement.problem();
+  const std::size_t m = p.server_count();
+  const double o = static_cast<double>(p.object_units[k]);
+  const double w_total = static_cast<double>(p.access.total_writes(k));
+  const auto accessors = p.access.accessors(k);
+  const auto nn = placement.nn_row(k);
+  const auto primary_row = p.distances->row(p.primary[k]);
+  benefit.assign(m, 0.0);
+  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+    const drp::Access& a = accessors[slot];
+    if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
+    const auto a_row = p.distances->row(a.server);
+    const net::Cost current = nn[slot];
+    const double ro = static_cast<double>(a.reads) * o;
+    for (std::size_t i = 0; i < m; ++i) {
+      const net::Cost with_i = std::min(current, a_row[i]);
+      benefit[i] +=
+          ro * (static_cast<double>(current) - static_cast<double>(with_i));
+    }
+  }
+  std::size_t ptr = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    while (ptr < accessors.size() && accessors[ptr].server < i) ++ptr;
+    const double w_i = (ptr < accessors.size() && accessors[ptr].server == i)
+                           ? static_cast<double>(accessors[ptr].writes)
+                           : 0.0;
+    benefit[i] -= (w_total - w_i) * o * static_cast<double>(primary_row[i]);
+  }
+  drp::DeltaEvaluator::BestAdd best;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto server = static_cast<drp::ServerId>(i);
+    if (!placement.can_replicate(server, k)) continue;
+    if (benefit[i] > best.benefit) {
+      best.benefit = benefit[i];
+      best.server = server;
+    }
+  }
+  return best;
+}
+
+bool run_kernel_family(bench::JsonWriter& json, const drp::Problem& p,
+                       const char* demand, std::uint32_t servers,
+                       std::uint32_t objects, int reps, int passes) {
+  const std::size_t n = p.object_count();
+  const std::size_t m = p.server_count();
+  const drp::ReplicaPlacement placement = seeded_placement(p);
+  const drp::DeltaEvaluator eval{drp::ReplicaPlacement(placement)};
+  std::printf("kernels %ux%u %s: seeded placement, %zu extra replicas\n",
+              servers, objects, demand, placement.extra_replica_count());
+
+  // One non-replicator benefit candidate per object, fixed up front so every
+  // variant prices the identical (i, k) set.
+  std::vector<drp::ServerId> candidate(n);
+  for (drp::ObjectIndex k = 0; k < n; ++k) {
+    auto i = static_cast<drp::ServerId>((k * 7919u + 3u) % m);
+    while (placement.is_replicator(i, k)) {
+      i = static_cast<drp::ServerId>((i + 1u) % m);
+    }
+    candidate[k] = i;
+  }
+
+  const auto object_cost_work = [&](bool aos) {
+    KernelWork w;
+    for (int pass = 0; pass < passes; ++pass) {
+      double cost = 0.0;
+      double saving = 0.0;
+      for (drp::ObjectIndex k = 0; k < n; ++k) {
+        if (aos) {
+          aos_object_cost_sweep(placement, k, cost, saving);
+        } else {
+          const auto srv = p.access.accessor_servers(k);
+          drp::kernels::Scratch& scratch = drp::kernels::tls_scratch();
+          scratch.mask.resize(srv.size());
+          drp::kernels::member_mask(srv, placement.replicators(k),
+                                    scratch.mask.data());
+          const drp::kernels::CostAccum acc =
+              drp::kernels::object_cost_accumulate(
+                  srv, p.access.accessor_reads_d(k),
+                  p.access.accessor_writes_d(k), placement.nn_row(k),
+                  p.distances->row(p.primary[k]), scratch.mask.data(),
+                  static_cast<double>(p.object_units[k]),
+                  static_cast<double>(p.access.total_writes(k)));
+          cost += acc.cost;
+          saving += acc.saving;
+        }
+      }
+      w.checksum = cost;
+      w.checksum2 = saving;
+    }
+    w.items = static_cast<std::uint64_t>(passes) * p.access.nonzeros();
+    return w;
+  };
+
+  const auto nn_min_work = [&](bool aos) {
+    KernelWork w;
+    double sum = 0.0;
+    for (int pass = 0; pass < passes; ++pass) {
+      sum = 0.0;
+      for (drp::ObjectIndex k = 0; k < n; ++k) {
+        const auto reps_k = placement.replicators(k);
+        for (std::uint32_t j = 0; j < 4; ++j) {
+          const auto probe =
+              static_cast<drp::ServerId>((k * 2654435761u + 40503u * j) % m);
+          const auto row = p.distances->row(probe);
+          net::Cost v;
+          if (aos) {
+            v = net::kUnreachable;
+            for (const drp::ServerId r : reps_k) v = std::min(v, row[r]);
+          } else {
+            v = drp::kernels::nn_min(row, reps_k);
+          }
+          sum += static_cast<double>(v);
+        }
+        if (pass == 0) w.items += 4ull * reps_k.size();
+      }
+    }
+    w.checksum = sum;
+    w.items *= static_cast<std::uint64_t>(passes);
+    return w;
+  };
+
+  const auto global_benefit_work = [&](bool aos) {
+    KernelWork w;
+    double sum = 0.0;
+    for (int pass = 0; pass < passes; ++pass) {
+      sum = 0.0;
+      for (drp::ObjectIndex k = 0; k < n; ++k) {
+        sum += aos ? aos_global_benefit(placement, candidate[k], k)
+                   : drp::CostModel::global_benefit(placement, candidate[k], k);
+      }
+    }
+    w.checksum = sum;
+    w.items = static_cast<std::uint64_t>(passes) * p.access.nonzeros();
+    return w;
+  };
+
+  // Candidate-scan subset: ~512 objects, strided so the subset spans the
+  // catalogue.  Each scanned object prices all M servers.
+  const std::size_t stride = std::max<std::size_t>(1, n / 512);
+  drp::DeltaEvaluator::ScanScratch scan_scratch;
+  std::vector<double> aos_benefit;
+  const auto best_add_work = [&](bool aos) {
+    KernelWork w;
+    double bsum = 0.0;
+    double ssum = 0.0;
+    std::uint64_t scanned = 0;
+    for (int pass = 0; pass < passes; ++pass) {
+      bsum = 0.0;
+      ssum = 0.0;
+      scanned = 0;
+      for (drp::ObjectIndex k = 0; k < n; k += stride) {
+        const drp::DeltaEvaluator::BestAdd best =
+            aos ? aos_best_add(placement, k, aos_benefit)
+                : eval.best_add_for_object(k, nullptr, scan_scratch,
+                                           /*parallel=*/false);
+        bsum += best.benefit;
+        ssum += static_cast<double>(best.server);
+        ++scanned;
+      }
+    }
+    w.checksum = bsum;
+    w.checksum2 = ssum;
+    w.items = static_cast<std::uint64_t>(passes) * scanned * m;
+    return w;
+  };
+
+  struct VariantRun {
+    bool ran = false;
+    double seconds = 0.0;
+    KernelWork work;
+  };
+  static constexpr const char* kVariantName[3] = {"aos", "scalar", "simd"};
+
+  const auto measure = [&](const char* row_name, auto&& work_fn) {
+    VariantRun runs[3];
+    for (int v = 0; v < 3; ++v) {
+      if (v == 1) drp::kernels::set_simd_enabled(false);
+      if (v == 2) {
+        drp::kernels::set_simd_enabled(true);
+        if (!drp::kernels::simd_active()) {
+          std::printf("  %-21s simd  : unavailable in this build/CPU\n",
+                      row_name);
+          continue;
+        }
+      }
+      VariantRun& run = runs[v];
+      run.ran = true;
+      run.seconds = 1e30;
+      for (int rep = 0; rep < reps; ++rep) {
+        common::Timer timer;
+        const KernelWork work = work_fn(v == 0);
+        const double s = timer.seconds();
+        if (s < run.seconds) {
+          run.seconds = s;
+          run.work = work;
+        }
+      }
+      const double ns = run.work.items > 0
+                            ? run.seconds * 1e9 /
+                                  static_cast<double>(run.work.items)
+                            : 0.0;
+      bench::JsonWriter::Record record;
+      record.field("benchmark", row_name)
+          .field("servers", static_cast<std::uint64_t>(servers))
+          .field("objects", static_cast<std::uint64_t>(objects))
+          .field("demand", demand)
+          .field("variant", kVariantName[v])
+          .field("seconds", run.seconds)
+          .field("items", run.work.items)
+          .field("ns_per_accessor", ns);
+      json.add(std::move(record));
+      std::printf("  %-21s %-6s: %.4fs, %.3f ns/item\n", row_name,
+                  kVariantName[v], run.seconds, ns);
+    }
+    drp::kernels::set_simd_enabled(true);
+
+    // FP contract, enforced on the timed workload itself: scalar and simd
+    // must land bit for bit on the aos capture's checksums.
+    bool identical = true;
+    for (int v = 1; v < 3; ++v) {
+      if (!runs[v].ran) continue;
+      if (!bits_equal(runs[v].work.checksum, runs[0].work.checksum) ||
+          !bits_equal(runs[v].work.checksum2, runs[0].work.checksum2) ||
+          runs[v].work.items != runs[0].work.items) {
+        identical = false;
+        std::fprintf(stderr,
+                     "FAIL: %s %s diverged from aos: %a/%a vs %a/%a\n",
+                     row_name, kVariantName[v], runs[v].work.checksum,
+                     runs[v].work.checksum2, runs[0].work.checksum,
+                     runs[0].work.checksum2);
+      }
+    }
+    bench::JsonWriter::Record identity;
+    identity.field("benchmark", "kernel_identity_check")
+        .field("kernel", row_name)
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("ok", identical);
+    json.add(std::move(identity));
+
+    bench::JsonWriter::Record speedup;
+    speedup.field("benchmark", "kernel_speedup")
+        .field("kernel", row_name)
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("aos_seconds", runs[0].seconds)
+        .field("scalar_seconds", runs[1].seconds);
+    const double scalar_vs_aos =
+        runs[1].seconds > 0.0 ? runs[0].seconds / runs[1].seconds : 0.0;
+    speedup.field("scalar_vs_aos", scalar_vs_aos);
+    if (runs[2].ran) {
+      const double simd_vs_aos =
+          runs[2].seconds > 0.0 ? runs[0].seconds / runs[2].seconds : 0.0;
+      const double simd_vs_scalar =
+          runs[2].seconds > 0.0 ? runs[1].seconds / runs[2].seconds : 0.0;
+      speedup.field("simd_seconds", runs[2].seconds)
+          .field("simd_vs_aos", simd_vs_aos)
+          .field("simd_vs_scalar", simd_vs_scalar);
+      std::printf("  %-21s speedup: %.2fx scalar, %.2fx simd vs aos\n",
+                  row_name, scalar_vs_aos, simd_vs_aos);
+    } else {
+      std::printf("  %-21s speedup: %.2fx scalar vs aos (no simd)\n",
+                  row_name, scalar_vs_aos);
+    }
+    json.add(std::move(speedup));
+    return identical;
+  };
+
+  bool ok = true;
+  ok = measure("kernel_object_cost", object_cost_work) && ok;
+  ok = measure("kernel_nn_min", nn_min_work) && ok;
+  ok = measure("kernel_global_benefit", global_benefit_work) && ok;
+  ok = measure("kernel_best_add_scan", best_add_work) && ok;
+  return ok;
+}
+
 int write_mechanism_trajectory(const TrajectoryOptions& opts) {
   bench::JsonWriter json;
   bool parallel_ok = true;
@@ -722,6 +1125,25 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
         run_family(json, p, "dispersed", opts.paper_servers,
                    opts.paper_objects, opts.paper_reps, trace.get());
     parallel_ok = parallel_ok && family.parallel_ok;
+  }
+
+  bool kernels_ok = true;
+  if (opts.kernels) {
+    // Passes are fixed per scale so seconds stay comparable run to run; the
+    // paper-scale family reuses the dispersed instance the mechanism rows
+    // just built.
+    kernels_ok = run_kernel_family(
+        json, cached_instance(opts.mech_servers, opts.mech_objects), "trace",
+        opts.mech_servers, opts.mech_objects, opts.reps, /*passes=*/32);
+    if (opts.paper_scale) {
+      kernels_ok = run_kernel_family(
+                       json,
+                       dispersed_instance(opts.paper_servers,
+                                          opts.paper_objects),
+                       "dispersed", opts.paper_servers, opts.paper_objects,
+                       opts.paper_reps, /*passes=*/32) &&
+                   kernels_ok;
+    }
   }
 
   bool baselines_ok = true;
@@ -775,6 +1197,12 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
                  "baseline_identity_check / baseline_parallel_check rows)\n");
     return 1;
   }
+  if (!kernels_ok) {
+    std::fprintf(stderr,
+                 "kernel FP contract violated (see kernel_identity_check "
+                 "rows)\n");
+    return 1;
+  }
   return 0;
 }
 
@@ -812,6 +1240,8 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
       opts.baselines = std::atoi(v) != 0;
     } else if (value_of(argv[i], "--baseline-reps", &v)) {
       opts.baseline_reps = std::atoi(v);
+    } else if (value_of(argv[i], "--kernels", &v)) {
+      opts.kernels = std::atoi(v) != 0;
     } else if (value_of(argv[i], "--json", &v)) {
       opts.json_path = v;
     } else if (value_of(argv[i], "--obs-trace", &v)) {

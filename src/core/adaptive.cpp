@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "drp/cost_model.hpp"
+#include "drp/kernels.hpp"
 
 namespace agtram::core {
 
@@ -16,11 +17,8 @@ double retention_value(const drp::ReplicaPlacement& placement,
     throw std::logic_error("retention_value: not a non-primary replica");
   }
   // Distance the holder's reads would travel without this copy.
-  net::Cost next_nearest = net::kUnreachable;
-  for (const drp::ServerId r : placement.replicators(k)) {
-    if (r == i) continue;
-    next_nearest = std::min(next_nearest, p.distance(i, r));
-  }
+  const net::Cost next_nearest = drp::kernels::nn_min_excluding(
+      p.distances->row(i), placement.replicators(k), i);
   const double o = static_cast<double>(p.object_units[k]);
   const double reads_saved =
       static_cast<double>(p.access.reads(i, k)) * o *

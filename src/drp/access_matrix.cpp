@@ -43,6 +43,9 @@ AccessMatrix AccessMatrix::build(std::size_t servers, std::size_t objects,
   }
 
   m.cells_.reserve(total_cells);
+  m.soa_server_.reserve(total_cells);
+  m.soa_reads_.reserve(total_cells);
+  m.soa_writes_.reserve(total_cells);
   m.readers_.reserve(total_cells);
   std::vector<std::size_t> srv_count(servers, 0);
   for (std::size_t k = 0; k < objects; ++k) {
@@ -50,6 +53,9 @@ AccessMatrix AccessMatrix::build(std::size_t servers, std::size_t objects,
     m.reader_row_[k] = m.readers_.size();
     for (const Access& a : by_object[k]) {
       m.cells_.push_back(a);
+      m.soa_server_.push_back(a.server);
+      m.soa_reads_.push_back(static_cast<double>(a.reads));
+      m.soa_writes_.push_back(static_cast<double>(a.writes));
       m.object_reads_[k] += a.reads;
       m.object_writes_[k] += a.writes;
       if (a.reads > 0) m.readers_.push_back(a.server);

@@ -60,6 +60,22 @@ class AccessMatrix {
   /// accessor_base(k) + slot, so both structures share one slot scheme.
   std::size_t accessor_base(ObjectIndex k) const { return obj_row_[k]; }
 
+  /// SoA mirror of accessors(k) (DESIGN.md §10): three dense streams parallel
+  /// to the AoS row, slot for slot, so the kernels read sequential lanes
+  /// instead of strided Access fields.  Demand is converted to double once at
+  /// build time; the stored value is exactly the static_cast<double> the
+  /// scalar loops performed per use, so kernels fed from these streams
+  /// reproduce the AoS arithmetic bit for bit.
+  std::span<const ServerId> accessor_servers(ObjectIndex k) const {
+    return {soa_server_.data() + obj_row_[k], obj_row_[k + 1] - obj_row_[k]};
+  }
+  std::span<const double> accessor_reads_d(ObjectIndex k) const {
+    return {soa_reads_.data() + obj_row_[k], obj_row_[k + 1] - obj_row_[k]};
+  }
+  std::span<const double> accessor_writes_d(ObjectIndex k) const {
+    return {soa_writes_.data() + obj_row_[k], obj_row_[k + 1] - obj_row_[k]};
+  }
+
   /// Servers with nonzero *read* demand for object k, sorted by server id.
   /// Pure writers are excluded: a new replica of k can only change the
   /// valuation of servers whose NN distance for k may drop, i.e. readers.
@@ -147,6 +163,10 @@ class AccessMatrix {
   // CSR by object: rows of `cells_` delimited by `obj_row_` (size N+1).
   std::vector<std::size_t> obj_row_;
   std::vector<Access> cells_;
+  // SoA mirror of cells_, same slot scheme (demand pre-widened to double).
+  std::vector<ServerId> soa_server_;
+  std::vector<double> soa_reads_;
+  std::vector<double> soa_writes_;
   // Reader ids per object, same row scheme (size N+1 offsets).
   std::vector<std::size_t> reader_row_;
   std::vector<ServerId> readers_;

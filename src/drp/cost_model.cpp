@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/thread_pool.hpp"
+#include "drp/kernels.hpp"
 
 namespace agtram::drp {
 
@@ -16,23 +17,20 @@ double CostModel::object_cost(const ReplicaPlacement& placement,
   const ServerId primary = p.primary[k];
   const double w_total = static_cast<double>(p.access.total_writes(k));
 
-  double cost = 0.0;
-  const auto accessors = p.access.accessors(k);
-  const auto nn = placement.nn_row(k);
-  const auto primary_row = p.distances->row(primary);
-  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-    const Access& a = accessors[slot];
-    const double c_primary = static_cast<double>(primary_row[a.server]);
-    // Every writer ships its updates to the primary.
-    cost += static_cast<double>(a.writes) * o * c_primary;
-    if (placement.is_replicator(a.server, k)) {
-      // Replicators receive the broadcast of everyone else's updates.
-      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
-    } else {
-      // Non-replicators read from the nearest replica.
-      cost += static_cast<double>(a.reads) * o * static_cast<double>(nn[slot]);
-    }
-  }
+  // Accessor sweep: every writer ships its updates to the primary,
+  // replicators receive the broadcast of everyone else's updates, and
+  // non-replicators read from the nearest replica (kernels.hpp kernel 1,
+  // bit-identical to the historical AoS walk).
+  const auto servers = p.access.accessor_servers(k);
+  kernels::Scratch& scratch = kernels::tls_scratch();
+  scratch.mask.resize(servers.size());
+  kernels::member_mask(servers, placement.replicators(k), scratch.mask.data());
+  double cost =
+      kernels::object_cost_accumulate(
+          servers, p.access.accessor_reads_d(k), p.access.accessor_writes_d(k),
+          placement.nn_row(k), p.distances->row(primary), scratch.mask.data(),
+          o, w_total)
+          .cost;
   // Replicators with no demand of their own still subscribe to the full
   // update broadcast (possible under the genetic baseline's mutations).
   for (ServerId r : placement.replicators(k)) {
@@ -49,26 +47,27 @@ double CostModel::object_cost_with_replicators(
   const double o = static_cast<double>(p.object_units[k]);
   const ServerId primary = p.primary[k];
   const double w_total = static_cast<double>(p.access.total_writes(k));
-  const auto is_member = [&](ServerId i) {
-    return std::binary_search(replicators.begin(), replicators.end(), i);
-  };
 
-  double cost = 0.0;
-  const auto accessors = p.access.accessors(k);
-  const auto primary_row = p.distances->row(primary);
-  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-    const Access& a = accessors[slot];
-    const double c_primary = static_cast<double>(primary_row[a.server]);
-    cost += static_cast<double>(a.writes) * o * c_primary;
-    if (is_member(a.server)) {
-      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
-    } else {
-      const auto a_row = p.distances->row(a.server);
-      net::Cost nn = net::kUnreachable;
-      for (ServerId r : replicators) nn = std::min(nn, a_row[r]);
-      cost += static_cast<double>(a.reads) * o * static_cast<double>(nn);
-    }
+  // Stage the virtual NN row (integral min over `replicators`, order-free),
+  // then run the same accumulate kernel object_cost uses.  The per-slot
+  // double op sequence is unchanged: precomputing the minima only reorders
+  // integer work.
+  const auto servers = p.access.accessor_servers(k);
+  kernels::Scratch& scratch = kernels::tls_scratch();
+  scratch.mask.resize(servers.size());
+  kernels::member_mask(servers, replicators, scratch.mask.data());
+  scratch.nn.resize(servers.size());
+  for (std::size_t slot = 0; slot < servers.size(); ++slot) {
+    scratch.nn[slot] =
+        scratch.mask[slot]
+            ? 0  // member slots never read their NN entry
+            : kernels::nn_min(p.distances->row(servers[slot]), replicators);
   }
+  double cost = kernels::object_cost_accumulate(
+                    servers, p.access.accessor_reads_d(k),
+                    p.access.accessor_writes_d(k), scratch.nn,
+                    p.distances->row(primary), scratch.mask.data(), o, w_total)
+                    .cost;
   for (ServerId r : replicators) {
     if (r == primary) continue;
     if (p.access.accessor_slot(r, k) == AccessMatrix::npos) {
@@ -150,18 +149,15 @@ double CostModel::global_benefit(const ReplicaPlacement& placement, ServerId i,
 
   // Read savings accrue to every accessor whose nearest replica would get
   // closer (including i itself, whose read distance drops to zero).
-  double benefit = 0.0;
-  const auto accessors = p.access.accessors(k);
-  const auto nn = placement.nn_row(k);
-  const auto i_row = p.distances->row(i);
-  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-    const Access& a = accessors[slot];
-    if (a.reads == 0 || placement.is_replicator(a.server, k)) continue;
-    const net::Cost current = nn[slot];
-    const net::Cost with_i = std::min(current, i_row[a.server]);
-    benefit += static_cast<double>(a.reads) * o *
-               (static_cast<double>(current) - static_cast<double>(with_i));
-  }
+  // Kernels.hpp kernel 3; the masked sweep adds in slot order, bit-identical
+  // to the historical loop.
+  const auto servers = p.access.accessor_servers(k);
+  kernels::Scratch& scratch = kernels::tls_scratch();
+  scratch.mask.resize(servers.size());
+  kernels::member_mask(servers, placement.replicators(k), scratch.mask.data());
+  double benefit = kernels::read_savings_accumulate(
+      servers, p.access.accessor_reads_d(k), placement.nn_row(k),
+      p.distances->row(i), scratch.mask.data(), o);
   // New replicator i starts receiving everyone else's update broadcasts.
   benefit -= (static_cast<double>(p.access.total_writes(k)) -
               static_cast<double>(p.access.writes(i, k))) *

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/thread_pool.hpp"
+#include "drp/kernels.hpp"
 #include "obs/obs.hpp"
 
 namespace agtram::drp {
@@ -33,25 +34,16 @@ void DeltaEvaluator::refresh(ObjectIndex k) {
   const ServerId primary = p.primary[k];
   const double w_total = static_cast<double>(p.access.total_writes(k));
 
-  double cost = 0.0;
-  double saving = 0.0;
-  const auto accessors = p.access.accessors(k);
-  const auto nn = placement_.nn_row(k);
-  const auto primary_row = p.distances->row(primary);
-  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-    const Access& a = accessors[slot];
-    const double c_primary = static_cast<double>(primary_row[a.server]);
-    cost += static_cast<double>(a.writes) * o * c_primary;
-    if (placement_.is_replicator(a.server, k)) {
-      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
-    } else {
-      cost += static_cast<double>(a.reads) * o * static_cast<double>(nn[slot]);
-      if (a.reads != 0) {
-        saving += static_cast<double>(a.reads) * o *
-                  static_cast<double>(nn[slot]);
-      }
-    }
-  }
+  const auto servers = p.access.accessor_servers(k);
+  kernels::Scratch& scratch = kernels::tls_scratch();
+  scratch.mask.resize(servers.size());
+  kernels::member_mask(servers, placement_.replicators(k),
+                       scratch.mask.data());
+  const kernels::CostAccum acc = kernels::object_cost_accumulate(
+      servers, p.access.accessor_reads_d(k), p.access.accessor_writes_d(k),
+      placement_.nn_row(k), p.distances->row(primary), scratch.mask.data(), o,
+      w_total);
+  double cost = acc.cost;
   for (ServerId r : placement_.replicators(k)) {
     if (r == primary) continue;
     if (p.access.accessor_slot(r, k) == AccessMatrix::npos) {
@@ -59,7 +51,7 @@ void DeltaEvaluator::refresh(ObjectIndex k) {
     }
   }
   obj_cost_[k] = cost;
-  opt_saving_[k] = saving;
+  opt_saving_[k] = acc.saving;
 }
 
 double DeltaEvaluator::optimistic_saving() const {
@@ -89,23 +81,26 @@ double DeltaEvaluator::cost_if_added(ServerId i, ObjectIndex k) const {
   const ServerId primary = p.primary[k];
   const double w_total = static_cast<double>(p.access.total_writes(k));
 
-  double cost = 0.0;
-  const auto accessors = p.access.accessors(k);
-  const auto nn = placement_.nn_row(k);
-  const auto primary_row = p.distances->row(primary);
-  const auto i_row = p.distances->row(i);
-  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-    const Access& a = accessors[slot];
-    const double c_primary = static_cast<double>(primary_row[a.server]);
-    cost += static_cast<double>(a.writes) * o * c_primary;
-    if (a.server == i || placement_.is_replicator(a.server, k)) {
-      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
-    } else {
-      const net::Cost with_i = std::min(nn[slot], i_row[a.server]);
-      cost +=
-          static_cast<double>(a.reads) * o * static_cast<double>(with_i);
-    }
-  }
+  // Stage the post-add state: membership gains i (when i has a demand
+  // slot), and every slot's effective NN becomes min(nn, i_row) — an
+  // integral min, so the staged values equal what a real add would cache.
+  // The accumulate kernel then replays object_cost's exact double sequence.
+  const auto servers = p.access.accessor_servers(k);
+  kernels::Scratch& scratch = kernels::tls_scratch();
+  scratch.mask.resize(servers.size());
+  kernels::member_mask(servers, placement_.replicators(k),
+                       scratch.mask.data());
+  const std::size_t slot_i = p.access.accessor_slot(i, k);
+  if (slot_i != AccessMatrix::npos) scratch.mask[slot_i] = 1;
+  scratch.nn.resize(servers.size());
+  kernels::min_with_row(placement_.nn_row(k), servers, p.distances->row(i),
+                        scratch.nn.data());
+  double cost =
+      kernels::object_cost_accumulate(
+          servers, p.access.accessor_reads_d(k), p.access.accessor_writes_d(k),
+          scratch.nn, p.distances->row(primary), scratch.mask.data(), o,
+          w_total)
+          .cost;
   // Spur loop over the virtual set replicators(k) ∪ {i}, merged in sorted
   // order — the order a real add would leave the set in.
   bool placed_i = false;
@@ -135,39 +130,33 @@ double DeltaEvaluator::cost_if_dropped(ServerId i, ObjectIndex k) const {
   const double w_total = static_cast<double>(p.access.total_writes(k));
   const auto reps = placement_.replicators(k);
 
-  // NN of `server` over the surviving set (integral min — equals whatever
-  // rebuild_nn would cache after the real remove).
-  const auto nn_without_i = [&](ServerId server) {
-    const auto s_row = p.distances->row(server);
-    net::Cost best = net::kUnreachable;
-    for (ServerId r : reps) {
-      if (r == i) continue;
-      best = std::min(best, s_row[r]);
-    }
-    return best;
-  };
-
-  double cost = 0.0;
-  const auto accessors = p.access.accessors(k);
+  // Stage the post-drop state: clear i's membership, and re-min the slots
+  // whose cached distance cannot survive the drop — i's own slot, plus any
+  // slot whose recorded nearest node was i (kernels::nn_min_excluding over
+  // the surviving set equals whatever rebuild_nn would cache).  Every other
+  // cached distance survives verbatim.
+  const auto servers = p.access.accessor_servers(k);
   const auto nn = placement_.nn_row(k);
-  const auto primary_row = p.distances->row(primary);
-  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-    const Access& a = accessors[slot];
-    const double c_primary = static_cast<double>(primary_row[a.server]);
-    cost += static_cast<double>(a.writes) * o * c_primary;
-    if (placement_.is_replicator(a.server, k) && a.server != i) {
-      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
-    } else {
-      // Reader after the drop.  The cached distance survives unless the
-      // dropped node was the recorded nearest (or the reader is i itself,
-      // whose cached distance is its replicator zero).
-      const net::Cost after =
-          (a.server == i || placement_.nn_node_by_slot(k, slot) == i)
-              ? nn_without_i(a.server)
-              : nn[slot];
-      cost += static_cast<double>(a.reads) * o * static_cast<double>(after);
+  const auto nn_node = placement_.nn_node_row(k);
+  kernels::Scratch& scratch = kernels::tls_scratch();
+  scratch.mask.resize(servers.size());
+  kernels::member_mask(servers, reps, scratch.mask.data());
+  const std::size_t slot_i = p.access.accessor_slot(i, k);
+  if (slot_i != AccessMatrix::npos) scratch.mask[slot_i] = 0;
+  scratch.nn.assign(nn.begin(), nn.end());
+  for (std::size_t slot = 0; slot < servers.size(); ++slot) {
+    if (scratch.mask[slot]) continue;
+    if (servers[slot] == i || nn_node[slot] == i) {
+      scratch.nn[slot] =
+          kernels::nn_min_excluding(p.distances->row(servers[slot]), reps, i);
     }
   }
+  double cost =
+      kernels::object_cost_accumulate(
+          servers, p.access.accessor_reads_d(k), p.access.accessor_writes_d(k),
+          scratch.nn, p.distances->row(primary), scratch.mask.data(), o,
+          w_total)
+          .cost;
   for (ServerId r : reps) {
     if (r == i || r == primary) continue;
     if (p.access.accessor_slot(r, k) == AccessMatrix::npos) {
@@ -188,39 +177,36 @@ double DeltaEvaluator::cost_if_swapped(ServerId from, ServerId to,
   const double w_total = static_cast<double>(p.access.total_writes(k));
   const auto reps = placement_.replicators(k);
 
-  const auto nn_without_from = [&](ServerId server) {
-    const auto s_row = p.distances->row(server);
-    net::Cost best = net::kUnreachable;
-    for (ServerId r : reps) {
-      if (r == from) continue;
-      best = std::min(best, s_row[r]);
-    }
-    return best;
-  };
-
-  double cost = 0.0;
-  const auto accessors = p.access.accessors(k);
+  // Stage the post-swap state: membership loses `from` and gains `to`; slots
+  // whose cached distance depended on `from` re-min over the surviving set,
+  // then every slot takes min(base, to_row) — all integral minima, equal to
+  // what a real remove+add would cache.
+  const auto servers = p.access.accessor_servers(k);
   const auto nn = placement_.nn_row(k);
-  const auto primary_row = p.distances->row(primary);
+  const auto nn_node = placement_.nn_node_row(k);
   const auto to_row = p.distances->row(to);
-  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-    const Access& a = accessors[slot];
-    const double c_primary = static_cast<double>(primary_row[a.server]);
-    cost += static_cast<double>(a.writes) * o * c_primary;
-    const bool member_after =
-        a.server == to ||
-        (placement_.is_replicator(a.server, k) && a.server != from);
-    if (member_after) {
-      cost += (w_total - static_cast<double>(a.writes)) * o * c_primary;
-    } else {
-      const net::Cost base =
-          (a.server == from || placement_.nn_node_by_slot(k, slot) == from)
-              ? nn_without_from(a.server)
-              : nn[slot];
-      const net::Cost after = std::min(base, to_row[a.server]);
-      cost += static_cast<double>(a.reads) * o * static_cast<double>(after);
+  kernels::Scratch& scratch = kernels::tls_scratch();
+  scratch.mask.resize(servers.size());
+  kernels::member_mask(servers, reps, scratch.mask.data());
+  const std::size_t slot_from = p.access.accessor_slot(from, k);
+  if (slot_from != AccessMatrix::npos) scratch.mask[slot_from] = 0;
+  const std::size_t slot_to = p.access.accessor_slot(to, k);
+  if (slot_to != AccessMatrix::npos) scratch.mask[slot_to] = 1;
+  scratch.nn.assign(nn.begin(), nn.end());
+  for (std::size_t slot = 0; slot < servers.size(); ++slot) {
+    if (scratch.mask[slot]) continue;
+    if (servers[slot] == from || nn_node[slot] == from) {
+      scratch.nn[slot] = kernels::nn_min_excluding(
+          p.distances->row(servers[slot]), reps, from);
     }
   }
+  kernels::min_with_row(scratch.nn, servers, to_row, scratch.nn.data());
+  double cost =
+      kernels::object_cost_accumulate(
+          servers, p.access.accessor_reads_d(k), p.access.accessor_writes_d(k),
+          scratch.nn, p.distances->row(primary), scratch.mask.data(), o,
+          w_total)
+          .cost;
   // Virtual set: (replicators \ {from}) ∪ {to}, merged sorted.
   bool placed_to = false;
   const auto spur = [&](ServerId r) {
@@ -260,50 +246,44 @@ DeltaEvaluator::BestAdd DeltaEvaluator::best_add_for_object(
   const std::size_t m = p.server_count();
   const double o = static_cast<double>(p.object_units[k]);
   const double w_total = static_cast<double>(p.access.total_writes(k));
-  const auto accessors = p.access.accessors(k);
+  const auto servers = p.access.accessor_servers(k);
+  const auto reads_d = p.access.accessor_reads_d(k);
+  const auto writes_d = p.access.accessor_writes_d(k);
   const auto nn = placement_.nn_row(k);
   const auto primary_row = p.distances->row(p.primary[k]);
 
   std::vector<double>& benefit = scratch.benefit;
   benefit.assign(m, 0.0);
+  // Shared per-scan staging, built once before the (possibly parallel)
+  // chunks: the replicator mask for the slot skip test, and the dense w_ik
+  // scatter that replaces the two-pointer merge.  (w_total − 0.0) == w_total
+  // exactly, so defaulting non-writers to 0.0 keeps the broadcast product
+  // bit-identical per server.
+  scratch.member.resize(servers.size());
+  kernels::member_mask(servers, placement_.replicators(k),
+                       scratch.member.data());
+  scratch.w_dense.assign(m, 0.0);
+  for (std::size_t slot = 0; slot < servers.size(); ++slot) {
+    scratch.w_dense[servers[slot]] = writes_d[slot];
+  }
 
   const auto scan = [&](std::size_t first, std::size_t last) {
     // Read-savings terms, slot-outer/server-inner: each active reader's
     // distance row is walked sequentially, and every server accumulates its
-    // terms in slot order — the op sequence global_benefit uses.
-    for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
-      const Access& a = accessors[slot];
-      if (a.reads == 0 || placement_.is_replicator(a.server, k)) continue;
-      const auto a_row = p.distances->row(a.server);
-      const net::Cost current = nn[slot];
-      const double ro = static_cast<double>(a.reads) * o;
-      for (std::size_t i = first; i < last; ++i) {
-        const net::Cost with_i = std::min(current, a_row[i]);
-        benefit[i] += ro * (static_cast<double>(current) -
-                            static_cast<double>(with_i));
-      }
+    // terms in slot order — the op sequence global_benefit uses.  Per-server
+    // accumulators are independent, so the kernel's lanes never reassociate
+    // a chain (kernels.hpp kernel 3b).
+    for (std::size_t slot = 0; slot < servers.size(); ++slot) {
+      if (reads_d[slot] == 0.0 || scratch.member[slot]) continue;
+      const auto a_row = p.distances->row(servers[slot]);
+      const double ro = reads_d[slot] * o;
+      kernels::best_add_read_pass(ro, nn[slot], a_row, first, last,
+                                  benefit.data());
     }
-    // Broadcast price, merged two-pointer over the (server-sorted) accessor
-    // row for w_ik.  Kept as one (w_total − w_i)·o·d product so the
-    // floating-point grouping matches global_benefit's final subtraction.
-    std::size_t ptr = 0;
-    {
-      std::size_t lo = 0, hi = accessors.size();
-      while (lo < hi) {
-        const std::size_t mid = (lo + hi) / 2;
-        if (accessors[mid].server < first) lo = mid + 1; else hi = mid;
-      }
-      ptr = lo;
-    }
-    for (std::size_t i = first; i < last; ++i) {
-      while (ptr < accessors.size() && accessors[ptr].server < i) ++ptr;
-      const double w_i =
-          (ptr < accessors.size() && accessors[ptr].server == i)
-              ? static_cast<double>(accessors[ptr].writes)
-              : 0.0;
-      benefit[i] -=
-          (w_total - w_i) * o * static_cast<double>(primary_row[i]);
-    }
+    // Broadcast price as one (w_total − w_ik)·o·d product per server, the
+    // grouping global_benefit's final subtraction uses (kernel 3c).
+    kernels::broadcast_price_pass(w_total, o, scratch.w_dense, primary_row,
+                                  first, last, benefit.data());
   };
 
   AGTRAM_OBS_COUNT("delta_eval.scans", 1);
@@ -315,11 +295,21 @@ DeltaEvaluator::BestAdd DeltaEvaluator::best_add_for_object(
     scan(0, m);
   }
 
+  // Argmax with can_replicate unrolled into its two parts: the replicator
+  // membership test becomes one merged walk over the sorted replica list
+  // (O(m + |R_k|) instead of m binary searches over the spilled set), and
+  // the capacity test reads the free-capacity arrays directly.  Same skip
+  // conditions, same server order, same strict >, so the same winner.
   BestAdd best;
+  const auto reps = placement_.replicators(k);
+  const std::uint64_t units = p.object_units[k];
+  std::size_t rp = 0;
   for (std::size_t i = 0; i < m; ++i) {
-    if (allowed_sites && !(*allowed_sites)[i]) continue;
     const auto server = static_cast<ServerId>(i);
-    if (!placement_.can_replicate(server, k)) continue;
+    while (rp < reps.size() && reps[rp] < server) ++rp;
+    if (rp < reps.size() && reps[rp] == server) continue;
+    if (allowed_sites && !(*allowed_sites)[i]) continue;
+    if (placement_.free_capacity(server) < units) continue;
     if (benefit[i] > best.benefit) {
       best.benefit = benefit[i];
       best.server = server;

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "drp/cost_model.hpp"
@@ -121,6 +122,8 @@ class DeltaEvaluator {
   /// parallel outer loop each bring their own).
   struct ScanScratch {
     std::vector<double> benefit;
+    std::vector<std::uint8_t> member;  ///< per-slot replicator mask
+    std::vector<double> w_dense;       ///< per-server w_ik scatter (0.0 gaps)
   };
 
   /// argmax_i global_benefit(i, k) over feasible servers (optional site

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "drp/kernels.hpp"
+
 namespace agtram::drp {
 
 ReplicaPlacement::ReplicaPlacement(const Problem& problem)
@@ -137,14 +139,27 @@ void ReplicaPlacement::remove_replica(ServerId i, ObjectIndex k) {
 }
 
 void ReplicaPlacement::rebuild_nn(ObjectIndex k) {
-  const auto accessors = problem_->access.accessors(k);
+  const auto servers = problem_->access.accessor_servers(k);
   const auto reps = replicators(k);
+  // Hot objects keep their rep list in a spill-arena block; touch it before
+  // the walk so the per-slot scans don't stall on the arena's first miss.
+  __builtin_prefetch(reps.data());
   const std::size_t base = problem_->access.accessor_base(k);
-  for (std::size_t slot = 0; slot < accessors.size(); ++slot) {
+  for (std::size_t slot = 0; slot < servers.size(); ++slot) {
+    if (slot + 1 < servers.size()) {
+      // Each slot gathers from its accessor's distance row; consecutive
+      // accessors' rows are M entries apart, so hint the next row while this
+      // slot's scan is in flight.
+      __builtin_prefetch(problem_->distances->row(servers[slot + 1]).data());
+    }
+    const auto s_row = problem_->distances->row(servers[slot]);
     net::Cost best = net::kUnreachable;
     ServerId best_node = reps.front();
+    // Keep-first argmin, deliberately scalar: which of several equidistant
+    // replicators gets recorded feeds DeltaEvaluator's drop-staging branch,
+    // so the historical tie-break order is part of the contract.
     for (ServerId r : reps) {
-      const net::Cost d = problem_->distance(accessors[slot].server, r);
+      const net::Cost d = s_row[r];
       if (d < best) {
         best = d;
         best_node = r;
@@ -160,11 +175,7 @@ net::Cost ReplicaPlacement::nn_distance(ServerId i, ObjectIndex k) const {
   if (slot != AccessMatrix::npos) {
     return nn_dist_[problem_->access.accessor_base(k) + slot];
   }
-  net::Cost best = net::kUnreachable;
-  for (ServerId r : replicators(k)) {
-    best = std::min(best, problem_->distance(i, r));
-  }
-  return best;
+  return kernels::nn_min(problem_->distances->row(i), replicators(k));
 }
 
 ServerId ReplicaPlacement::nn_server(ServerId i, ObjectIndex k) const {

@@ -97,6 +97,15 @@ class ReplicaPlacement {
             problem_->access.accessor_base(k + 1) - base};
   }
 
+  /// Object k's cached nearest-replicator identities, parallel to nn_row(k).
+  /// Hot-loop variant of nn_node_by_slot (same caveat: the recorded node
+  /// among equidistant replicators is history-dependent, the distance isn't).
+  std::span<const ServerId> nn_node_row(ObjectIndex k) const {
+    const std::size_t base = problem_->access.accessor_base(k);
+    return {nn_node_.data() + base,
+            problem_->access.accessor_base(k + 1) - base};
+  }
+
   /// Total replica count including primaries.
   std::size_t replica_count() const;
 

@@ -2,14 +2,14 @@
 # Perf-regression gate for the mechanism trajectory.
 #
 # Re-runs the micro_core trajectory into a scratch JSON and diffs its
-# mechanism_full_run and baseline_run rows against the committed
-# BENCH_mechanism.json: any row whose wall time regressed by more than the
-# threshold (default 25%) fails the gate.  Rows are matched on the full
-# identity key (servers, objects, demand, layout, incremental_reports,
-# parallel_agents, algorithm, eval, parallel_scan — absent fields match as
-# null); committed rows with no fresh counterpart (historical captures,
-# e.g. the layout="nested" before-rows) are skipped, as are fresh rows that
-# are new.
+# mechanism_full_run, baseline_run, and kernel_* timing rows against the
+# committed BENCH_mechanism.json: any row whose wall time regressed by more
+# than the threshold (default 25%) fails the gate.  Rows are matched on the
+# full identity key (servers, objects, demand, layout, incremental_reports,
+# parallel_agents, algorithm, eval, parallel_scan, variant — absent fields
+# match as null); committed rows with no fresh counterpart (historical
+# captures, e.g. the layout="nested" before-rows) are skipped, as are fresh
+# rows that are new.
 #
 # A row fails only when it regresses BOTH relatively (>threshold%) and
 # absolutely (>min-delta seconds): millisecond-scale rows jitter by tens of
@@ -70,8 +70,9 @@ committed_path, fresh_path = sys.argv[1], sys.argv[2]
 threshold, min_delta = float(sys.argv[3]), float(sys.argv[4])
 KEY = ("benchmark", "servers", "objects", "demand", "layout",
        "incremental_reports", "parallel_agents",
-       "algorithm", "eval", "parallel_scan")
-GATED = ("mechanism_full_run", "baseline_run")
+       "algorithm", "eval", "parallel_scan", "variant")
+GATED = ("mechanism_full_run", "baseline_run", "kernel_object_cost",
+         "kernel_nn_min", "kernel_global_benefit", "kernel_best_add_scan")
 
 def rows(path):
     with open(path) as f:
