@@ -14,6 +14,11 @@
 //   --paper-scale=0                        skip the paper-scale family
 //   --reps=N / --paper-reps=N              timing repetitions (best-of)
 //   --kernels=0                            skip the kernel-engine family
+//   --regional=0                           skip the regional family
+//   --regional-servers=10000,50000,100000  tiled large-M sweep sizes
+//   --regional-regions=8,32,128            tiled region counts
+//   --regional-budget-mb=4096              tiled distance-state budget
+//   --regional-reps=N                      regional timing repetitions
 //   --json=PATH                            output path
 //   --obs-trace=PATH                       per-round JSONL from an untimed
 //                                          Auto-mode run per family
@@ -39,6 +44,8 @@
 #include "common/timer.hpp"
 #include "core/agent.hpp"
 #include "core/agt_ram.hpp"
+#include "core/regional.hpp"
+#include "core/regional_tiled.hpp"
 #include "drp/builder.hpp"
 #include "drp/cost_model.hpp"
 #include "drp/delta_evaluator.hpp"
@@ -259,6 +266,14 @@ struct TrajectoryOptions {
   /// Kernel-engine family: the DESIGN.md §10 kernels timed aos / scalar /
   /// simd at both scales, with a bitwise cross-variant identity check.
   bool kernels = true;
+  /// Regional family: the shared-placement engines (regional / cooperative
+  /// / hierarchical) serial-vs-sharded at the mech and paper scales, plus
+  /// the tiled large-M engine over regional_servers x regional_regions.
+  bool regional = true;
+  std::vector<std::uint32_t> regional_servers = {10000, 50000, 100000};
+  std::vector<std::uint32_t> regional_regions = {8, 32, 128};
+  double regional_budget_mb = 4096.0;
+  int regional_reps = 2;
   std::string json_path = bench::kMechanismJsonPath;
   /// Per-round JSONL sink (--obs-trace=PATH): one meta line per traced
   /// Auto-mode run, then one line per mechanism round.  Round lines carry
@@ -278,6 +293,13 @@ constexpr double kParallelTolerance = 1.10;
 constexpr double kParallelMinDelta = 0.02;  // seconds
 
 bool parallel_within_policy(double serial, double parallel) {
+  // On a single-worker pool every parallel_for degrades to the identical
+  // inline code path, so the two timings measure the same instructions and
+  // their ratio is pure container noise (multi-second rows swing 10-25%
+  // run to run on shared 1-CPU runners, in either direction).  The policy
+  // is only meaningful — and only enforced — when the pool can actually
+  // overlap work; the identity checks keep holding regardless.
+  if (common::ThreadPool::shared().thread_count() <= 1) return true;
   return parallel <= serial * kParallelTolerance ||
          parallel - serial <= kParallelMinDelta;
 }
@@ -1087,6 +1109,411 @@ bool run_kernel_family(bench::JsonWriter& json, const drp::Problem& p,
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Regional family (--regional=0 skips).
+//
+// Two halves.  (1) The shared-placement engines — regional auction,
+// cooperative coalitions, two-level hierarchy — timed serial vs sharded on
+// the mech- and paper-scale dispersed instances.  Serial and Sharded are
+// byte-identical by construction (snapshot-epoch polling, commits in region
+// order), so beyond the timing rows the family asserts — nonzero exit —
+// that both executions land on the same allocations, charges, and epochs,
+// and that the sharded run never loses to serial beyond the same noise
+// policy the mechanism rows enforce.  (2) The tiled large-M engine at
+// M = 10k-100k: per-(M, R) cell the partition (sampled clustering + tiled
+// distance blocks) is built once and reused by the timed serial/sharded
+// runs; cells whose distance state would blow the memory budget emit a
+// regional_budget_skip row instead of silently capping.
+// ---------------------------------------------------------------------------
+
+const char* execution_name(core::RegionalExecution execution) {
+  return execution == core::RegionalExecution::Sharded ? "sharded" : "serial";
+}
+
+using AllocationList = std::vector<std::pair<drp::ServerId, drp::ObjectIndex>>;
+
+AllocationList extra_allocations(const drp::ReplicaPlacement& placement) {
+  AllocationList out;
+  const drp::Problem& p = placement.problem();
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    for (const drp::ServerId s : placement.replicators(k)) {
+      if (s != p.primary[k]) out.emplace_back(s, k);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct RegionalEngineOutcome {
+  double seconds = 0.0;
+  std::size_t epochs = 0;
+  std::size_t replicas = 0;
+  double charges = 0.0;
+  double final_cost = 0.0;
+  std::uint64_t reports = 0;
+  std::uint64_t wire_bytes = 0;
+  AllocationList allocations;
+};
+
+RegionalEngineOutcome time_regional_engine(const drp::Problem& p,
+                                           const char* variant,
+                                           const core::RegionalConfig& cfg,
+                                           int repetitions) {
+  RegionalEngineOutcome best;
+  best.seconds = 1e30;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    common::Timer timer;
+    RegionalEngineOutcome out;
+    if (std::strcmp(variant, "hierarchical") == 0) {
+      const core::HierarchicalResult result = core::run_hierarchical(p, cfg);
+      out.seconds = timer.seconds();
+      out.epochs = result.rounds.size();
+      out.charges = result.total_charges;
+      out.reports = result.top_level_reports;
+      out.final_cost = drp::CostModel::total_cost(result.placement);
+      out.allocations = extra_allocations(result.placement);
+      out.replicas = out.allocations.size();
+    } else {
+      const core::RegionalResult result =
+          std::strcmp(variant, "cooperative") == 0
+              ? core::run_regional_cooperative(p, cfg)
+              : core::run_regional(p, cfg);
+      out.seconds = timer.seconds();
+      out.epochs = result.epochs;
+      out.replicas = result.replicas_placed();
+      for (const core::RegionOutcome& region : result.regions) {
+        out.charges += region.charges;
+        out.reports += region.reports_polled;
+        out.wire_bytes += region.wire_bytes;
+      }
+      out.final_cost = drp::CostModel::total_cost(result.placement);
+      out.allocations = extra_allocations(result.placement);
+    }
+    if (out.seconds < best.seconds) best = std::move(out);
+  }
+  return best;
+}
+
+bool run_regional_engine_family(bench::JsonWriter& json, const drp::Problem& p,
+                                const char* demand, std::uint32_t servers,
+                                std::uint32_t objects,
+                                bool include_hierarchical, int reps) {
+  const double initial = drp::CostModel::initial_cost(p);
+  const std::uint32_t regions =
+      std::min<std::uint32_t>(32, std::max<std::uint32_t>(2, servers / 8));
+  bool ok = true;
+  std::vector<const char*> variants = {"regional", "cooperative"};
+  if (include_hierarchical) variants.push_back("hierarchical");
+  for (const char* variant : variants) {
+    RegionalEngineOutcome out[2];  // [serial, sharded]
+    for (int e = 0; e < 2; ++e) {
+      core::RegionalConfig cfg;
+      cfg.regions = regions;
+      cfg.seed = 42;
+      cfg.execution = e != 0 ? core::RegionalExecution::Sharded
+                             : core::RegionalExecution::Serial;
+      cfg.parallel_agents = e != 0;
+      const bench::ObsSnapshot before = bench::ObsSnapshot::take();
+      out[e] = time_regional_engine(p, variant, cfg, reps);
+      const bench::ObsSnapshot after = bench::ObsSnapshot::take();
+      const double savings =
+          initial > 0.0 ? (initial - out[e].final_cost) / initial : 0.0;
+      bench::JsonWriter::Record record;
+      record.field("benchmark", "regional_engine_run")
+          .field("servers", static_cast<std::uint64_t>(servers))
+          .field("objects", static_cast<std::uint64_t>(objects))
+          .field("demand", demand)
+          .field("variant", variant)
+          .field("regions", static_cast<std::uint64_t>(regions))
+          .field("execution", execution_name(cfg.execution))
+          .field("seconds", out[e].seconds)
+          .field("epochs", static_cast<std::uint64_t>(out[e].epochs))
+          .field("replicas", static_cast<std::uint64_t>(out[e].replicas))
+          .field("charges", out[e].charges)
+          .field("savings", savings)
+          .field("reports_polled", out[e].reports)
+          .field("wire_bytes", out[e].wire_bytes)
+          .object_field(
+              "obs",
+              bench::obs_block(
+                  bench::regional_decisions(regions, cfg.execution,
+                                            std::strcmp(variant,
+                                                        "cooperative") == 0,
+                                            cfg.parallel_agents),
+                  before, after, static_cast<std::uint64_t>(reps)));
+      json.add(std::move(record));
+      std::printf("regional %ux%u %s R=%u %s/%s: %.4fs, %zu epochs, "
+                  "%zu replicas\n",
+                  servers, objects, demand, regions, variant,
+                  execution_name(cfg.execution), out[e].seconds,
+                  out[e].epochs, out[e].replicas);
+    }
+
+    // Sharded must reproduce the serial engine byte for byte.
+    const bool identical = out[0].allocations == out[1].allocations &&
+                           out[0].charges == out[1].charges &&
+                           out[0].epochs == out[1].epochs &&
+                           out[0].reports == out[1].reports;
+    ok = ok && identical;
+    bench::JsonWriter::Record identity;
+    identity.field("benchmark", "regional_identity_check")
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("variant", variant)
+        .field("regions", static_cast<std::uint64_t>(regions))
+        .field("ok", identical);
+    json.add(std::move(identity));
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: regional %s sharded diverged from serial on %ux%u "
+                   "(%zu vs %zu allocations)\n",
+                   variant, servers, objects, out[1].allocations.size(),
+                   out[0].allocations.size());
+    }
+
+    const bool parallel_ok =
+        parallel_within_policy(out[0].seconds, out[1].seconds);
+    ok = ok && parallel_ok;
+    bench::JsonWriter::Record check;
+    check.field("benchmark", "regional_parallel_check")
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("variant", variant)
+        .field("regions", static_cast<std::uint64_t>(regions))
+        .field("serial_seconds", out[0].seconds)
+        .field("parallel_seconds", out[1].seconds)
+        .field("tolerance", kParallelTolerance)
+        .field("ok", parallel_ok);
+    json.add(std::move(check));
+    if (!parallel_ok) {
+      std::fprintf(stderr,
+                   "FAIL: regional %s sharded (%.4fs) slower than serial "
+                   "(%.4fs) on %ux%u\n",
+                   variant, out[1].seconds, out[0].seconds, servers, objects);
+    }
+  }
+
+  if (include_hierarchical) {
+    // The two-level mechanism is allocation-equivalent to the flat one; pin
+    // it on the bench instance, against the sharded execution.
+    const auto flat = core::run_agt_ram(p);
+    core::RegionalConfig cfg;
+    cfg.regions = regions;
+    cfg.seed = 42;
+    cfg.execution = core::RegionalExecution::Sharded;
+    const core::HierarchicalResult hier = core::run_hierarchical(p, cfg);
+    bool identical = flat.rounds.size() == hier.rounds.size();
+    for (std::size_t r = 0; identical && r < flat.rounds.size(); ++r) {
+      identical = flat.rounds[r].winner == hier.rounds[r].winner &&
+                  flat.rounds[r].object == hier.rounds[r].object;
+    }
+    ok = ok && identical;
+    bench::JsonWriter::Record identity;
+    identity.field("benchmark", "regional_identity_check")
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("variant", "hierarchical_vs_flat")
+        .field("regions", static_cast<std::uint64_t>(regions))
+        .field("ok", identical);
+    json.add(std::move(identity));
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: hierarchical allocation sequence diverged from the "
+                   "flat mechanism on %ux%u\n",
+                   servers, objects);
+    }
+  }
+  return ok;
+}
+
+struct TiledTimedRun {
+  double seconds = 0.0;
+  core::TiledRegionalResult result;
+};
+
+TiledTimedRun time_regional_tiled(const drp::SparseInstance& instance,
+                                  const core::TiledPartition& partition,
+                                  const core::TiledRegionalConfig& cfg,
+                                  int repetitions) {
+  TiledTimedRun best;
+  best.seconds = 1e30;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    common::Timer timer;
+    core::TiledRegionalResult result =
+        core::run_regional_tiled(instance, partition, cfg);
+    const double seconds = timer.seconds();
+    if (seconds < best.seconds) {
+      best.seconds = seconds;
+      best.result = std::move(result);
+    }
+  }
+  return best;
+}
+
+bool run_regional_tiled_family(bench::JsonWriter& json,
+                               const TrajectoryOptions& opts) {
+  const auto budget = static_cast<std::uint64_t>(opts.regional_budget_mb *
+                                                 1024.0 * 1024.0);
+  const std::uint32_t smallest = *std::min_element(
+      opts.regional_servers.begin(), opts.regional_servers.end());
+  bool ok = true;
+  for (const std::uint32_t servers : opts.regional_servers) {
+    const std::uint32_t objects = servers * 2;
+    common::Timer build_timer;
+    drp::InstanceSpec spec;
+    spec.servers = servers;
+    spec.objects = objects;
+    spec.seed = 42;
+    if (servers > 1000) spec.topology = net::TopologyKind::PowerLaw;
+    spec.demand = drp::DemandModel::Dispersed;
+    spec.readers_per_object = 8.0;
+    spec.instance.capacity_fraction = 0.01;
+    spec.instance.rw_ratio = 0.9;
+    const drp::SparseInstance instance = drp::make_sparse_instance(spec);
+    std::printf("tiled instance %ux%u built in %.1fs (no dense closure)\n",
+                servers, objects, build_timer.seconds());
+
+    for (const std::uint32_t regions : opts.regional_regions) {
+      if (regions >= servers) continue;
+      core::TiledRegionalConfig base_cfg;
+      base_cfg.regions = regions;
+      base_cfg.seed = 42;
+      base_cfg.distance_budget_bytes = budget;
+      common::Timer partition_timer;
+      const core::TiledPartition partition =
+          core::make_tiled_partition(instance, base_cfg);
+      const double partition_seconds = partition_timer.seconds();
+      if (!partition.within_budget) {
+        bench::JsonWriter::Record skip;
+        skip.field("benchmark", "regional_budget_skip")
+            .field("servers", static_cast<std::uint64_t>(servers))
+            .field("objects", static_cast<std::uint64_t>(objects))
+            .field("regions", static_cast<std::uint64_t>(regions))
+            .field("tile_bytes", partition.tile_bytes)
+            .field("budget_bytes", budget);
+        json.add(std::move(skip));
+        std::printf("tiled %ux%u R=%u: SKIPPED — distance tiles need "
+                    "%.2f GiB, budget %.2f GiB\n",
+                    servers, objects, regions,
+                    static_cast<double>(partition.tile_bytes) / (1u << 30),
+                    static_cast<double>(budget) / (1u << 30));
+        continue;
+      }
+
+      // Cooperative shards only at the smallest M (the coalition scan is a
+      // full member x object sweep per region — quadratic where the auction
+      // is round-bounded); logged so the cap is visible.
+      const bool with_cooperative =
+          servers == smallest && regions == opts.regional_regions.front();
+      for (const bool cooperative : {false, true}) {
+        if (cooperative && !with_cooperative) continue;
+        const char* variant = cooperative ? "cooperative" : "auction";
+        TiledTimedRun out[2];  // [serial, sharded]
+        for (int e = 0; e < 2; ++e) {
+          core::TiledRegionalConfig cfg = base_cfg;
+          cfg.cooperative = cooperative;
+          cfg.execution = e != 0 ? core::RegionalExecution::Sharded
+                                 : core::RegionalExecution::Serial;
+          const bench::ObsSnapshot before = bench::ObsSnapshot::take();
+          out[e] =
+              time_regional_tiled(instance, partition, cfg, opts.regional_reps);
+          const bench::ObsSnapshot after = bench::ObsSnapshot::take();
+          const core::TiledRegionalResult& result = out[e].result;
+          std::uint64_t reports = 0;
+          std::uint64_t wire_bytes = 0;
+          std::uint32_t largest = 0;
+          for (const core::TiledShardOutcome& shard : result.shards) {
+            reports += shard.reports_computed;
+            wire_bytes += shard.wire_bytes;
+            largest = std::max(largest, shard.member_count);
+          }
+          bench::JsonWriter::Record record;
+          record.field("benchmark", "regional_tiled_run")
+              .field("servers", static_cast<std::uint64_t>(servers))
+              .field("objects", static_cast<std::uint64_t>(objects))
+              .field("demand", "dispersed")
+              .field("variant", variant)
+              .field("regions", static_cast<std::uint64_t>(regions))
+              .field("execution", execution_name(cfg.execution))
+              .field("seconds", out[e].seconds)
+              .field("partition_seconds", partition_seconds)
+              .field("tile_bytes", result.tile_bytes)
+              .field("largest_region", static_cast<std::uint64_t>(largest))
+              .field("replicas",
+                     static_cast<std::uint64_t>(result.replicas_placed()))
+              .field("savings", result.savings())
+              .field("reports_computed", reports)
+              .field("wire_bytes", wire_bytes)
+              .object_field(
+                  "obs",
+                  bench::obs_block(
+                      bench::regional_decisions(regions, cfg.execution,
+                                                cooperative,
+                                                cfg.parallel_agents),
+                      before, after,
+                      static_cast<std::uint64_t>(opts.regional_reps)));
+          json.add(std::move(record));
+          std::printf("tiled %ux%u R=%u %s/%s: %.3fs (+%.1fs partition), "
+                      "%zu replicas, %.1f%% savings, %.2f GiB tiles\n",
+                      servers, objects, regions, variant,
+                      execution_name(cfg.execution), out[e].seconds,
+                      partition_seconds, result.replicas_placed(),
+                      result.savings() * 100.0,
+                      static_cast<double>(result.tile_bytes) / (1u << 30));
+        }
+
+        const bool identical =
+            out[0].result.allocations == out[1].result.allocations &&
+            out[0].result.final_cost == out[1].result.final_cost &&
+            out[0].result.initial_cost == out[1].result.initial_cost;
+        ok = ok && identical;
+        bench::JsonWriter::Record identity;
+        identity.field("benchmark", "regional_identity_check")
+            .field("servers", static_cast<std::uint64_t>(servers))
+            .field("objects", static_cast<std::uint64_t>(objects))
+            .field("demand", "dispersed")
+            .field("variant", std::string("tiled_") + variant)
+            .field("regions", static_cast<std::uint64_t>(regions))
+            .field("ok", identical);
+        json.add(std::move(identity));
+        if (!identical) {
+          std::fprintf(stderr,
+                       "FAIL: tiled %s sharded diverged from serial on %ux%u "
+                       "R=%u\n",
+                       variant, servers, objects, regions);
+        }
+
+        const bool parallel_ok =
+            parallel_within_policy(out[0].seconds, out[1].seconds);
+        ok = ok && parallel_ok;
+        bench::JsonWriter::Record check;
+        check.field("benchmark", "regional_parallel_check")
+            .field("servers", static_cast<std::uint64_t>(servers))
+            .field("objects", static_cast<std::uint64_t>(objects))
+            .field("demand", "dispersed")
+            .field("variant", std::string("tiled_") + variant)
+            .field("regions", static_cast<std::uint64_t>(regions))
+            .field("serial_seconds", out[0].seconds)
+            .field("parallel_seconds", out[1].seconds)
+            .field("tolerance", kParallelTolerance)
+            .field("ok", parallel_ok);
+        json.add(std::move(check));
+        if (!parallel_ok) {
+          std::fprintf(stderr,
+                       "FAIL: tiled %s sharded (%.3fs) slower than serial "
+                       "(%.3fs) on %ux%u R=%u\n",
+                       variant, out[1].seconds, out[0].seconds, servers,
+                       objects, regions);
+        }
+      }
+    }
+  }
+  return ok;
+}
+
 int write_mechanism_trajectory(const TrajectoryOptions& opts) {
   bench::JsonWriter json;
   bool parallel_ok = true;
@@ -1174,6 +1601,24 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
     }
   }
 
+  bool regional_ok = true;
+  if (opts.regional) {
+    regional_ok = run_regional_engine_family(
+        json, dispersed_instance(opts.mech_servers, opts.mech_objects),
+        "dispersed", opts.mech_servers, opts.mech_objects,
+        /*include_hierarchical=*/true, opts.reps);
+    if (opts.paper_scale) {
+      regional_ok = run_regional_engine_family(
+                        json,
+                        dispersed_instance(opts.paper_servers,
+                                           opts.paper_objects),
+                        "dispersed", opts.paper_servers, opts.paper_objects,
+                        /*include_hierarchical=*/false, opts.regional_reps) &&
+                    regional_ok;
+    }
+    regional_ok = run_regional_tiled_family(json, opts) && regional_ok;
+  }
+
   if (trace) {
     trace->close();
     std::printf("obs trace written to %s\n", opts.obs_trace_path.c_str());
@@ -1203,6 +1648,12 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
                  "rows)\n");
     return 1;
   }
+  if (!regional_ok) {
+    std::fprintf(stderr,
+                 "regional sharded-execution policy violated (see "
+                 "regional_identity_check / regional_parallel_check rows)\n");
+    return 1;
+  }
   return 0;
 }
 
@@ -1219,6 +1670,24 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
       return true;
     }
     return false;
+  };
+  const auto parse_u32_list = [](const char* v,
+                                 std::vector<std::uint32_t>& list) {
+    list.clear();
+    while (*v != '\0') {
+      char* end = nullptr;
+      const unsigned long x = std::strtoul(v, &end, 10);
+      if (end == v || x == 0) return false;
+      list.push_back(static_cast<std::uint32_t>(x));
+      if (*end == ',') {
+        v = end + 1;
+      } else if (*end == '\0') {
+        v = end;
+      } else {
+        return false;
+      }
+    }
+    return !list.empty();
   };
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -1242,6 +1711,16 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
       opts.baseline_reps = std::atoi(v);
     } else if (value_of(argv[i], "--kernels", &v)) {
       opts.kernels = std::atoi(v) != 0;
+    } else if (value_of(argv[i], "--regional", &v)) {
+      opts.regional = std::atoi(v) != 0;
+    } else if (value_of(argv[i], "--regional-servers", &v)) {
+      ok = parse_u32_list(v, opts.regional_servers) && ok;
+    } else if (value_of(argv[i], "--regional-regions", &v)) {
+      ok = parse_u32_list(v, opts.regional_regions) && ok;
+    } else if (value_of(argv[i], "--regional-budget-mb", &v)) {
+      opts.regional_budget_mb = std::atof(v);
+    } else if (value_of(argv[i], "--regional-reps", &v)) {
+      opts.regional_reps = std::atoi(v);
     } else if (value_of(argv[i], "--json", &v)) {
       opts.json_path = v;
     } else if (value_of(argv[i], "--obs-trace", &v)) {
@@ -1255,6 +1734,7 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
   argc = out;
   return ok && opts.mech_servers > 0 && opts.mech_objects > 0 &&
          opts.reps > 0 && opts.paper_reps > 0 && opts.baseline_reps > 0 &&
+         opts.regional_reps > 0 && opts.regional_budget_mb > 0.0 &&
          (!opts.paper_scale ||
           (opts.paper_servers > 0 && opts.paper_objects > 0));
 }

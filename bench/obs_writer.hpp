@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
 #include "core/agt_ram.hpp"
+#include "core/regional.hpp"
 #include "drp/delta_evaluator.hpp"
 #include "obs/obs.hpp"
 
@@ -122,6 +123,27 @@ inline JsonWriter::Record baseline_decisions(const drp::Problem& problem,
                    drp::DeltaEvaluator::kParallelMinServers));
   record.field("scan_servers",
                static_cast<std::uint64_t>(problem.server_count()));
+  record.field("pool_workers",
+               static_cast<std::uint64_t>(
+                   common::ThreadPool::shared().thread_count()));
+  return record;
+}
+
+/// The regional-engine decisions for one bench row: region count, epoch
+/// execution order (serial poll loop vs concurrent region jobs), the
+/// intra-region game, the inner agent-PARFOR knob, and the pool the sharded
+/// path fans out on.
+inline JsonWriter::Record regional_decisions(std::uint32_t regions,
+                                             core::RegionalExecution execution,
+                                             bool cooperative,
+                                             bool parallel_agents) {
+  JsonWriter::Record record;
+  record.field("regions", static_cast<std::uint64_t>(regions));
+  record.field("execution",
+               execution == core::RegionalExecution::Sharded ? "sharded"
+                                                             : "serial");
+  record.field("cooperative", cooperative);
+  record.field("parallel_agents", parallel_agents);
   record.field("pool_workers",
                static_cast<std::uint64_t>(
                    common::ThreadPool::shared().thread_count()));

@@ -11,6 +11,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/agt_ram.hpp"
+#include "core/regional.hpp"
 
 namespace {
 
@@ -40,12 +42,71 @@ int main(int argc, char** argv) {
   cli.add_flag("divisor", "10",
                "scale the paper's M and N down by this factor "
                "(1 = paper scale, slow)");
+  cli.add_flag("regional", "0",
+               "compare the flat mechanism against the regional / "
+               "cooperative / hierarchical variants instead of the "
+               "baseline field");
+  cli.add_flag("regions", "8", "region count for --regional 1");
   bench::add_baseline_eval_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   double divisor = cli.get_double("divisor");
   if (cli.get("scale") == "paper") divisor = 1.0;
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  // --regional 1: per paper row, quality loss of the concurrent-regions
+  // variants relative to the flat mechanism — the cost of decomposing the
+  // single global auction into R regional ones.
+  if (cli.get_bool("regional")) {
+    const auto regions_flag =
+        static_cast<std::uint32_t>(cli.get_int("regions"));
+    common::Table table({"problem size", "flat", "regional", "cooperative",
+                         "hierarchical", "worst quality loss"});
+    table.set_title(
+        "regional quality vs the flat mechanism (paper rows, M and N "
+        "divided by " +
+        common::Table::num(divisor, 0) + ", R=" +
+        std::to_string(regions_flag) + ")");
+    std::uint64_t row_seed = seed;
+    for (const PaperRow& paper : kRows) {
+      const bench::Dims dims{
+          std::max<std::uint32_t>(
+              16, static_cast<std::uint32_t>(paper.m / divisor)),
+          std::max<std::uint32_t>(
+              64, static_cast<std::uint32_t>(paper.n / divisor))};
+      const drp::Problem problem =
+          bench::build_instance(dims, paper.capacity, paper.rw, ++row_seed);
+      const double initial = drp::CostModel::initial_cost(problem);
+      const auto savings_of = [&](const drp::ReplicaPlacement& placement) {
+        return (initial - drp::CostModel::total_cost(placement)) / initial;
+      };
+      core::RegionalConfig cfg;
+      cfg.regions = std::max<std::uint32_t>(
+          1, std::min(regions_flag, dims.servers / 4));
+      cfg.seed = row_seed;
+      const double flat = savings_of(core::run_agt_ram(problem).placement);
+      const double regional =
+          savings_of(core::run_regional(problem, cfg).placement);
+      const double cooperative =
+          savings_of(core::run_regional_cooperative(problem, cfg).placement);
+      const double hierarchical =
+          savings_of(core::run_hierarchical(problem, cfg).placement);
+      const double worst =
+          flat - std::min({regional, cooperative, hierarchical});
+      table.add_row({"M=" + std::to_string(dims.servers) + ", N=" +
+                         std::to_string(dims.objects) + " [R=" +
+                         std::to_string(cfg.regions) + "]",
+                     common::Table::pct(flat), common::Table::pct(regional),
+                     common::Table::pct(cooperative),
+                     common::Table::pct(hierarchical),
+                     common::Table::pct(worst)});
+      std::cerr << "  row M=" << dims.servers << " N=" << dims.objects
+                << " done\n";
+    }
+    bench::emit(cli, table);
+    return 0;
+  }
+
   const auto algorithms =
       baselines::all_algorithms(bench::resolve_algo_options(cli));
 

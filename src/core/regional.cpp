@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "drp/cost_model.hpp"
+#include "obs/obs.hpp"
 
 namespace agtram::core {
 
@@ -14,13 +15,75 @@ std::size_t RegionalResult::replicas_placed() const {
   return total;
 }
 
-RegionalResult run_regional(const drp::Problem& problem,
+namespace {
+
+// Wire sizes mirror runtime::WireFormat's defaults; core cannot depend on
+// the runtime layer, so the regional traffic model restates them.
+constexpr std::uint64_t kReportWireBytes = 16;
+constexpr std::uint64_t kAllocationWireBytes = 16;
+constexpr std::uint64_t kBroadcastWireBytes = 12;
+
+common::ThreadPool& resolve_pool(const RegionalConfig& config) {
+  return config.pool != nullptr ? *config.pool : common::ThreadPool::shared();
+}
+
+/// Runs `body(r)` once per region: concurrently (one job per region) under
+/// Sharded, in ascending region order under Serial.  Bodies may only write
+/// region-owned state (their agents, heaps, and result slots) and read the
+/// shared placement, so the two orders are byte-identical.
+template <typename Body>
+void for_each_region(const RegionalConfig& config, std::size_t region_count,
+                     const Body& body) {
+  if (config.execution == RegionalExecution::Sharded) {
+    resolve_pool(config).parallel_for(
+        0, region_count,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t r = begin; r < end; ++r) {
+            body(static_cast<std::uint32_t>(r));
+          }
+        },
+        /*min_grain=*/1);
+  } else {
+    for (std::size_t r = 0; r < region_count; ++r) {
+      body(static_cast<std::uint32_t>(r));
+    }
+  }
+}
+
+/// Fresh reports for a region's live agents against the placement snapshot.
+/// Under Sharded the pool is already busy with the region jobs, so the
+/// inner parallel_for degrades to the inline fallback.
+void poll_reports(const RegionalConfig& config, std::vector<Agent>& agents,
+                  const std::vector<std::uint32_t>& live,
+                  const drp::ReplicaPlacement& placement,
+                  std::vector<Report>& reports) {
+  const auto eval = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t a = live[i];
+      reports[a] = agents[a].make_report(placement, nullptr);
+    }
+  };
+  if (config.parallel_agents && live.size() >= config.parallel_min_agents) {
+    resolve_pool(config).parallel_for(0, live.size(), eval);
+  } else {
+    eval(0, live.size());
+  }
+}
+
+net::Clustering cluster_for(const drp::Problem& problem,
                             const RegionalConfig& config) {
   net::ClusteringConfig clustering_cfg;
   clustering_cfg.regions = config.regions;
   clustering_cfg.seed = config.seed;
-  net::Clustering clustering =
-      net::cluster_servers(*problem.distances, clustering_cfg);
+  return net::cluster_servers(*problem.distances, clustering_cfg);
+}
+
+}  // namespace
+
+RegionalResult run_regional(const drp::Problem& problem,
+                            const RegionalConfig& config) {
+  AGTRAM_OBS_SPAN("regional.run");
+  net::Clustering clustering = cluster_for(problem, config);
 
   const std::size_t region_count = clustering.region_count();
   RegionalResult result{drp::ReplicaPlacement(problem), std::move(clustering),
@@ -50,26 +113,41 @@ RegionalResult run_regional(const drp::Problem& problem,
     }
   }
 
-  // Epoch loop: every live region performs one mechanism round.  The
-  // regions act concurrently in a deployment; the simulation serialises
-  // them in region order within an epoch, which only affects intra-epoch
-  // tie-breaks.
+  // One epoch = a poll phase in which every live region runs its round
+  // against the epoch-start placement snapshot (region jobs own their
+  // agents and pick slots; the placement is read-only), then a commit phase
+  // applying the <=R winners in ascending region id.  Regions occupy
+  // disjoint servers, so deferred commits can never invalidate another
+  // region's winner — values are simply cleared as reported, which is the
+  // honest concurrent-regions semantics.
+  struct EpochPick {
+    bool has = false;
+    std::uint32_t winner_agent = 0;
+    drp::ObjectIndex object = 0;
+    double payment = 0.0;
+  };
+  std::vector<EpochPick> picks(region_count);
+  std::vector<Report> reports(agents.size());
+
   bool any_progress = true;
   while (any_progress) {
     if (config.max_epochs != 0 && result.epochs >= config.max_epochs) break;
     any_progress = false;
-    for (std::uint32_t r = 0; r < region_count; ++r) {
+
+    for_each_region(config, region_count, [&](std::uint32_t r) {
+      picks[r] = EpochPick{};
       auto& live = region_live[r];
-      if (live.empty()) continue;
+      if (live.empty()) return;
+
+      const std::uint64_t polled = live.size();
+      poll_reports(config, agents, live, result.placement, reports);
 
       std::vector<double> values;
       std::vector<std::uint32_t> bidders;  // agent indices
       std::vector<std::uint32_t> next_live;
-      std::vector<Report> reports(agents.size());
       values.reserve(live.size());
       next_live.reserve(live.size());
       for (const std::uint32_t a : live) {
-        reports[a] = agents[a].make_report(result.placement, nullptr);
         if (reports[a].has_candidate) {
           values.push_back(reports[a].claimed_value);
           bidders.push_back(a);
@@ -77,24 +155,40 @@ RegionalResult run_regional(const drp::Problem& problem,
         }
       }
       live = std::move(next_live);
-      if (values.empty()) continue;
+      result.regions[r].reports_polled += polled;
+      result.regions[r].wire_bytes += polled * kReportWireBytes;
+      AGTRAM_OBS_COUNT("regional.reports_polled", polled);
+      AGTRAM_OBS_COUNT("regional.report_bytes", polled * kReportWireBytes);
+      if (values.empty()) return;
 
       std::size_t winner_slot = 0;
       for (std::size_t s = 1; s < values.size(); ++s) {
         if (values[s] > values[winner_slot]) winner_slot = s;
       }
-      const std::uint32_t winner_agent = bidders[winner_slot];
-      const Report& winning = reports[winner_agent];
-      const drp::ServerId winner = agents[winner_agent].id();
-
-      assert(result.placement.can_replicate(winner, winning.object));
-      result.placement.add_replica(winner, winning.object);
-      result.regions[r].replicas_placed += 1;
-      result.regions[r].charges +=
+      picks[r].has = true;
+      picks[r].winner_agent = bidders[winner_slot];
+      picks[r].object = reports[bidders[winner_slot]].object;
+      picks[r].payment =
           compute_payment(config.payment_rule, values, winner_slot);
+    });
+
+    for (std::uint32_t r = 0; r < region_count; ++r) {
+      if (!picks[r].has) continue;
+      const drp::ServerId winner = agents[picks[r].winner_agent].id();
+      assert(result.placement.can_replicate(winner, picks[r].object));
+      result.placement.add_replica(winner, picks[r].object);
+      const std::uint64_t broadcast =
+          kBroadcastWireBytes * region_live[r].size();
+      result.regions[r].replicas_placed += 1;
+      result.regions[r].charges += picks[r].payment;
+      result.regions[r].wire_bytes += kAllocationWireBytes + broadcast;
+      AGTRAM_OBS_COUNT("regional.replicas_placed", 1);
+      AGTRAM_OBS_COUNT("regional.alloc_bytes", kAllocationWireBytes);
+      AGTRAM_OBS_COUNT("regional.broadcast_bytes", broadcast);
       any_progress = true;
     }
     ++result.epochs;
+    AGTRAM_OBS_COUNT("regional.epochs", 1);
   }
   return result;
 }
@@ -156,11 +250,8 @@ CoalitionMove best_coalition_move(const drp::ReplicaPlacement& placement,
 
 RegionalResult run_regional_cooperative(const drp::Problem& problem,
                                         const RegionalConfig& config) {
-  net::ClusteringConfig clustering_cfg;
-  clustering_cfg.regions = config.regions;
-  clustering_cfg.seed = config.seed;
-  net::Clustering clustering =
-      net::cluster_servers(*problem.distances, clustering_cfg);
+  AGTRAM_OBS_SPAN("regional.cooperative_run");
+  net::Clustering clustering = cluster_for(problem, config);
   const std::size_t region_count = clustering.region_count();
 
   RegionalResult result{drp::ReplicaPlacement(problem), std::move(clustering),
@@ -192,52 +283,89 @@ RegionalResult run_regional_cooperative(const drp::Problem& problem,
     }
   };
   std::vector<std::priority_queue<HeapEntry>> heaps(region_count);
-  for (std::uint32_t r = 0; r < region_count; ++r) {
-    if (region_failed[r]) continue;
+  for_each_region(config, region_count, [&](std::uint32_t r) {
+    if (region_failed[r]) return;
+    std::uint64_t scans = 0;
     for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
       const CoalitionMove move = best_coalition_move(
           result.placement, result.clustering, r, members[r], k);
+      ++scans;
       if (move.benefit > 0.0) heaps[r].push(HeapEntry{move.benefit, k});
     }
-  }
+    result.regions[r].reports_polled += scans;
+    result.regions[r].wire_bytes += scans * kReportWireBytes;
+    AGTRAM_OBS_COUNT("regional.coalition_scans", scans);
+  });
+
+  // Epochs follow the same snapshot/commit split as run_regional: the poll
+  // phase validates each region's heap top against the epoch-start
+  // placement and records at most one move per region; commits then apply
+  // in ascending region id and push the committed object's next move.
+  struct CoopPick {
+    bool has = false;
+    drp::ServerId server = 0;
+    drp::ObjectIndex object = 0;
+  };
+  std::vector<CoopPick> picks(region_count);
 
   bool any_progress = true;
   while (any_progress) {
     if (config.max_epochs != 0 && result.epochs >= config.max_epochs) break;
     any_progress = false;
-    for (std::uint32_t r = 0; r < region_count; ++r) {
+
+    for_each_region(config, region_count, [&](std::uint32_t r) {
+      picks[r] = CoopPick{};
       auto& heap = heaps[r];
+      std::uint64_t scans = 0;
       while (!heap.empty()) {
         const HeapEntry top = heap.top();
         heap.pop();
         const CoalitionMove fresh = best_coalition_move(
             result.placement, result.clustering, r, members[r], top.object);
+        ++scans;
         if (fresh.benefit <= 0.0) continue;
         if (!heap.empty() && fresh.benefit < heap.top().benefit) {
           heap.push(HeapEntry{fresh.benefit, top.object});
           continue;
         }
-        result.placement.add_replica(fresh.server, fresh.object);
-        result.regions[r].replicas_placed += 1;
-        any_progress = true;
-        const CoalitionMove next = best_coalition_move(
-            result.placement, result.clustering, r, members[r], fresh.object);
-        if (next.benefit > 0.0) heap.push(HeapEntry{next.benefit, fresh.object});
+        picks[r] = CoopPick{true, fresh.server, fresh.object};
         break;  // one allocation per region per epoch
+      }
+      result.regions[r].reports_polled += scans;
+      result.regions[r].wire_bytes += scans * kReportWireBytes;
+      AGTRAM_OBS_COUNT("regional.coalition_scans", scans);
+    });
+
+    for (std::uint32_t r = 0; r < region_count; ++r) {
+      if (!picks[r].has) continue;
+      assert(result.placement.can_replicate(picks[r].server, picks[r].object));
+      result.placement.add_replica(picks[r].server, picks[r].object);
+      const std::uint64_t broadcast = kBroadcastWireBytes * members[r].size();
+      result.regions[r].replicas_placed += 1;
+      result.regions[r].wire_bytes += kAllocationWireBytes + broadcast;
+      AGTRAM_OBS_COUNT("regional.replicas_placed", 1);
+      AGTRAM_OBS_COUNT("regional.alloc_bytes", kAllocationWireBytes);
+      AGTRAM_OBS_COUNT("regional.broadcast_bytes", broadcast);
+      any_progress = true;
+      const CoalitionMove next = best_coalition_move(
+          result.placement, result.clustering, r, members[r],
+          picks[r].object);
+      result.regions[r].reports_polled += 1;
+      result.regions[r].wire_bytes += kReportWireBytes;
+      if (next.benefit > 0.0) {
+        heaps[r].push(HeapEntry{next.benefit, picks[r].object});
       }
     }
     ++result.epochs;
+    AGTRAM_OBS_COUNT("regional.epochs", 1);
   }
   return result;
 }
 
 HierarchicalResult run_hierarchical(const drp::Problem& problem,
                                     const RegionalConfig& config) {
-  net::ClusteringConfig clustering_cfg;
-  clustering_cfg.regions = config.regions;
-  clustering_cfg.seed = config.seed;
-  net::Clustering clustering =
-      net::cluster_servers(*problem.distances, clustering_cfg);
+  AGTRAM_OBS_SPAN("regional.hierarchical_run");
+  net::Clustering clustering = cluster_for(problem, config);
   const std::size_t region_count = clustering.region_count();
 
   HierarchicalResult result{drp::ReplicaPlacement(problem),
@@ -267,35 +395,50 @@ HierarchicalResult run_hierarchical(const drp::Problem& problem,
     drp::ObjectIndex object;
     double true_value;
   };
-
+  struct RegionNomination {
+    bool has = false;
+    Champion champion{0.0, 0, 0, 0.0};
+  };
+  std::vector<RegionNomination> nominations(region_count);
   std::vector<Report> reports(agents.size());
+
   std::size_t round = 0;
   for (;;) {
     if (config.max_epochs != 0 && round >= config.max_epochs) break;
 
     // Level 1: every live region nominates its champion (regional argmax,
     // ties towards the lowest server id — region members are in id order).
-    std::vector<Champion> champions;
-    for (std::uint32_t r = 0; r < region_count; ++r) {
-      if (region_failed[r]) continue;
+    // Region rounds poll against the round-start placement, one job per
+    // region under Sharded, so the nominations match Serial exactly.
+    for_each_region(config, region_count, [&](std::uint32_t r) {
+      nominations[r] = RegionNomination{};
+      if (region_failed[r]) return;
       auto& live = region_live[r];
+      if (live.empty()) return;
+      const std::uint64_t polled = live.size();
+      poll_reports(config, agents, live, result.placement, reports);
       std::vector<std::uint32_t> next_live;
       next_live.reserve(live.size());
-      const Champion none{0.0, 0, 0, 0.0};
-      Champion best = none;
-      bool has_best = false;
       for (const std::uint32_t a : live) {
-        reports[a] = agents[a].make_report(result.placement, nullptr);
         if (!reports[a].has_candidate) continue;
         next_live.push_back(a);
-        if (!has_best || reports[a].claimed_value > best.value) {
-          has_best = true;
-          best = Champion{reports[a].claimed_value, agents[a].id(),
-                          reports[a].object, reports[a].true_value};
+        if (!nominations[r].has ||
+            reports[a].claimed_value > nominations[r].champion.value) {
+          nominations[r].has = true;
+          nominations[r].champion =
+              Champion{reports[a].claimed_value, agents[a].id(),
+                       reports[a].object, reports[a].true_value};
         }
       }
       live = std::move(next_live);
-      if (has_best) champions.push_back(best);
+      AGTRAM_OBS_COUNT("regional.reports_polled", polled);
+      AGTRAM_OBS_COUNT("regional.report_bytes", polled * kReportWireBytes);
+    });
+
+    std::vector<Champion> champions;
+    champions.reserve(region_count);
+    for (std::uint32_t r = 0; r < region_count; ++r) {
+      if (nominations[r].has) champions.push_back(nominations[r].champion);
     }
     if (champions.empty()) break;
     result.top_level_reports += champions.size();
@@ -326,6 +469,8 @@ HierarchicalResult run_hierarchical(const drp::Problem& problem,
                                         winner.value, winner.true_value,
                                         payment});
     result.total_charges += payment;
+    AGTRAM_OBS_COUNT("regional.hier_rounds", 1);
+    AGTRAM_OBS_COUNT("regional.replicas_placed", 1);
     ++round;
   }
   return result;

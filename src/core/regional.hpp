@@ -20,10 +20,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/agt_ram.hpp"
 #include "net/clustering.hpp"
 
 namespace agtram::core {
+
+/// How an epoch's per-region rounds execute.  Both orders produce
+/// byte-identical results: every region polls against the epoch-start
+/// placement snapshot (regions own their agents/heaps, the shared placement
+/// is read-only during the poll phase), and the winning allocations commit
+/// serially in ascending region id afterwards.
+enum class RegionalExecution : std::uint8_t {
+  Serial,   ///< poll regions one after another (the differential oracle)
+  Sharded,  ///< poll all live regions concurrently on the thread pool
+};
 
 struct RegionalConfig {
   std::uint32_t regions = 4;
@@ -35,6 +46,14 @@ struct RegionalConfig {
   std::uint64_t seed = 1;
   /// Safety valve; 0 = run to quiescence.
   std::size_t max_epochs = 0;
+  RegionalExecution execution = RegionalExecution::Serial;
+  /// PARFOR over a region's live agents inside the poll phase.  Under
+  /// Sharded the outer region jobs occupy the pool, so the inner call takes
+  /// the pool's inline fallback — same results either way.
+  bool parallel_agents = false;
+  std::size_t parallel_min_agents = 256;
+  /// Pool for Sharded execution; nullptr = common::ThreadPool::shared().
+  common::ThreadPool* pool = nullptr;
 };
 
 struct RegionOutcome {
@@ -43,6 +62,12 @@ struct RegionOutcome {
   bool failed = false;
   std::size_t replicas_placed = 0;
   double charges = 0.0;            ///< second-price clearing volume
+  /// Reports the regional centre polled from its members over the run.
+  std::uint64_t reports_polled = 0;
+  /// Modelled control-plane traffic through this centre: report uplinks,
+  /// allocation grants, and allocation broadcasts to the live members
+  /// (wire sizes match runtime::WireFormat's defaults).
+  std::uint64_t wire_bytes = 0;
 };
 
 struct RegionalResult {

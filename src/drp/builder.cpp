@@ -12,24 +12,25 @@ namespace agtram::drp {
 
 using common::Rng;
 
-Problem build_problem(net::DistanceMatrixPtr distances,
-                      const trace::Workload& workload,
-                      const InstanceConfig& config) {
-  if (!distances) throw std::invalid_argument("build_problem: null distances");
+namespace {
+
+/// The distance-free part of build_problem: primaries, demand, capacities.
+/// Shared by the dense path (which attaches the metric closure and
+/// validates) and make_sparse_instance (which never materialises one).
+Problem assemble_problem(std::size_t servers, const trace::Workload& workload,
+                         const InstanceConfig& config) {
   if (config.rw_ratio <= 0.0 || config.rw_ratio > 1.0) {
     throw std::invalid_argument("build_problem: rw_ratio must be in (0, 1]");
   }
   if (config.capacity_fraction < 0.0) {
     throw std::invalid_argument("build_problem: negative capacity fraction");
   }
-  const std::size_t servers = distances->node_count();
   const std::size_t objects = workload.object_count();
   if (objects == 0) throw std::invalid_argument("build_problem: empty workload");
 
   Rng rng(config.seed);
 
   Problem problem;
-  problem.distances = std::move(distances);
   problem.object_units = workload.object_units;
 
   // --- Primaries: "the primary replicas' original server was mimicked by
@@ -110,6 +111,18 @@ Problem build_problem(net::DistanceMatrixPtr distances,
         primary_units[i] + static_cast<std::uint64_t>(std::llround(headroom));
   }
 
+  return problem;
+}
+
+}  // namespace
+
+Problem build_problem(net::DistanceMatrixPtr distances,
+                      const trace::Workload& workload,
+                      const InstanceConfig& config) {
+  if (!distances) throw std::invalid_argument("build_problem: null distances");
+  Problem problem =
+      assemble_problem(distances->node_count(), workload, config);
+  problem.distances = std::move(distances);
   problem.validate();
   return problem;
 }
@@ -177,31 +190,9 @@ trace::Workload dispersed_workload(const InstanceSpec& spec) {
   return w;
 }
 
-}  // namespace
-
-Problem make_instance(const InstanceSpec& spec) {
-  if (spec.servers == 0 || spec.objects == 0) {
-    throw std::invalid_argument("make_instance: need servers and objects");
-  }
-
-  // Topology + metric closure.
-  net::TopologyConfig topo;
-  topo.kind = spec.topology;
-  topo.nodes = spec.servers;
-  topo.edge_probability = spec.edge_probability;
-  topo.seed = spec.seed;
-  const net::Graph graph = net::generate_topology(topo);
-  auto distances = std::make_shared<const net::DistanceMatrix>(
-      net::DistanceMatrix::compute(graph));
-
-  if (spec.demand == DemandModel::Dispersed) {
-    InstanceConfig inst = spec.instance;
-    inst.seed = spec.seed ^ 0x0f0f0f0f0f0f0f0fULL;
-    return build_problem(std::move(distances), dispersed_workload(spec), inst);
-  }
-
-  // Trace sized so the persistent core yields ~spec.objects catalogue
-  // entries after the present-in-all-days filter.
+// Trace sized so the persistent core yields ~spec.objects catalogue
+// entries after the present-in-all-days filter.
+trace::Workload trace_workload(const InstanceSpec& spec) {
   trace::WorldCupConfig wc;
   wc.core_objects = spec.objects;
   wc.object_universe =
@@ -234,10 +225,50 @@ Problem make_instance(const InstanceSpec& spec) {
     workload.size_variance.resize(spec.objects);
     workload.reads.resize(spec.objects);
   }
+  return workload;
+}
 
+trace::Workload make_workload(const InstanceSpec& spec) {
+  return spec.demand == DemandModel::Dispersed ? dispersed_workload(spec)
+                                               : trace_workload(spec);
+}
+
+net::Graph make_topology(const InstanceSpec& spec) {
+  net::TopologyConfig topo;
+  topo.kind = spec.topology;
+  topo.nodes = spec.servers;
+  topo.edge_probability = spec.edge_probability;
+  topo.seed = spec.seed;
+  return net::generate_topology(topo);
+}
+
+InstanceConfig instance_config(const InstanceSpec& spec) {
   InstanceConfig inst = spec.instance;
   inst.seed = spec.seed ^ 0x0f0f0f0f0f0f0f0fULL;
-  return build_problem(std::move(distances), workload, inst);
+  return inst;
+}
+
+}  // namespace
+
+Problem make_instance(const InstanceSpec& spec) {
+  if (spec.servers == 0 || spec.objects == 0) {
+    throw std::invalid_argument("make_instance: need servers and objects");
+  }
+  const net::Graph graph = make_topology(spec);
+  auto distances = std::make_shared<const net::DistanceMatrix>(
+      net::DistanceMatrix::compute(graph));
+  return build_problem(std::move(distances), make_workload(spec),
+                       instance_config(spec));
+}
+
+SparseInstance make_sparse_instance(const InstanceSpec& spec) {
+  if (spec.servers == 0 || spec.objects == 0) {
+    throw std::invalid_argument("make_sparse_instance: need servers and objects");
+  }
+  SparseInstance instance{make_topology(spec), Problem{}};
+  instance.base = assemble_problem(spec.servers, make_workload(spec),
+                                   instance_config(spec));
+  return instance;
 }
 
 }  // namespace agtram::drp

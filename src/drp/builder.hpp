@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "drp/problem.hpp"
+#include "net/graph.hpp"
 #include "net/topology.hpp"
 #include "trace/pipeline.hpp"
 #include "trace/worldcup.hpp"
@@ -82,5 +83,18 @@ struct InstanceSpec {
 };
 
 Problem make_instance(const InstanceSpec& spec);
+
+/// Closure-free instance for the tiled regional engine (M beyond the dense
+/// M x M ceiling): the raw topology plus the demand/capacity state of a
+/// Problem.  `base.distances` is intentionally null and `base` is not
+/// validated — only the tiled engine's per-region distance blocks ever
+/// materialise path costs.  For identical (spec), `base` matches
+/// make_instance(spec) field-for-field except the missing closure.
+struct SparseInstance {
+  net::Graph graph;
+  Problem base;
+};
+
+SparseInstance make_sparse_instance(const InstanceSpec& spec);
 
 }  // namespace agtram::drp

@@ -40,4 +40,28 @@ struct ClusteringConfig {
 Clustering cluster_servers(const DistanceMatrix& distances,
                            const ClusteringConfig& config);
 
+struct SampledClusteringConfig {
+  std::uint32_t regions = 8;
+  std::uint64_t seed = 1;
+  /// Medoid-refinement sweeps after the initial assignment (each sweep is
+  /// R full-graph Dijkstras plus sampled per-region candidate scoring).
+  std::uint32_t refine_iterations = 2;
+  /// Sampled medoid candidates per region per sweep (besides the incumbent).
+  std::uint32_t medoid_candidates = 4;
+  /// Hard cap on members per region; 0 leaves regions uncapped.  A cap
+  /// bounds the per-region distance-block footprint on skewed topologies
+  /// (clamped up to ceil(n/k) so the assignment always stays feasible).
+  std::uint32_t max_members = 0;
+};
+
+/// Closure-free k-medoids for large M: clusters directly on the graph with
+/// R single-source Dijkstra strips per sweep instead of the O(M^2) metric
+/// closure.  Assignment is capacitated greedy in ascending node order
+/// (medoids pinned to their own region; ties to the lowest region id), so
+/// the result is deterministic in the config.  Medoid refinement scores a
+/// sampled candidate set per region against min(region-subgraph distance,
+/// route via the incumbent centre).  Throws on zero regions.
+Clustering cluster_servers_sampled(const Graph& graph,
+                                   const SampledClusteringConfig& config);
+
 }  // namespace agtram::net

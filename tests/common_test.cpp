@@ -326,6 +326,57 @@ TEST(ThreadPoolTest, ConcurrentCallersEachCoverTheirRange) {
   for (const auto& h : second) EXPECT_EQ(h.load(), 50);
 }
 
+TEST(ThreadPoolTest, GrainOneOuterJobsIssueInnerParallelFor) {
+  // The regional engine's fan-out shape: an outer parallel_for with
+  // min_grain=1 (one chunk per region) whose bodies each issue an inner
+  // parallel_for over their own slice.  The inner calls must take the
+  // inline fallback — no deadlock, no oversubscription, every element
+  // visited exactly once.
+  ThreadPool pool(4);
+  constexpr std::size_t kRegions = 16;
+  constexpr std::size_t kPerRegion = 512;
+  std::vector<std::atomic<int>> hits(kRegions * kPerRegion);
+  pool.parallel_for(
+      0, kRegions,
+      [&](std::size_t ra, std::size_t rb) {
+        for (std::size_t r = ra; r < rb; ++r) {
+          pool.parallel_for(
+              r * kPerRegion, (r + 1) * kPerRegion,
+              [&](std::size_t a, std::size_t b) {
+                for (std::size_t i = a; i < b; ++i) hits[i].fetch_add(1);
+              },
+              /*min_grain=*/8);
+        }
+      },
+      /*min_grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksIssueParallelFor) {
+  // Fire-and-forget tasks that themselves call parallel_for on the same
+  // pool (a worker thread re-entering the pool): must run inline and
+  // complete without deadlocking wait_idle.
+  ThreadPool pool(3);
+  constexpr int kTasks = 32;
+  std::vector<std::atomic<long long>> sums(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&pool, &sums, t] {
+      pool.parallel_for(
+          0, 1000,
+          [&sums, t](std::size_t a, std::size_t b) {
+            long long local = 0;
+            for (std::size_t i = a; i < b; ++i) {
+              local += static_cast<long long>(i);
+            }
+            sums[t].fetch_add(local);
+          },
+          /*min_grain=*/16);
+    });
+  }
+  pool.wait_idle();
+  for (const auto& s : sums) EXPECT_EQ(s.load(), 999LL * 1000 / 2);
+}
+
 TEST(ThreadPoolTest, RepeatedSmallGrainJobsUnderTaskContention) {
   // Interleave fire-and-forget tasks with many small parallel_for jobs so
   // workers keep switching between the task queue and the published job.

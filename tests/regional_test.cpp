@@ -2,13 +2,20 @@
 // the regional mechanism (paper Section 7 future work).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/agt_ram.hpp"
 #include "core/regional.hpp"
+#include "core/regional_tiled.hpp"
+#include "drp/builder.hpp"
 #include "drp/cost_model.hpp"
 #include "net/clustering.hpp"
+#include "net/tiled_distances.hpp"
 #include "test_helpers.hpp"
 
 namespace {
@@ -235,6 +242,404 @@ TEST(Regional, RegionStatsAreConsistent) {
     EXPECT_LT(region.centre, p.server_count());
   }
   EXPECT_EQ(members, p.server_count());
+}
+
+// ------------------------------------------- serial vs sharded (differential)
+
+// The bench instance families the differential suite sweeps: enough shape
+// variety (size, capacity headroom, read/write mix) to exercise ties,
+// retirement, and multi-epoch runs.
+struct Family {
+  std::uint64_t seed;
+  std::uint32_t servers;
+  std::uint32_t objects;
+  double capacity;
+  double rw;
+};
+
+constexpr Family kFamilies[] = {
+    {230, 32, 120, 0.06, 0.9},
+    {231, 48, 160, 0.05, 0.9},
+    {232, 40, 100, 0.04, 0.7},
+};
+
+void expect_placements_identical(const drp::ReplicaPlacement& a,
+                                 const drp::ReplicaPlacement& b) {
+  ASSERT_EQ(a.problem().object_count(), b.problem().object_count());
+  for (drp::ObjectIndex k = 0; k < a.problem().object_count(); ++k) {
+    const auto ra = a.replicators(k);
+    const auto rb = b.replicators(k);
+    ASSERT_EQ(ra.size(), rb.size()) << "object " << k;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i], rb[i]) << "object " << k << " slot " << i;
+    }
+  }
+}
+
+void expect_regional_results_identical(const core::RegionalResult& serial,
+                                       const core::RegionalResult& sharded) {
+  EXPECT_EQ(serial.epochs, sharded.epochs);
+  ASSERT_EQ(serial.regions.size(), sharded.regions.size());
+  for (std::size_t r = 0; r < serial.regions.size(); ++r) {
+    const core::RegionOutcome& a = serial.regions[r];
+    const core::RegionOutcome& b = sharded.regions[r];
+    EXPECT_EQ(a.centre, b.centre) << "region " << r;
+    EXPECT_EQ(a.member_count, b.member_count) << "region " << r;
+    EXPECT_EQ(a.failed, b.failed) << "region " << r;
+    EXPECT_EQ(a.replicas_placed, b.replicas_placed) << "region " << r;
+    EXPECT_EQ(a.charges, b.charges) << "region " << r;  // bitwise
+    EXPECT_EQ(a.reports_polled, b.reports_polled) << "region " << r;
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes) << "region " << r;
+  }
+  expect_placements_identical(serial.placement, sharded.placement);
+}
+
+// Serial config: the oracle, all parallelism off.  Sharded config: region
+// jobs on an explicit 4-worker pool with the inner agent PARFOR forced on
+// (it takes the pool's inline fallback inside region jobs).  Every result
+// field must match bitwise.
+core::RegionalConfig serial_config(std::uint32_t regions) {
+  core::RegionalConfig cfg;
+  cfg.regions = regions;
+  cfg.execution = core::RegionalExecution::Serial;
+  cfg.parallel_agents = false;
+  return cfg;
+}
+
+core::RegionalConfig sharded_config(std::uint32_t regions,
+                                    common::ThreadPool& pool) {
+  core::RegionalConfig cfg;
+  cfg.regions = regions;
+  cfg.execution = core::RegionalExecution::Sharded;
+  cfg.parallel_agents = true;
+  cfg.parallel_min_agents = 1;
+  cfg.pool = &pool;
+  return cfg;
+}
+
+TEST(RegionalDifferential, ShardedRegionalByteIdenticalToSerial) {
+  common::ThreadPool pool(4);
+  for (const Family& f : kFamilies) {
+    const drp::Problem p =
+        testutil::small_instance(f.seed, f.servers, f.objects, f.capacity,
+                                 f.rw);
+    const auto serial = core::run_regional(p, serial_config(4));
+    const auto sharded = core::run_regional(p, sharded_config(4, pool));
+    expect_regional_results_identical(serial, sharded);
+  }
+}
+
+TEST(RegionalDifferential, ShardedCooperativeByteIdenticalToSerial) {
+  common::ThreadPool pool(4);
+  for (const Family& f : kFamilies) {
+    const drp::Problem p =
+        testutil::small_instance(f.seed, f.servers, f.objects, f.capacity,
+                                 f.rw);
+    const auto serial = core::run_regional_cooperative(p, serial_config(4));
+    const auto sharded =
+        core::run_regional_cooperative(p, sharded_config(4, pool));
+    expect_regional_results_identical(serial, sharded);
+  }
+}
+
+TEST(RegionalDifferential, ShardedHierarchicalByteIdenticalToSerial) {
+  common::ThreadPool pool(4);
+  for (const Family& f : kFamilies) {
+    const drp::Problem p =
+        testutil::small_instance(f.seed, f.servers, f.objects, f.capacity,
+                                 f.rw);
+    const auto serial = core::run_hierarchical(p, serial_config(4));
+    const auto sharded = core::run_hierarchical(p, sharded_config(4, pool));
+    ASSERT_EQ(serial.rounds.size(), sharded.rounds.size());
+    for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+      EXPECT_EQ(serial.rounds[r].winner, sharded.rounds[r].winner);
+      EXPECT_EQ(serial.rounds[r].object, sharded.rounds[r].object);
+      EXPECT_EQ(serial.rounds[r].payment, sharded.rounds[r].payment);
+    }
+    EXPECT_EQ(serial.total_charges, sharded.total_charges);
+    EXPECT_EQ(serial.top_level_reports, sharded.top_level_reports);
+    expect_placements_identical(serial.placement, sharded.placement);
+  }
+}
+
+TEST(RegionalDifferential, ShardedMatchesSerialUnderRegionFailures) {
+  common::ThreadPool pool(4);
+  const drp::Problem p = testutil::small_instance(233, 36, 120, 0.05);
+  core::RegionalConfig serial = serial_config(5);
+  serial.failed_regions = {1, 3};
+  core::RegionalConfig sharded = sharded_config(5, pool);
+  sharded.failed_regions = {1, 3};
+  expect_regional_results_identical(core::run_regional(p, serial),
+                                    core::run_regional(p, sharded));
+}
+
+TEST(RegionalDifferential, ShardedHierarchicalMatchesFlatMechanism) {
+  // Transitivity check pinned directly: the sharded two-level mechanism
+  // reproduces the flat allocation sequence.
+  common::ThreadPool pool(4);
+  const drp::Problem p = testutil::small_instance(218, 32, 120, 0.06);
+  const auto flat = core::run_agt_ram(p);
+  const auto hier = core::run_hierarchical(p, sharded_config(4, pool));
+  ASSERT_EQ(flat.rounds.size(), hier.rounds.size());
+  for (std::size_t r = 0; r < flat.rounds.size(); ++r) {
+    EXPECT_EQ(flat.rounds[r].winner, hier.rounds[r].winner);
+    EXPECT_EQ(flat.rounds[r].object, hier.rounds[r].object);
+  }
+}
+
+// ------------------------------------------------------- sampled clustering
+
+drp::SparseInstance sparse_instance(std::uint64_t seed, std::uint32_t servers,
+                                    std::uint32_t objects,
+                                    double capacity = 0.05) {
+  drp::InstanceSpec spec;
+  spec.servers = servers;
+  spec.objects = objects;
+  spec.seed = seed;
+  spec.instance.capacity_fraction = capacity;
+  return drp::make_sparse_instance(spec);
+}
+
+TEST(SampledClustering, PartitionsAllNodesAndOwnsMedoids) {
+  const drp::SparseInstance inst = sparse_instance(240, 200, 100);
+  net::SampledClusteringConfig cfg;
+  cfg.regions = 8;
+  cfg.seed = 3;
+  const net::Clustering c = net::cluster_servers_sampled(inst.graph, cfg);
+  EXPECT_EQ(c.region_count(), 8u);
+  ASSERT_EQ(c.assignment.size(), 200u);
+  std::size_t covered = 0;
+  for (std::uint32_t r = 0; r < c.region_count(); ++r) {
+    covered += c.members(r).size();
+    EXPECT_EQ(c.assignment[c.medoids[r]], r);  // medoid sits in its region
+  }
+  EXPECT_EQ(covered, 200u);
+}
+
+TEST(SampledClustering, Deterministic) {
+  const drp::SparseInstance inst = sparse_instance(241, 160, 80);
+  net::SampledClusteringConfig cfg;
+  cfg.regions = 6;
+  cfg.seed = 7;
+  const auto a = net::cluster_servers_sampled(inst.graph, cfg);
+  const auto b = net::cluster_servers_sampled(inst.graph, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.medoids, b.medoids);
+}
+
+TEST(SampledClustering, MemberCapRespectedAndClampedUp) {
+  const drp::SparseInstance inst = sparse_instance(242, 200, 100);
+  net::SampledClusteringConfig cfg;
+  cfg.regions = 8;
+  cfg.max_members = 30;  // above ceil(200/8) = 25: honoured as-is
+  auto c = net::cluster_servers_sampled(inst.graph, cfg);
+  for (std::uint32_t r = 0; r < c.region_count(); ++r) {
+    EXPECT_LE(c.members(r).size(), 30u);
+  }
+  cfg.max_members = 10;  // infeasible: clamped up to ceil(n/k)
+  c = net::cluster_servers_sampled(inst.graph, cfg);
+  for (std::uint32_t r = 0; r < c.region_count(); ++r) {
+    EXPECT_LE(c.members(r).size(), 25u);
+  }
+}
+
+TEST(SampledClustering, ClampsRegionsToNodeCount) {
+  const drp::SparseInstance inst = sparse_instance(243, 12, 30);
+  net::SampledClusteringConfig cfg;
+  cfg.regions = 20;
+  const auto c = net::cluster_servers_sampled(inst.graph, cfg);
+  EXPECT_EQ(c.region_count(), 12u);
+}
+
+TEST(SampledClustering, ZeroRegionsThrows) {
+  const drp::SparseInstance inst = sparse_instance(244, 8, 20);
+  net::SampledClusteringConfig cfg;
+  cfg.regions = 0;
+  EXPECT_THROW(net::cluster_servers_sampled(inst.graph, cfg),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- tiled distances
+
+TEST(TiledDistancesTest, EstimateMatchesBuiltBytes) {
+  const drp::SparseInstance inst = sparse_instance(250, 150, 80);
+  net::SampledClusteringConfig cfg;
+  cfg.regions = 5;
+  const auto c = net::cluster_servers_sampled(inst.graph, cfg);
+  const auto tiles = net::TiledDistances::build(inst.graph, c);
+  EXPECT_EQ(net::TiledDistances::estimate_bytes(c), tiles.bytes());
+  EXPECT_GT(tiles.bytes(), 0u);
+}
+
+TEST(TiledDistancesTest, BlocksNeverUndershootAndGatewaysExact) {
+  const drp::SparseInstance inst = sparse_instance(251, 120, 60);
+  const net::DistanceMatrix exact = net::DistanceMatrix::compute(inst.graph);
+  net::SampledClusteringConfig cfg;
+  cfg.regions = 4;
+  const auto c = net::cluster_servers_sampled(inst.graph, cfg);
+  const auto tiles = net::TiledDistances::build(inst.graph, c);
+  for (std::uint32_t r = 0; r < c.region_count(); ++r) {
+    const auto& members = tiles.members(r);
+    const net::DistanceMatrix& block = *tiles.block(r);
+    const std::size_t n = members.size();
+    ASSERT_EQ(block.node_count(), n + c.region_count());
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        // member<->member is a real path length: never below the metric.
+        EXPECT_GE(block(a, b), exact(members[a], members[b]));
+      }
+      for (std::uint32_t q = 0; q < c.region_count(); ++q) {
+        // member<->gateway comes from a full-graph Dijkstra strip: exact.
+        EXPECT_EQ(block(a, n + q), exact(members[a], c.medoids[q]));
+        EXPECT_EQ(tiles.centre_strip(q)[members[a]],
+                  exact(members[a], c.medoids[q]));
+      }
+    }
+    for (std::uint32_t q = 0; q < c.region_count(); ++q) {
+      for (std::uint32_t s = 0; s < c.region_count(); ++s) {
+        EXPECT_EQ(block(n + q, n + s), exact(c.medoids[q], c.medoids[s]));
+      }
+    }
+  }
+}
+
+TEST(TiledDistancesTest, SingleRegionBlockIsExactClosure) {
+  // With one region the subgraph is the whole graph, so the block's
+  // member<->member entries equal the dense closure bit for bit.
+  const drp::SparseInstance inst = sparse_instance(252, 60, 40);
+  const net::DistanceMatrix exact = net::DistanceMatrix::compute(inst.graph);
+  net::SampledClusteringConfig cfg;
+  cfg.regions = 1;
+  const auto c = net::cluster_servers_sampled(inst.graph, cfg);
+  const auto tiles = net::TiledDistances::build(inst.graph, c);
+  const net::DistanceMatrix& block = *tiles.block(0);
+  for (net::NodeId a = 0; a < 60; ++a) {
+    for (net::NodeId b = 0; b < 60; ++b) {
+      EXPECT_EQ(block(a, b), exact(a, b));
+    }
+  }
+}
+
+// ------------------------------------------------------------ tiled engine
+
+TEST(TiledRegional, ShardedByteIdenticalToSerial) {
+  common::ThreadPool pool(4);
+  const drp::SparseInstance inst = sparse_instance(260, 300, 600);
+  core::TiledRegionalConfig serial;
+  serial.regions = 6;
+  serial.execution = core::RegionalExecution::Serial;
+  serial.parallel_agents = false;
+  core::TiledRegionalConfig sharded = serial;
+  sharded.execution = core::RegionalExecution::Sharded;
+  sharded.parallel_agents = true;
+  sharded.pool = &pool;
+  const core::TiledPartition partition =
+      core::make_tiled_partition(inst, serial);
+  ASSERT_TRUE(partition.within_budget);
+  const auto a = core::run_regional_tiled(inst, partition, serial);
+  const auto b = core::run_regional_tiled(inst, partition, sharded);
+  EXPECT_EQ(a.allocations, b.allocations);
+  EXPECT_EQ(a.initial_cost, b.initial_cost);  // bitwise
+  EXPECT_EQ(a.final_cost, b.final_cost);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t r = 0; r < a.shards.size(); ++r) {
+    EXPECT_EQ(a.shards[r].rounds, b.shards[r].rounds);
+    EXPECT_EQ(a.shards[r].replicas_placed, b.shards[r].replicas_placed);
+    EXPECT_EQ(a.shards[r].charges, b.shards[r].charges);
+    EXPECT_EQ(a.shards[r].final_cost, b.shards[r].final_cost);
+    EXPECT_EQ(a.shards[r].reports_computed, b.shards[r].reports_computed);
+    EXPECT_EQ(a.shards[r].wire_bytes, b.shards[r].wire_bytes);
+  }
+  EXPECT_GT(a.replicas_placed(), 0u);
+  EXPECT_GT(a.savings(), 0.0);
+}
+
+TEST(TiledRegional, CooperativeShardedByteIdenticalToSerial) {
+  common::ThreadPool pool(4);
+  const drp::SparseInstance inst = sparse_instance(261, 240, 480);
+  core::TiledRegionalConfig serial;
+  serial.regions = 5;
+  serial.cooperative = true;
+  serial.execution = core::RegionalExecution::Serial;
+  serial.parallel_agents = false;
+  core::TiledRegionalConfig sharded = serial;
+  sharded.execution = core::RegionalExecution::Sharded;
+  sharded.parallel_agents = true;
+  sharded.pool = &pool;
+  const core::TiledPartition partition =
+      core::make_tiled_partition(inst, serial);
+  ASSERT_TRUE(partition.within_budget);
+  const auto a = core::run_regional_tiled(inst, partition, serial);
+  const auto b = core::run_regional_tiled(inst, partition, sharded);
+  EXPECT_EQ(a.allocations, b.allocations);
+  EXPECT_EQ(a.final_cost, b.final_cost);
+  EXPECT_GT(a.replicas_placed(), 0u);
+}
+
+TEST(TiledRegional, BudgetGuardRefusesWithoutMaterialising) {
+  const drp::SparseInstance inst = sparse_instance(262, 200, 200);
+  core::TiledRegionalConfig cfg;
+  cfg.regions = 4;
+  cfg.distance_budget_bytes = 1;  // nothing fits
+  const core::TiledPartition partition = core::make_tiled_partition(inst, cfg);
+  EXPECT_FALSE(partition.within_budget);
+  EXPECT_GT(partition.tile_bytes, 1u);
+  EXPECT_EQ(partition.tiles.region_count(), 0u);  // nothing materialised
+  const auto result = core::run_regional_tiled(inst, partition, cfg);
+  EXPECT_FALSE(result.within_budget);
+  EXPECT_TRUE(result.shards.empty());
+  EXPECT_TRUE(result.allocations.empty());
+}
+
+TEST(TiledRegional, SingleRegionMatchesFlatMechanism) {
+  // R=1 degenerates to the flat auction over exact distances: same replica
+  // set, same costs, same clearing volume — bit for bit.
+  drp::InstanceSpec spec;
+  spec.servers = 64;
+  spec.objects = 160;
+  spec.seed = 263;
+  spec.instance.capacity_fraction = 0.05;
+  const drp::Problem dense = drp::make_instance(spec);
+  const drp::SparseInstance sparse = drp::make_sparse_instance(spec);
+  const auto flat = core::run_agt_ram(dense);
+
+  core::TiledRegionalConfig cfg;
+  cfg.regions = 1;
+  const auto tiled = core::run_regional_tiled(sparse, cfg);
+  ASSERT_TRUE(tiled.within_budget);
+
+  std::vector<std::pair<drp::ServerId, drp::ObjectIndex>> flat_allocs;
+  for (drp::ObjectIndex k = 0; k < dense.object_count(); ++k) {
+    for (const drp::ServerId s : flat.placement.replicators(k)) {
+      if (s != dense.primary[k]) flat_allocs.emplace_back(s, k);
+    }
+  }
+  std::sort(flat_allocs.begin(), flat_allocs.end());
+  EXPECT_EQ(tiled.allocations, flat_allocs);
+  EXPECT_EQ(tiled.initial_cost, drp::CostModel::initial_cost(dense));
+  EXPECT_EQ(tiled.final_cost, drp::CostModel::total_cost(flat.placement));
+  ASSERT_EQ(tiled.shards.size(), 1u);
+  EXPECT_EQ(tiled.shards[0].charges, flat.total_payments());
+  EXPECT_EQ(tiled.shards[0].rounds, flat.rounds.size());
+}
+
+TEST(TiledRegional, ShardStatsAreConsistent) {
+  const drp::SparseInstance inst = sparse_instance(264, 200, 400);
+  core::TiledRegionalConfig cfg;
+  cfg.regions = 4;
+  const auto result = core::run_regional_tiled(inst, cfg);
+  ASSERT_TRUE(result.within_budget);
+  std::uint32_t members = 0;
+  std::size_t replicas = 0;
+  for (const auto& shard : result.shards) {
+    members += shard.member_count;
+    replicas += shard.replicas_placed;
+    EXPECT_LE(shard.final_cost, shard.initial_cost);
+    EXPECT_GT(shard.reports_computed, 0u);
+    EXPECT_GT(shard.wire_bytes, 0u);
+  }
+  EXPECT_EQ(members, inst.base.server_count());
+  EXPECT_EQ(replicas, result.replicas_placed());
 }
 
 }  // namespace

@@ -2,20 +2,28 @@
 # Perf-regression gate for the mechanism trajectory.
 #
 # Re-runs the micro_core trajectory into a scratch JSON and diffs its
-# mechanism_full_run, baseline_run, and kernel_* timing rows against the
+# mechanism_full_run, baseline_run, kernel_*, regional_engine_run,
+# regional_tiled_run, and ablation_regional_sweep timing rows against the
 # committed BENCH_mechanism.json: any row whose wall time regressed by more
 # than the threshold (default 25%) fails the gate.  Rows are matched on the
 # full identity key (servers, objects, demand, layout, incremental_reports,
-# parallel_agents, algorithm, eval, parallel_scan, variant — absent fields
-# match as null); committed rows with no fresh counterpart (historical
-# captures, e.g. the layout="nested" before-rows) are skipped, as are fresh
-# rows that are new.
+# parallel_agents, algorithm, eval, parallel_scan, variant, regions,
+# execution — absent fields match as null); committed rows with no fresh
+# counterpart (historical captures, e.g. the layout="nested" before-rows)
+# are skipped, as are fresh rows that are new.
+#
+# The ablation_regional_sweep rows come from a separate binary
+# (build/bench/ablation_regional --json); when it is built the gate runs it
+# into a second scratch JSON and merges those rows into the fresh set.
+# micro_core itself enforces the regional execution policy (sharded must be
+# byte-identical to serial and never slower beyond noise) and exits nonzero
+# on violation, which fails the gate before any diffing.
 #
 # A row fails only when it regresses BOTH relatively (>threshold%) and
-# absolutely (>min-delta seconds): millisecond-scale rows jitter by tens of
-# percent run to run, and a 2 ms swing is noise, not a regression — the
-# rows the gate exists for (the paper-scale sweeps, seconds each) clear the
-# floor easily.
+# absolutely (>min-delta seconds): sub-second rows jitter by tens of
+# percent run to run on shared containers (a 30 ms swing on a 120 ms row
+# is noise, not a regression) — the rows the gate exists for (the
+# paper-scale sweeps, seconds each) clear the floor easily.
 #
 # Usage:
 #   tools/bench_gate.sh [--binary PATH] [--committed PATH] [--threshold PCT]
@@ -25,7 +33,7 @@
 #   --binary     micro_core binary (default: build/bench/micro_core)
 #   --committed  baseline JSON (default: BENCH_mechanism.json beside this repo)
 #   --threshold  allowed regression in percent (default: 25)
-#   --min-delta  absolute regression floor in seconds (default: 0.02)
+#   --min-delta  absolute regression floor in seconds (default: 0.05)
 #   --quick      skip the paper-scale family (passes --paper-scale=0)
 #
 # Wired as an opt-in ctest (label "bench") via -DAGTRAM_BENCH_GATE=ON;
@@ -36,7 +44,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 binary="${repo_root}/build/bench/micro_core"
 committed="${repo_root}/BENCH_mechanism.json"
 threshold=25
-min_delta=0.02
+min_delta=0.05
 extra_flags=()
 
 while [[ $# -gt 0 ]]; do
@@ -45,7 +53,7 @@ while [[ $# -gt 0 ]]; do
     --committed) committed="$2"; shift 2 ;;
     --threshold) threshold="$2"; shift 2 ;;
     --min-delta) min_delta="$2"; shift 2 ;;
-    --quick) extra_flags+=("--paper-scale=0"); shift ;;
+    --quick) extra_flags+=("--paper-scale=0" "--regional=0"); shift ;;
     --) shift; extra_flags+=("$@"); break ;;
     *) echo "bench_gate: unknown flag $1" >&2; exit 2 ;;
   esac
@@ -56,37 +64,54 @@ done
 command -v python3 >/dev/null || { echo "bench_gate: python3 required" >&2; exit 2; }
 
 fresh="$(mktemp --suffix=.json)"
-trap 'rm -f "$fresh"' EXIT
+fresh_ablation="$(mktemp --suffix=.json)"
+trap 'rm -f "$fresh" "$fresh_ablation"' EXIT
 
 # --benchmark_filter matching nothing skips the google-benchmark section;
 # only the trajectory (the part the gate scores) runs.
 echo "bench_gate: running trajectory ($binary)..."
 "$binary" "--json=$fresh" "--benchmark_filter=^\$" "${extra_flags[@]+"${extra_flags[@]}"}"
 
-python3 - "$committed" "$fresh" "$threshold" "$min_delta" <<'PYEOF'
+# The regional ablation sweep lives in its own binary; its rows ride the
+# same gate when it is built (JsonWriter overwrites whole files, so it
+# writes a scratch JSON of its own and the python below merges the rows).
+ablation_binary="$(dirname "$binary")/ablation_regional"
+if [[ -x "$ablation_binary" ]]; then
+  echo "bench_gate: running ablation_regional sweep ($ablation_binary)..."
+  "$ablation_binary" "--json=$fresh_ablation" >/dev/null
+else
+  printf '{"results": []}' > "$fresh_ablation"
+fi
+
+python3 - "$committed" "$fresh" "$threshold" "$min_delta" "$fresh_ablation" <<'PYEOF'
 import json, sys
 
 committed_path, fresh_path = sys.argv[1], sys.argv[2]
 threshold, min_delta = float(sys.argv[3]), float(sys.argv[4])
+extra_paths = sys.argv[5:]
 KEY = ("benchmark", "servers", "objects", "demand", "layout",
        "incremental_reports", "parallel_agents",
-       "algorithm", "eval", "parallel_scan", "variant")
+       "algorithm", "eval", "parallel_scan", "variant",
+       "regions", "execution")
 GATED = ("mechanism_full_run", "baseline_run", "kernel_object_cost",
-         "kernel_nn_min", "kernel_global_benefit", "kernel_best_add_scan")
+         "kernel_nn_min", "kernel_global_benefit", "kernel_best_add_scan",
+         "regional_engine_run", "regional_tiled_run",
+         "ablation_regional_sweep")
 
-def rows(path):
-    with open(path) as f:
-        doc = json.load(f)
+def rows(*paths):
     out = {}
-    for r in doc.get("results", []):
-        if r.get("benchmark") not in GATED:
-            continue
-        if r.get("captured_at"):  # historical capture, not reproducible here
-            continue
-        out[tuple(r.get(k) for k in KEY)] = r
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for r in doc.get("results", []):
+            if r.get("benchmark") not in GATED:
+                continue
+            if r.get("captured_at"):  # historical capture, not reproducible
+                continue
+            out[tuple(r.get(k) for k in KEY)] = r
     return out
 
-baseline, fresh = rows(committed_path), rows(fresh_path)
+baseline, fresh = rows(committed_path), rows(fresh_path, *extra_paths)
 compared = skipped = 0
 failures = []
 for key, base in sorted(baseline.items()):

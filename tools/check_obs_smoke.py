@@ -34,6 +34,13 @@ BASELINE_DECISIONS = [
     "scan_servers",
     "pool_workers",
 ]
+REGIONAL_DECISIONS = [
+    "regions",
+    "execution",
+    "cooperative",
+    "parallel_agents",
+    "pool_workers",
+]
 
 
 def fail(message):
@@ -67,10 +74,16 @@ def main():
     mech = [r for r in rows if r.get("benchmark") == "mechanism_full_run"]
     auto = [r for r in rows if r.get("benchmark") == "mechanism_auto_mode"]
     base = [r for r in rows if r.get("benchmark") == "baseline_run"]
-    if not mech or not auto or not base:
+    regional = [
+        r
+        for r in rows
+        if r.get("benchmark") in ("regional_engine_run", "regional_tiled_run")
+    ]
+    if not mech or not auto or not base or not regional:
         fail(
             f"{bench_path}: expected mechanism_full_run / mechanism_auto_mode"
-            f" / baseline_run rows, got {len(mech)}/{len(auto)}/{len(base)}"
+            f" / baseline_run / regional rows, got"
+            f" {len(mech)}/{len(auto)}/{len(base)}/{len(regional)}"
         )
 
     for row in mech + auto:
@@ -95,6 +108,21 @@ def main():
         obs = check_decisions(row, BASELINE_DECISIONS, "baseline_run row")
         if obs["decisions"]["eval_path"] != row["eval"]:
             fail("baseline_run eval_path disagrees with the row's eval field")
+    for row in regional:
+        obs = check_decisions(row, REGIONAL_DECISIONS, f"{row['benchmark']} row")
+        decisions = obs["decisions"]
+        if decisions["execution"] not in ("serial", "sharded"):
+            fail(
+                "regional execution must be serial or sharded, got "
+                f"'{decisions['execution']}'"
+            )
+        if decisions["execution"] != row.get("execution"):
+            fail("regional obs execution disagrees with the row's field")
+        if expect_counters:
+            if not obs.get("enabled"):
+                fail(f"{row['benchmark']} row: obs.enabled is false")
+            if not obs.get("counters"):
+                fail(f"{row['benchmark']} row: no counter deltas")
 
     metas, rounds = 0, 0
     with open(trace_path) as fh:
@@ -123,7 +151,8 @@ def main():
 
     print(
         f"check_obs_smoke: OK — {len(mech)} mechanism rows, {len(auto)} auto"
-        f" rows, {len(base)} baseline rows, {metas} traces, {rounds} round"
+        f" rows, {len(base)} baseline rows, {len(regional)} regional rows,"
+        f" {metas} traces, {rounds} round"
         f" lines{' (counters required)' if expect_counters else ''}"
     )
 
