@@ -19,6 +19,11 @@
 //   --regional-regions=8,32,128            tiled region counts
 //   --regional-budget-mb=4096              tiled distance-state budget
 //   --regional-reps=N                      regional timing repetitions
+//   --online=0                             skip the online re-convergence
+//                                          family
+//   --online-batches=N                     event batches per timed stream
+//   --online-oracle-batches=N              batches in the oracle-ON pass
+//   --online-reps=N                        stream timing repetitions
 //   --json=PATH                            output path
 //   --obs-trace=PATH                       per-round JSONL from an untimed
 //                                          Auto-mode run per family
@@ -44,6 +49,7 @@
 #include "common/timer.hpp"
 #include "core/agent.hpp"
 #include "core/agt_ram.hpp"
+#include "core/online.hpp"
 #include "core/regional.hpp"
 #include "core/regional_tiled.hpp"
 #include "drp/builder.hpp"
@@ -53,6 +59,7 @@
 #include "net/shortest_paths.hpp"
 #include "net/topology.hpp"
 #include "obs_writer.hpp"
+#include "runtime/event_sim.hpp"
 
 namespace {
 
@@ -274,6 +281,15 @@ struct TrajectoryOptions {
   std::vector<std::uint32_t> regional_regions = {8, 32, 128};
   double regional_budget_mb = 4096.0;
   int regional_reps = 2;
+  /// Online family: a long-lived OnlineMechanism absorbing a seeded
+  /// mean-field event stream; the per-event re-convergence cost is gated
+  /// against the from-scratch re-solve a system without the engine must pay
+  /// (>= 20x at mech scale, >= 50x at paper scale), and a second oracle-ON
+  /// pass enforces byte-identity against full-participation re-solves.
+  bool online = true;
+  int online_batches = 64;
+  int online_oracle_batches = 12;
+  int online_reps = 2;
   std::string json_path = bench::kMechanismJsonPath;
   /// Per-round JSONL sink (--obs-trace=PATH): one meta line per traced
   /// Auto-mode run, then one line per mechanism round.  Round lines carry
@@ -1514,6 +1530,252 @@ bool run_regional_tiled_family(bench::JsonWriter& json,
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Online re-convergence family (DESIGN.md §12): a long-lived OnlineMechanism
+// absorbs a seeded mean-field event stream (demand drift, replica loss,
+// server fail/join, object churn) and repairs incrementally after each
+// batch.  Three comparisons per scale, all emitted as rows:
+//
+//  * online_event_run       — wall time of apply_events across the stream
+//                             (steady state: the initial solve is excluded
+//                             and reported separately on the row),
+//  * online_fromscratch_run — one cold run_agt_ram on the drifted instance:
+//                             what a system without the engine pays per
+//                             event to stay converged,
+//  * online_speedup         — from-scratch seconds over online seconds per
+//                             event, gated >= 20x at mech scale and >= 50x
+//                             at paper scale (skipped below mech scale),
+//  * online_identity_check  — a second, untimed pass with the differential
+//                             oracle ON: every drained batch re-solved with
+//                             full participation and compared byte for byte.
+
+/// Speedup floors, applied only at the scales they were calibrated for;
+/// smoke-scale runs record the speedup without gating it.
+constexpr double kOnlineSpeedupFloorMech = 20.0;
+constexpr double kOnlineSpeedupFloorPaper = 50.0;
+
+struct OnlineStreamOutcome {
+  double seconds = 0.0;          ///< sum of apply_events wall time
+  double initial_seconds = 0.0;  ///< constructor (initial full solve)
+  std::uint64_t batches = 0;
+  std::uint64_t events = 0;
+  std::uint64_t dirty_agents = 0;
+  std::uint64_t max_dirty_agents = 0;
+  std::uint64_t repair_rounds = 0;
+  std::uint64_t replicas_added = 0;
+  std::uint64_t replicas_lost = 0;
+  std::uint64_t reports_computed = 0;
+  std::uint64_t candidate_evaluations = 0;
+  double final_cost = 0.0;
+};
+
+/// One full pass over a fresh engine + fresh source (the stream is
+/// deterministic per seed, so repetitions re-time identical work).  Returns
+/// the engine so the caller can re-solve the drifted instance from scratch.
+std::unique_ptr<core::OnlineMechanism> run_online_pass(
+    const drp::Problem& p, const core::OnlineConfig& cfg,
+    const runtime::OnlineEventModel& model, int batches,
+    OnlineStreamOutcome& out) {
+  common::Timer initial_timer;
+  auto engine = std::make_unique<core::OnlineMechanism>(p, cfg);
+  out.initial_seconds = initial_timer.seconds();
+  runtime::OnlineEventSource source(*engine, model);
+  for (int b = 0; b < batches; ++b) {
+    const std::vector<core::OnlineEvent> batch = source.next_batch();
+    common::Timer timer;
+    const core::BatchOutcome res = engine->apply_events(batch);
+    out.seconds += timer.seconds();
+    ++out.batches;
+    out.events += res.events_applied;
+    out.dirty_agents += res.dirty_agents;
+    out.max_dirty_agents =
+        std::max<std::uint64_t>(out.max_dirty_agents, res.dirty_agents);
+    out.repair_rounds += res.repair_rounds;
+    out.replicas_added += res.replicas_added;
+    out.replicas_lost += res.replicas_lost;
+    out.reports_computed += res.reports_computed;
+    out.candidate_evaluations += res.candidate_evaluations;
+    out.final_cost = res.total_cost;
+  }
+  return engine;
+}
+
+bool run_online_family(bench::JsonWriter& json, const drp::Problem& p,
+                       std::uint32_t servers, std::uint32_t objects,
+                       int batches, int oracle_batches, int reps,
+                       double speedup_floor) {
+  core::OnlineConfig cfg;  // unbounded repair, oracle off for the timed pass
+  runtime::OnlineEventModel model;
+  model.seed = 42;
+
+  const bench::ObsSnapshot before = bench::ObsSnapshot::take();
+  OnlineStreamOutcome best;
+  best.seconds = 1e30;
+  std::unique_ptr<core::OnlineMechanism> engine;
+  for (int rep = 0; rep < reps; ++rep) {
+    OnlineStreamOutcome out;
+    std::unique_ptr<core::OnlineMechanism> e =
+        run_online_pass(p, cfg, model, batches, out);
+    if (out.seconds < best.seconds) {
+      best = out;
+      engine = std::move(e);
+    }
+  }
+  const bench::ObsSnapshot after = bench::ObsSnapshot::take();
+
+  const double per_batch =
+      best.batches > 0 ? best.seconds / static_cast<double>(best.batches) : 0.0;
+  const double per_event =
+      best.events > 0 ? best.seconds / static_cast<double>(best.events) : 0.0;
+  bench::JsonWriter::Record stream;
+  stream.field("benchmark", "online_event_run")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", "dispersed")
+      .field("seconds", best.seconds)
+      .field("initial_solve_seconds", best.initial_seconds)
+      .field("batches", best.batches)
+      .field("events", best.events)
+      .field("seconds_per_batch", per_batch)
+      .field("seconds_per_event", per_event)
+      .field("dirty_agents", best.dirty_agents)
+      .field("max_dirty_agents", best.max_dirty_agents)
+      .field("repair_rounds", best.repair_rounds)
+      .field("replicas_added", best.replicas_added)
+      .field("replicas_lost", best.replicas_lost)
+      .field("reports_computed", best.reports_computed)
+      .field("candidate_evaluations", best.candidate_evaluations)
+      .field("final_cost", best.final_cost)
+      .object_field("obs",
+                    bench::obs_block(bench::online_decisions(
+                                         cfg, static_cast<std::uint64_t>(
+                                                  batches)),
+                                     before, after,
+                                     static_cast<std::uint64_t>(reps)));
+  json.add(std::move(stream));
+  std::printf("online %ux%u: %llu events in %llu batches, %.4fs total "
+              "(%.2f us/event), %llu repair rounds, %llu dirty agents\n",
+              servers, objects, static_cast<unsigned long long>(best.events),
+              static_cast<unsigned long long>(best.batches), best.seconds,
+              per_event * 1e6,
+              static_cast<unsigned long long>(best.repair_rounds),
+              static_cast<unsigned long long>(best.dirty_agents));
+
+  // The cost baseline: one cold run_agt_ram on the drifted instance — what
+  // every event would cost without the engine.  Not a placement oracle (the
+  // greedy round sequence is path-dependent and the mechanism never
+  // evicts); the byte-identity oracle below is the correctness check.
+  const drp::Problem& drifted = engine->problem();
+  ModeOutcome scratch;
+  scratch.seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    common::Timer timer;
+    const core::MechanismResult result =
+        core::run_agt_ram(drifted, cfg.mechanism);
+    const double seconds = timer.seconds();
+    if (seconds < scratch.seconds) {
+      scratch.seconds = seconds;
+      scratch.rounds = result.rounds.size();
+      scratch.evaluations = result.candidate_evaluations;
+      scratch.reports = result.reports_computed;
+      scratch.resolved = result.resolved_mode;
+    }
+  }
+  bench::JsonWriter::Record fromscratch;
+  fromscratch.field("benchmark", "online_fromscratch_run")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", "dispersed")
+      .field("seconds", scratch.seconds)
+      .field("rounds", scratch.rounds)
+      .field("candidate_evaluations", scratch.evaluations)
+      .field("reports_computed", scratch.reports)
+      .field("report_mode_resolved",
+             bench::report_mode_name(scratch.resolved));
+  json.add(std::move(fromscratch));
+  std::printf("online %ux%u from-scratch re-solve: %.4fs, %llu rounds\n",
+              servers, objects, scratch.seconds,
+              static_cast<unsigned long long>(scratch.rounds));
+
+  const double speedup_event =
+      per_event > 0.0 ? scratch.seconds / per_event : 0.0;
+  const double speedup_batch =
+      per_batch > 0.0 ? scratch.seconds / per_batch : 0.0;
+  const bool gated = speedup_floor > 0.0;
+  const bool speedup_ok = !gated || speedup_event >= speedup_floor;
+  bench::JsonWriter::Record speedup;
+  speedup.field("benchmark", "online_speedup")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", "dispersed")
+      .field("fromscratch_seconds", scratch.seconds)
+      .field("online_seconds_per_event", per_event)
+      .field("online_seconds_per_batch", per_batch)
+      .field("speedup_per_event", speedup_event)
+      .field("speedup_per_batch", speedup_batch)
+      .field("floor", speedup_floor)
+      .field("gated", gated)
+      .field("ok", speedup_ok);
+  json.add(std::move(speedup));
+  std::printf("online %ux%u speedup: %.0fx/event, %.0fx/batch (floor %s%.0fx)\n",
+              servers, objects, speedup_event, speedup_batch,
+              gated ? "" : "ungated ", speedup_floor);
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "FAIL: online re-convergence on %ux%u only %.1fx cheaper "
+                 "per event than from-scratch (floor %.0fx)\n",
+                 servers, objects, speedup_event, speedup_floor);
+  }
+
+  // Byte-identity pass: oracle ON, fresh engine, fresh stream (different
+  // seed so the two passes don't share a trajectory).  apply_events throws
+  // std::logic_error on the first byte that differs from the
+  // full-participation re-solve.
+  bool identity_ok = true;
+  std::string identity_why;
+  std::uint64_t oracle_events = 0;
+  std::uint64_t oracle_checks = 0;
+  try {
+    core::OnlineConfig oracle_cfg = cfg;
+    oracle_cfg.differential_oracle = true;
+    runtime::OnlineEventModel oracle_model = model;
+    oracle_model.seed = 43;
+    core::OnlineMechanism oracle_engine(p, oracle_cfg);
+    runtime::OnlineEventSource oracle_source(oracle_engine, oracle_model);
+    for (int b = 0; b < oracle_batches; ++b) {
+      const std::vector<core::OnlineEvent> batch = oracle_source.next_batch();
+      const core::BatchOutcome res = oracle_engine.apply_events(batch);
+      oracle_events += res.events_applied;
+      if (res.oracle_checked) ++oracle_checks;
+    }
+  } catch (const std::exception& e) {
+    identity_ok = false;
+    identity_why = e.what();
+  }
+  bench::JsonWriter::Record identity;
+  identity.field("benchmark", "online_identity_check")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", "dispersed")
+      .field("batches", static_cast<std::uint64_t>(oracle_batches))
+      .field("events", oracle_events)
+      .field("oracle_checks", oracle_checks)
+      .field("ok", identity_ok);
+  json.add(std::move(identity));
+  if (identity_ok) {
+    std::printf("online %ux%u identity: %llu oracle re-solves, all "
+                "byte-identical\n",
+                servers, objects,
+                static_cast<unsigned long long>(oracle_checks));
+  } else {
+    std::fprintf(stderr,
+                 "FAIL: online engine diverged from the full-participation "
+                 "re-solve on %ux%u: %s\n",
+                 servers, objects, identity_why.c_str());
+  }
+  return speedup_ok && identity_ok;
+}
+
 int write_mechanism_trajectory(const TrajectoryOptions& opts) {
   bench::JsonWriter json;
   bool parallel_ok = true;
@@ -1619,6 +1881,29 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
     regional_ok = run_regional_tiled_family(json, opts) && regional_ok;
   }
 
+  bool online_ok = true;
+  if (opts.online) {
+    online_ok = run_online_family(
+        json, dispersed_instance(opts.mech_servers, opts.mech_objects),
+        opts.mech_servers, opts.mech_objects, opts.online_batches,
+        opts.online_oracle_batches, opts.online_reps,
+        opts.mech_servers >= 256 ? kOnlineSpeedupFloorMech : 0.0);
+    if (opts.paper_scale) {
+      // Paper scale: best-of-1 (the stream alone is minutes of repair
+      // rounds) and a shorter oracle pass — each oracle check is a full
+      // warm re-solve with all M agents polled.
+      online_ok = run_online_family(
+                      json,
+                      dispersed_instance(opts.paper_servers,
+                                         opts.paper_objects),
+                      opts.paper_servers, opts.paper_objects,
+                      opts.online_batches,
+                      std::min(opts.online_oracle_batches, 4),
+                      /*reps=*/1, kOnlineSpeedupFloorPaper) &&
+                  online_ok;
+    }
+  }
+
   if (trace) {
     trace->close();
     std::printf("obs trace written to %s\n", opts.obs_trace_path.c_str());
@@ -1652,6 +1937,12 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
     std::fprintf(stderr,
                  "regional sharded-execution policy violated (see "
                  "regional_identity_check / regional_parallel_check rows)\n");
+    return 1;
+  }
+  if (!online_ok) {
+    std::fprintf(stderr,
+                 "online re-convergence policy violated (see online_speedup "
+                 "/ online_identity_check rows)\n");
     return 1;
   }
   return 0;
@@ -1721,6 +2012,14 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
       opts.regional_budget_mb = std::atof(v);
     } else if (value_of(argv[i], "--regional-reps", &v)) {
       opts.regional_reps = std::atoi(v);
+    } else if (value_of(argv[i], "--online", &v)) {
+      opts.online = std::atoi(v) != 0;
+    } else if (value_of(argv[i], "--online-batches", &v)) {
+      opts.online_batches = std::atoi(v);
+    } else if (value_of(argv[i], "--online-oracle-batches", &v)) {
+      opts.online_oracle_batches = std::atoi(v);
+    } else if (value_of(argv[i], "--online-reps", &v)) {
+      opts.online_reps = std::atoi(v);
     } else if (value_of(argv[i], "--json", &v)) {
       opts.json_path = v;
     } else if (value_of(argv[i], "--obs-trace", &v)) {
@@ -1735,6 +2034,8 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
   return ok && opts.mech_servers > 0 && opts.mech_objects > 0 &&
          opts.reps > 0 && opts.paper_reps > 0 && opts.baseline_reps > 0 &&
          opts.regional_reps > 0 && opts.regional_budget_mb > 0.0 &&
+         opts.online_batches > 0 && opts.online_oracle_batches > 0 &&
+         opts.online_reps > 0 &&
          (!opts.paper_scale ||
           (opts.paper_servers > 0 && opts.paper_objects > 0));
 }

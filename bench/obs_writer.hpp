@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
 #include "core/agt_ram.hpp"
+#include "core/online.hpp"
 #include "core/regional.hpp"
 #include "drp/delta_evaluator.hpp"
 #include "obs/obs.hpp"
@@ -144,6 +145,26 @@ inline JsonWriter::Record regional_decisions(std::uint32_t regions,
                                                              : "serial");
   record.field("cooperative", cooperative);
   record.field("parallel_agents", parallel_agents);
+  record.field("pool_workers",
+               static_cast<std::uint64_t>(
+                   common::ThreadPool::shared().thread_count()));
+  return record;
+}
+
+/// The online-engine decisions for one bench row: the repair-round bound,
+/// whether the per-batch differential oracle ran, and the mechanism config
+/// every repair run inherits (all report modes produce byte-identical
+/// allocations, so the choice only moves the timing).
+inline JsonWriter::Record online_decisions(const core::OnlineConfig& config,
+                                           std::uint64_t batches) {
+  JsonWriter::Record record;
+  record.field("batches", batches);
+  record.field("max_repair_rounds",
+               static_cast<std::uint64_t>(config.max_repair_rounds));
+  record.field("differential_oracle", config.differential_oracle);
+  record.field("report_mode_requested",
+               report_mode_name(config.mechanism.report_mode));
+  record.field("parallel_agents", config.mechanism.parallel_agents);
   record.field("pool_workers",
                static_cast<std::uint64_t>(
                    common::ThreadPool::shared().thread_count()));

@@ -148,7 +148,10 @@ MechanismResult run_rounds_naive(const drp::Problem& problem,
   std::vector<Report> reports(m);
   std::size_t round = 0;
   while (!live.empty()) {
-    if (config.max_rounds != 0 && round >= config.max_rounds) break;
+    if (config.max_rounds != 0 && round >= config.max_rounds) {
+      result.drained = false;
+      break;
+    }
     if (config.observer) config.observer->on_round_begin(round);
     AGTRAM_OBS_ROUND(round);
     AGTRAM_OBS_COUNT("agt_ram.rounds", 1);
@@ -342,7 +345,10 @@ MechanismResult run_rounds_incremental(const drp::Problem& problem,
   // After every allocation the winner is dirty again (it reads k*), so the
   // dirty set is empty only once the mechanism has terminated.
   while (!dirty.empty()) {
-    if (config.max_rounds != 0 && round >= config.max_rounds) break;
+    if (config.max_rounds != 0 && round >= config.max_rounds) {
+      result.drained = false;
+      break;
+    }
     if (config.observer) config.observer->on_round_begin(round);
     AGTRAM_OBS_ROUND(round);
     AGTRAM_OBS_COUNT("agt_ram.rounds", 1);

@@ -172,6 +172,11 @@ struct MechanismResult {
   /// The evaluation path actually taken (Auto resolves to Naive or
   /// Incremental before the first round).
   ReportMode resolved_mode = ReportMode::Naive;
+  /// True when the round loop ended because no agent had a positive feasible
+  /// candidate left (the mechanism's natural fixpoint); false only when
+  /// `max_rounds` cut it short, in which case live agents may still hold
+  /// bids.  The online engine keys its carryover and oracle checks on this.
+  bool drained = true;
 
   double total_payments() const;
   std::size_t replicas_placed() const noexcept { return rounds.size(); }

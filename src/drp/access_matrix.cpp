@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace agtram::drp {
 
@@ -102,6 +103,80 @@ std::uint64_t AccessMatrix::reads(ServerId i, ObjectIndex k) const {
 std::uint64_t AccessMatrix::writes(ServerId i, ObjectIndex k) const {
   const std::size_t slot = accessor_slot(i, k);
   return slot == npos ? 0 : cells_[obj_row_[k] + slot].writes;
+}
+
+namespace {
+
+// new = old + delta with the checked semantics of apply_demand_delta:
+// rejects negative results (and, implicitly, u64 wrap) before any state is
+// touched.
+std::uint64_t checked_apply(std::uint64_t old_value, std::int64_t delta,
+                            const char* what) {
+  if (delta < 0) {
+    const auto drop = static_cast<std::uint64_t>(-delta);
+    if (drop > old_value) {
+      throw std::invalid_argument(
+          std::string("AccessMatrix::apply_demand_delta: ") + what +
+          " would go negative");
+    }
+    return old_value - drop;
+  }
+  return old_value + static_cast<std::uint64_t>(delta);
+}
+
+}  // namespace
+
+void AccessMatrix::apply_demand_delta(ServerId i, ObjectIndex k,
+                                      std::int64_t delta_reads,
+                                      std::int64_t delta_writes) {
+  const std::size_t slot = accessor_slot(i, k);
+  if (slot == npos) {
+    throw std::invalid_argument(
+        "AccessMatrix::apply_demand_delta: no demand cell for (server " +
+        std::to_string(i) + ", object " + std::to_string(k) + ")");
+  }
+  Access& cell = cells_[obj_row_[k] + slot];
+  const std::uint64_t new_reads =
+      checked_apply(cell.reads, delta_reads, "reads");
+  const std::uint64_t new_writes =
+      checked_apply(cell.writes, delta_writes, "writes");
+  if (cell.reads == 0 && new_reads > 0) {
+    // readers(k) is structural (laid out once at build); a pure-writer cell
+    // gaining reads would need a reader-list splice the flat layout cannot
+    // do, and would silently break the mechanism's dirty-set superset
+    // invariant.  Cells that *were* readers at build stay in readers(k)
+    // through a zero-demand dip, so they may re-heat freely.
+    const auto rs = readers(k);
+    if (!std::binary_search(rs.begin(), rs.end(), i)) {
+      throw std::invalid_argument(
+          "AccessMatrix::apply_demand_delta: read demand on (server " +
+          std::to_string(i) + ", object " + std::to_string(k) +
+          ") would add a reader outside the structural readers(k) list");
+    }
+  }
+
+  // All checks passed; commit to every view in lockstep.
+  cell.reads = new_reads;
+  cell.writes = new_writes;
+  soa_reads_[obj_row_[k] + slot] = static_cast<double>(new_reads);
+  soa_writes_[obj_row_[k] + slot] = static_cast<double>(new_writes);
+
+  object_reads_[k] = checked_apply(object_reads_[k], delta_reads, "reads");
+  object_writes_[k] = checked_apply(object_writes_[k], delta_writes, "writes");
+  grand_reads_ = checked_apply(grand_reads_, delta_reads, "reads");
+  grand_writes_ = checked_apply(grand_writes_, delta_writes, "writes");
+
+  // By-server transpose: rows are sorted by object index.
+  const auto row = server_objects(i);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), k,
+      [](const ServerSideAccess& a, ObjectIndex target) {
+        return a.object < target;
+      });
+  assert(it != row.end() && it->object == k);
+  ServerSideAccess& srv_cell = srv_cells_[srv_row_[i] + (it - row.begin())];
+  srv_cell.reads = new_reads;
+  srv_cell.writes = new_writes;
 }
 
 }  // namespace agtram::drp

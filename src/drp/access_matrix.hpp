@@ -93,6 +93,24 @@ class AccessMatrix {
   std::uint64_t reads(ServerId i, ObjectIndex k) const;
   std::uint64_t writes(ServerId i, ObjectIndex k) const;
 
+  /// Checked in-place demand mutation on an *existing* cell (the online
+  /// engine's fixed-universe event model, DESIGN.md §12).  The structural
+  /// support — which (i, k) cells exist, and which servers appear in
+  /// readers(k) — is fixed at build; deltas may move demand anywhere inside
+  /// it, including down to zero and back up.  Throws std::invalid_argument
+  /// on anything that would change structure or corrupt an invariant:
+  ///   * no cell (i, k) exists (accessor_slot == npos),
+  ///   * a delta that would drive reads or writes negative,
+  ///   * a read delta that would turn a structural non-reader (a pure-writer
+  ///     cell, absent from readers(k)) into a reader — the readers list is
+  ///     the incremental mechanism's dirty set and is never re-laid-out.
+  /// On success every view stays exact: the AoS cell, the SoA double streams
+  /// (re-converted with the same static_cast the build performed, so they
+  /// remain bitwise-consistent), the by-server transpose cell, and the
+  /// per-object / grand demand totals.
+  void apply_demand_delta(ServerId i, ObjectIndex k, std::int64_t delta_reads,
+                          std::int64_t delta_writes);
+
   /// Slot of server i in accessors(k), or npos if i has no demand for k.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t accessor_slot(ServerId i, ObjectIndex k) const;

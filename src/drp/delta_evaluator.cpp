@@ -239,6 +239,18 @@ void DeltaEvaluator::remove_replica(ServerId i, ObjectIndex k) {
   total_valid_ = false;
 }
 
+void DeltaEvaluator::refresh_after_demand_change(ObjectIndex k) {
+  refresh(k);
+  total_valid_ = false;
+}
+
+void DeltaEvaluator::attach_placement(ReplicaPlacement placement,
+                                      std::span<const ObjectIndex> touched) {
+  placement_ = std::move(placement);
+  for (const ObjectIndex k : touched) refresh(k);
+  if (!touched.empty()) total_valid_ = false;
+}
+
 DeltaEvaluator::BestAdd DeltaEvaluator::best_add_for_object(
     ObjectIndex k, const std::vector<bool>* allowed_sites,
     ScanScratch& scratch, bool parallel) const {

@@ -35,6 +35,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "drp/cost_model.hpp"
@@ -63,6 +64,20 @@ class DeltaEvaluator {
   const ReplicaPlacement& placement() const noexcept { return placement_; }
   /// Moves the placement out (the evaluator is dead afterwards).
   ReplicaPlacement take_placement() && { return std::move(placement_); }
+
+  /// Lends the placement out for external mutation (O(1) moves both ways —
+  /// no arena copy).  Between detach and attach the evaluator is hollow:
+  /// only detach/attach may be called.  The online engine uses this to hand
+  /// its live placement to run_agt_ram_from and take the repaired one back.
+  ReplicaPlacement detach_placement() { return std::move(placement_); }
+
+  /// Re-attaches a placement previously lent out via detach_placement and
+  /// re-refreshes exactly the objects whose replicator sets were mutated
+  /// while detached (`touched` need not be sorted or unique).  Caches for
+  /// untouched objects are reused verbatim — that is the whole point; the
+  /// caller owns the obligation that `touched` covers every mutated object.
+  void attach_placement(ReplicaPlacement placement,
+                        std::span<const ObjectIndex> touched);
 
   /// Cached per-object cost; equals CostModel::object_cost bit for bit.
   double object_cost(ObjectIndex k) const { return obj_cost_[k]; }
@@ -112,6 +127,14 @@ class DeltaEvaluator {
   /// Mutators; keep the caches exact by refreshing object k from scratch.
   void add_replica(ServerId i, ObjectIndex k);
   void remove_replica(ServerId i, ObjectIndex k);
+
+  /// Re-derives object k's caches after an in-place demand mutation
+  /// (AccessMatrix::apply_demand_delta).  The caches are demand-dependent —
+  /// obj_cost_ folds r/w volumes and opt_saving_ folds reads — so any demand
+  /// change on k without this call leaves them silently stale; the
+  /// constructor-time refresh was the only writer before the online engine
+  /// made demand mutable.
+  void refresh_after_demand_change(ObjectIndex k);
 
   struct BestAdd {
     double benefit = 0.0;

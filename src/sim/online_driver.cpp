@@ -1,0 +1,30 @@
+#include "sim/online_driver.hpp"
+
+#include <algorithm>
+
+namespace agtram::sim {
+
+OnlineStreamStats run_online_stream(core::OnlineMechanism& engine,
+                                    runtime::OnlineEventSource& source,
+                                    std::size_t batches) {
+  OnlineStreamStats stats;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::vector<core::OnlineEvent> batch = source.next_batch();
+    const core::BatchOutcome out = engine.apply_events(batch);
+    ++stats.batches;
+    stats.events += out.events_applied;
+    if (out.dirty_agents > 0) ++stats.batches_with_repair;
+    if (out.oracle_checked) ++stats.oracle_checked;
+    stats.dirty_agents += out.dirty_agents;
+    stats.repair_rounds += out.repair_rounds;
+    stats.replicas_added += out.replicas_added;
+    stats.replicas_lost += out.replicas_lost;
+    stats.reports_computed += out.reports_computed;
+    stats.candidate_evaluations += out.candidate_evaluations;
+    stats.max_dirty_agents = std::max(stats.max_dirty_agents, out.dirty_agents);
+    stats.final_cost = out.total_cost;
+  }
+  return stats;
+}
+
+}  // namespace agtram::sim

@@ -1,0 +1,51 @@
+// Stream driver for the online engine: pulls batches from an event source,
+// feeds them to core::OnlineMechanism, and aggregates the per-batch
+// outcomes into the steady-state numbers the bench rows and tests consume
+// (dirty-set sizes, repair work, churn volume).  Pure plumbing — all
+// correctness lives in the engine; all timing lives in the caller.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/online.hpp"
+#include "runtime/event_sim.hpp"
+
+namespace agtram::sim {
+
+struct OnlineStreamStats {
+  std::size_t batches = 0;
+  std::size_t events = 0;
+  std::size_t batches_with_repair = 0;  ///< batches whose dirty set was non-empty
+  std::size_t oracle_checked = 0;
+  std::uint64_t dirty_agents = 0;
+  std::uint64_t repair_rounds = 0;
+  std::uint64_t replicas_added = 0;
+  std::uint64_t replicas_lost = 0;
+  std::uint64_t reports_computed = 0;
+  std::uint64_t candidate_evaluations = 0;
+  std::size_t max_dirty_agents = 0;
+  double final_cost = 0.0;
+
+  double mean_dirty_agents() const {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(dirty_agents) /
+                     static_cast<double>(batches);
+  }
+  double mean_repair_rounds() const {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(repair_rounds) /
+                     static_cast<double>(batches);
+  }
+};
+
+/// Runs `batches` event batches from `source` through `engine`, returning
+/// the aggregate.  Oracle mismatches (when the engine's differential oracle
+/// is enabled) propagate as std::logic_error.
+OnlineStreamStats run_online_stream(core::OnlineMechanism& engine,
+                                    runtime::OnlineEventSource& source,
+                                    std::size_t batches);
+
+}  // namespace agtram::sim

@@ -1,0 +1,491 @@
+// Differential suite for the online re-convergence engine (DESIGN.md §12).
+//
+// The load-bearing property: after every drained event batch, the engine's
+// dirty-set repair run must be byte-identical — rounds, payments, placement,
+// NN caches — to a full-participation warm re-solve on the mutated instance.
+// Every OnlineMechanism here runs with `differential_oracle = true`, so the
+// engine itself throws on the first differing byte; the tests drive scripted
+// and randomized event streams through it and also pin the new low-level
+// APIs (AccessMatrix::apply_demand_delta, DeltaEvaluator demand refresh and
+// detach/attach, MechanismResult::drained).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/agt_ram.hpp"
+#include "core/online.hpp"
+#include "drp/builder.hpp"
+#include "drp/cost_model.hpp"
+#include "drp/delta_evaluator.hpp"
+#include "drp/problem.hpp"
+#include "runtime/event_sim.hpp"
+#include "sim/online_driver.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace agtram;
+
+drp::Problem dispersed_instance(std::uint32_t servers = 32,
+                                std::uint32_t objects = 128,
+                                std::uint64_t seed = 7) {
+  drp::InstanceSpec spec;
+  spec.servers = servers;
+  spec.objects = objects;
+  spec.seed = seed;
+  spec.demand = drp::DemandModel::Dispersed;
+  spec.readers_per_object = 5.0;
+  spec.instance.capacity_fraction = 0.05;
+  spec.instance.rw_ratio = 0.9;
+  return drp::make_instance(spec);
+}
+
+/// First (server, object) pair where the placement holds a non-primary
+/// replica, or nullopt.
+std::optional<std::pair<drp::ServerId, drp::ObjectIndex>> find_extra_replica(
+    const drp::ReplicaPlacement& placement) {
+  const drp::Problem& p = placement.problem();
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    for (const drp::ServerId r : placement.replicators(k)) {
+      if (r != p.primary[k]) return std::make_pair(r, k);
+    }
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------- AccessMatrix demand mutation
+
+TEST(AccessMatrixDeltaTest, UpdatesEveryViewInLockstep) {
+  drp::Problem p = testutil::line3_problem();
+  // O0: reads S1=10, S2=4; writes S1=1.
+  p.access.apply_demand_delta(/*i=*/1, /*k=*/0, /*dr=*/-3, /*dw=*/2);
+  EXPECT_EQ(p.access.reads(1, 0), 7u);
+  EXPECT_EQ(p.access.writes(1, 0), 3u);
+  EXPECT_EQ(p.access.total_reads(0), 11u);
+  EXPECT_EQ(p.access.total_writes(0), 3u);
+  EXPECT_EQ(p.access.grand_total_reads(), 20u - 3u);
+  EXPECT_EQ(p.access.grand_total_writes(), 4u + 2u);
+  // By-server transpose sees the same values.
+  bool found = false;
+  for (const drp::ServerSideAccess& a : p.access.server_objects(1)) {
+    if (a.object == 0) {
+      EXPECT_EQ(a.reads, 7u);
+      EXPECT_EQ(a.writes, 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AccessMatrixDeltaTest, SoAStreamsStayBitwiseConsistent) {
+  drp::Problem p = dispersed_instance();
+  // Nudge a handful of cells, then require soa == static_cast<double>(aos)
+  // for every slot of every touched object (the kernels' FP contract).
+  std::vector<drp::ObjectIndex> touched;
+  for (drp::ObjectIndex k = 0; k < p.object_count() && touched.size() < 6;
+       ++k) {
+    const auto row = p.access.accessors(k);
+    if (row.empty()) continue;
+    const drp::Access cell = row[0];
+    if (cell.reads == 0) continue;
+    p.access.apply_demand_delta(cell.server, k, 5, 1);
+    touched.push_back(k);
+  }
+  ASSERT_FALSE(touched.empty());
+  for (const drp::ObjectIndex k : touched) {
+    const auto row = p.access.accessors(k);
+    const auto reads_d = p.access.accessor_reads_d(k);
+    const auto writes_d = p.access.accessor_writes_d(k);
+    const auto servers = p.access.accessor_servers(k);
+    for (std::size_t s = 0; s < row.size(); ++s) {
+      EXPECT_EQ(servers[s], row[s].server);
+      EXPECT_EQ(reads_d[s], static_cast<double>(row[s].reads));
+      EXPECT_EQ(writes_d[s], static_cast<double>(row[s].writes));
+    }
+  }
+}
+
+TEST(AccessMatrixDeltaTest, RejectsInvalidMutations) {
+  drp::Problem p = testutil::line3_problem();
+  // No cell (S0, O0).
+  EXPECT_THROW(p.access.apply_demand_delta(0, 0, 1, 0), std::invalid_argument);
+  // Negative resulting demand.
+  EXPECT_THROW(p.access.apply_demand_delta(2, 0, -5, 0),
+               std::invalid_argument);
+  EXPECT_THROW(p.access.apply_demand_delta(1, 0, 0, -2),
+               std::invalid_argument);
+  // O1: S1 is a pure writer (reads 0, writes 1) — structurally not a reader,
+  // so read demand may never appear there.
+  EXPECT_THROW(p.access.apply_demand_delta(1, 1, 3, 0),
+               std::invalid_argument);
+  // A rejected call must leave state untouched.
+  EXPECT_EQ(p.access.reads(2, 0), 4u);
+  EXPECT_EQ(p.access.writes(1, 0), 1u);
+  EXPECT_EQ(p.access.reads(1, 1), 0u);
+}
+
+TEST(AccessMatrixDeltaTest, ReaderMayCoolToZeroAndReheat) {
+  drp::Problem p = testutil::line3_problem();
+  p.access.apply_demand_delta(2, 0, -4, 0);
+  EXPECT_EQ(p.access.reads(2, 0), 0u);
+  // S2 stays in the structural readers(O0) list through the dip...
+  const auto readers = p.access.readers(0);
+  EXPECT_NE(std::find(readers.begin(), readers.end(), 2u), readers.end());
+  // ...so demand may return.
+  p.access.apply_demand_delta(2, 0, 9, 0);
+  EXPECT_EQ(p.access.reads(2, 0), 9u);
+}
+
+// ------------------------------------------ DeltaEvaluator demand refresh
+
+TEST(DeltaEvaluatorOnlineTest, RefreshAfterDemandChangeMatchesCostModel) {
+  drp::Problem p = dispersed_instance();
+  core::MechanismResult solved = core::run_agt_ram(p);
+  drp::DeltaEvaluator eval(solved.placement);
+
+  // Mutate a cell on an object that actually has replicas and demand.
+  const auto extra = find_extra_replica(eval.placement());
+  ASSERT_TRUE(extra.has_value());
+  const drp::ObjectIndex k = extra->second;
+  const auto row = p.access.accessors(k);
+  ASSERT_FALSE(row.empty());
+  p.access.apply_demand_delta(row[0].server, k, 17, 3);
+
+  // Stale until told; exact (bit-identical to a fresh evaluation) after.
+  eval.refresh_after_demand_change(k);
+  EXPECT_EQ(eval.object_cost(k),
+            drp::CostModel::object_cost(eval.placement(), k));
+  EXPECT_EQ(eval.total(), drp::CostModel::total_cost(eval.placement()));
+}
+
+TEST(DeltaEvaluatorOnlineTest, DetachAttachRefreshesExactlyTouchedObjects) {
+  drp::Problem p = dispersed_instance();
+  core::MechanismResult solved = core::run_agt_ram(p);
+  drp::DeltaEvaluator eval(solved.placement);
+
+  drp::ReplicaPlacement lent = eval.detach_placement();
+  // Mutate one object while the placement is on loan.
+  std::optional<drp::ObjectIndex> mutated;
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    for (const drp::ServerId i : p.access.readers(k)) {
+      if (lent.can_replicate(i, k)) {
+        lent.add_replica(i, k);
+        mutated = k;
+        break;
+      }
+    }
+    if (mutated) break;
+  }
+  ASSERT_TRUE(mutated.has_value());
+  const std::vector<drp::ObjectIndex> touched = {*mutated};
+  eval.attach_placement(std::move(lent), touched);
+
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    EXPECT_EQ(eval.object_cost(k),
+              drp::CostModel::object_cost(eval.placement(), k))
+        << "object " << k;
+  }
+  EXPECT_EQ(eval.total(), drp::CostModel::total_cost(eval.placement()));
+}
+
+// --------------------------------------------------- MechanismResult.drained
+
+TEST(DrainedFlagTest, NaturalTerminationDrainsBoundedRunDoesNot) {
+  drp::Problem p = dispersed_instance();
+  core::AgtRamConfig cfg;
+  const core::MechanismResult full = core::run_agt_ram(p, cfg);
+  EXPECT_TRUE(full.drained);
+  ASSERT_GE(full.rounds.size(), 2u) << "instance too easy to test max_rounds";
+
+  cfg.max_rounds = 1;
+  for (const core::ReportMode mode :
+       {core::ReportMode::Naive, core::ReportMode::Incremental}) {
+    cfg.report_mode = mode;
+    const core::MechanismResult capped = core::run_agt_ram(p, cfg);
+    EXPECT_FALSE(capped.drained);
+    EXPECT_EQ(capped.rounds.size(), 1u);
+  }
+}
+
+// ------------------------------------------------- OnlineMechanism scripted
+
+core::OnlineConfig oracle_config() {
+  core::OnlineConfig cfg;
+  cfg.differential_oracle = true;
+  return cfg;
+}
+
+TEST(OnlineMechanismTest, EmptyAndNoOpBatchesAreCleanNoOps) {
+  core::OnlineMechanism engine(dispersed_instance(), oracle_config());
+  const double cost0 = engine.total_cost();
+
+  const core::BatchOutcome empty = engine.apply_events({});
+  EXPECT_EQ(empty.dirty_agents, 0u);
+  EXPECT_EQ(empty.repair_rounds, 0u);
+  EXPECT_TRUE(empty.drained);
+  EXPECT_TRUE(empty.oracle_checked);
+  EXPECT_EQ(empty.total_cost, cost0);
+
+  // Joining a live server is defined as a no-op: empty dirty set.
+  const std::vector<core::OnlineEvent> join = {core::ServerJoin{0}};
+  const core::BatchOutcome noop = engine.apply_events(join);
+  EXPECT_EQ(noop.dirty_agents, 0u);
+  EXPECT_EQ(noop.repair_rounds, 0u);
+  EXPECT_TRUE(noop.oracle_checked);
+}
+
+TEST(OnlineMechanismTest, DemandDeltasReconvergeByteIdentical) {
+  drp::Problem p = dispersed_instance();
+  core::OnlineMechanism engine(dispersed_instance(), oracle_config());
+
+  // Read drift, then a write surge (the reader-wide dirty case), each batch
+  // oracle-checked inside apply_events.
+  std::vector<core::OnlineEvent> batch;
+  for (drp::ObjectIndex k = 0; k < p.object_count() && batch.size() < 6;
+       ++k) {
+    const auto readers = engine.problem().access.readers(k);
+    if (readers.size() < 2) continue;
+    const std::uint64_t r0 = engine.problem().access.reads(readers[0], k);
+    if (r0 < 2) continue;
+    batch.push_back(core::DemandDelta{
+        readers[0], k, -static_cast<std::int64_t>(r0 / 2), 0});
+    batch.push_back(core::DemandDelta{
+        readers[1], k, static_cast<std::int64_t>(r0 / 2), 0});
+  }
+  ASSERT_FALSE(batch.empty());
+  const core::BatchOutcome drift = engine.apply_events(batch);
+  EXPECT_TRUE(drift.oracle_checked);
+  EXPECT_GT(drift.dirty_agents, 0u);
+
+  // Write delta on the first writable cell: dirties all readers of k.
+  std::vector<core::OnlineEvent> writes;
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    for (const drp::Access& a : engine.problem().access.accessors(k)) {
+      if (a.writes > 0) {
+        writes.push_back(core::DemandDelta{a.server, k, 0, 11});
+        break;
+      }
+    }
+    if (!writes.empty()) break;
+  }
+  ASSERT_FALSE(writes.empty());
+  EXPECT_TRUE(engine.apply_events(writes).oracle_checked);
+}
+
+TEST(OnlineMechanismTest, ReplicaLossTriggersVerifiedReReplication) {
+  core::OnlineMechanism engine(dispersed_instance(), oracle_config());
+  const auto extra = find_extra_replica(engine.placement());
+  ASSERT_TRUE(extra.has_value()) << "initial solve placed no replicas";
+
+  const std::vector<core::OnlineEvent> loss = {
+      core::ReplicaLoss{extra->first, extra->second}};
+  const core::BatchOutcome out = engine.apply_events(loss);
+  EXPECT_EQ(out.replicas_lost, 1u);
+  EXPECT_GT(out.dirty_agents, 0u);
+  EXPECT_TRUE(out.oracle_checked);
+}
+
+TEST(OnlineMechanismTest, ServerFailLoseEverythingThenRejoin) {
+  core::OnlineMechanism engine(dispersed_instance(), oracle_config());
+  const auto extra = find_extra_replica(engine.placement());
+  ASSERT_TRUE(extra.has_value());
+  const drp::ServerId victim = extra->first;
+
+  const std::vector<core::OnlineEvent> fail = {core::ServerFail{victim}};
+  const core::BatchOutcome failed = engine.apply_events(fail);
+  EXPECT_GE(failed.replicas_lost, 1u);
+  EXPECT_TRUE(failed.oracle_checked);
+  EXPECT_TRUE(engine.server_failed(victim));
+  // The failed server holds nothing beyond its primaries and can win nothing.
+  EXPECT_EQ(engine.problem().capacity[victim],
+            engine.placement().used_capacity(victim));
+
+  const std::vector<core::OnlineEvent> join = {core::ServerJoin{victim}};
+  const core::BatchOutcome joined = engine.apply_events(join);
+  EXPECT_TRUE(joined.oracle_checked);
+  EXPECT_FALSE(engine.server_failed(victim));
+
+  // Double-fail is rejected.
+  const std::vector<core::OnlineEvent> refail = {core::ServerFail{victim}};
+  ASSERT_NO_THROW(engine.apply_events(refail));
+  EXPECT_THROW(engine.apply_events(refail), std::invalid_argument);
+}
+
+TEST(OnlineMechanismTest, ObjectDeleteAndRecreateRoundTrip) {
+  core::OnlineMechanism engine(dispersed_instance(), oracle_config());
+  const auto extra = find_extra_replica(engine.placement());
+  ASSERT_TRUE(extra.has_value());
+  const drp::ObjectIndex k = extra->second;
+  const std::uint64_t reads_before = engine.problem().access.total_reads(k);
+  ASSERT_GT(reads_before, 0u);
+
+  const std::vector<core::OnlineEvent> del = {core::ObjectDelete{k}};
+  const core::BatchOutcome deleted = engine.apply_events(del);
+  EXPECT_TRUE(deleted.oracle_checked);
+  EXPECT_TRUE(engine.object_deleted(k));
+  EXPECT_EQ(engine.problem().access.total_reads(k), 0u);
+  EXPECT_EQ(engine.problem().access.total_writes(k), 0u);
+  // Only the primary survives.
+  EXPECT_EQ(engine.placement().replicators(k).size(), 1u);
+
+  const std::vector<core::OnlineEvent> create = {core::ObjectCreate{k}};
+  const core::BatchOutcome created = engine.apply_events(create);
+  EXPECT_TRUE(created.oracle_checked);
+  EXPECT_FALSE(engine.object_deleted(k));
+  EXPECT_EQ(engine.problem().access.total_reads(k), reads_before);
+
+  // Deleting twice / creating an active object is rejected.
+  EXPECT_THROW(engine.apply_events(
+                   std::vector<core::OnlineEvent>{core::ObjectCreate{k}}),
+               std::invalid_argument);
+}
+
+TEST(OnlineMechanismTest, InvalidEventsAreRejected) {
+  core::OnlineMechanism engine(dispersed_instance(), oracle_config());
+  const drp::Problem& p = engine.problem();
+  // Loss of a replica nobody holds.
+  drp::ServerId non_rep = 0;
+  const drp::ObjectIndex k0 = 0;
+  while (engine.placement().is_replicator(non_rep, k0)) ++non_rep;
+  EXPECT_THROW(
+      engine.apply_events(std::vector<core::OnlineEvent>{
+          core::ReplicaLoss{non_rep, k0}}),
+      std::invalid_argument);
+  // Primary loss is not a thing.
+  EXPECT_THROW(
+      engine.apply_events(std::vector<core::OnlineEvent>{
+          core::ReplicaLoss{p.primary[k0], k0}}),
+      std::invalid_argument);
+}
+
+TEST(OnlineMechanismTest, OutcomeAccountingAddsUp) {
+  core::OnlineMechanism engine(dispersed_instance(), oracle_config());
+  const auto extra = find_extra_replica(engine.placement());
+  ASSERT_TRUE(extra.has_value());
+  engine.apply_events(std::vector<core::OnlineEvent>{
+      core::ReplicaLoss{extra->first, extra->second}});
+
+  std::uint64_t won = 0;
+  for (const core::AgentOutcome& o : engine.agent_outcomes()) {
+    won += o.objects_won;
+  }
+  EXPECT_EQ(won, engine.initial_rounds() + engine.repair_rounds_total());
+}
+
+// ---------------------------------------------- bounded repair + carryover
+
+TEST(OnlineMechanismTest, BoundedRepairCarriesOverAndConvergesIdentically) {
+  // Engine A caps repair at one allocation per batch; engine B is
+  // unbounded.  After A drains through empty batches both must hold
+  // byte-identical placements — the carryover preserves the exact round
+  // sequence.
+  core::OnlineConfig capped = oracle_config();
+  capped.max_repair_rounds = 1;
+  core::OnlineMechanism a(dispersed_instance(), capped);
+  core::OnlineMechanism b(dispersed_instance(), oracle_config());
+
+  // A demand surge big enough to need several repair rounds: every reader
+  // of a few objects doubles its reads.
+  std::vector<core::OnlineEvent> surge;
+  const drp::Problem& p = b.problem();
+  for (drp::ObjectIndex k = 0; k < p.object_count() && k < 24; ++k) {
+    for (const drp::ServerId i : p.access.readers(k)) {
+      const std::uint64_t r = p.access.reads(i, k);
+      if (r > 0) {
+        surge.push_back(
+            core::DemandDelta{i, k, static_cast<std::int64_t>(r), 0});
+      }
+    }
+  }
+  ASSERT_FALSE(surge.empty());
+
+  const core::BatchOutcome full = b.apply_events(surge);
+  ASSERT_TRUE(full.drained);
+  ASSERT_GE(full.repair_rounds, 2u)
+      << "surge too small to exercise the round cap";
+
+  core::BatchOutcome step = a.apply_events(surge);
+  EXPECT_FALSE(step.drained);
+  EXPECT_FALSE(step.oracle_checked);  // identity is only claimed at drain
+  EXPECT_FALSE(a.pending_carryover().empty());
+  std::size_t rounds = step.repair_rounds;
+  std::size_t guard = 0;
+  while (!step.drained) {
+    ASSERT_LT(++guard, 200u) << "bounded repair failed to drain";
+    step = a.apply_events({});
+    rounds += step.repair_rounds;
+  }
+  EXPECT_TRUE(step.oracle_checked);
+  EXPECT_TRUE(a.pending_carryover().empty());
+  EXPECT_EQ(rounds, full.repair_rounds);
+
+  std::string why;
+  EXPECT_TRUE(core::placements_identical(a.placement(), b.placement(), &why))
+      << why;
+}
+
+// ----------------------------------------------- randomized event streams
+
+void run_randomized_stream(drp::Problem problem, std::uint64_t seed,
+                           std::size_t batches) {
+  core::OnlineMechanism engine(std::move(problem), oracle_config());
+  runtime::OnlineEventModel model;
+  model.seed = seed;
+  // Aggressive rates so every event type fires within the stream.
+  model.replica_loss_rate = 0.05;
+  model.server_fail_rate = 0.02;
+  model.server_recover_rate = 0.5;
+  model.demand_drift_moves = 6;
+  model.flash_crowd_probability = 0.2;
+  model.object_churn_probability = 0.3;
+  runtime::OnlineEventSource source(engine, model);
+
+  const sim::OnlineStreamStats stats =
+      sim::run_online_stream(engine, source, batches);
+  EXPECT_EQ(stats.batches, batches);
+  // Unbounded repair: every batch drains, so every batch is oracle-checked.
+  EXPECT_EQ(stats.oracle_checked, batches);
+  EXPECT_GT(stats.events, 0u);
+  // The mean-field churn must actually exercise loss-driven re-replication.
+  EXPECT_GT(stats.replicas_lost, 0u);
+  EXPECT_EQ(stats.final_cost,
+            drp::CostModel::total_cost(engine.placement()));
+}
+
+TEST(OnlineMechanismTest, RandomizedStreamsStayByteIdenticalDispersed) {
+  run_randomized_stream(dispersed_instance(), 101, 25);
+  run_randomized_stream(dispersed_instance(48, 192, 9), 202, 15);
+}
+
+TEST(OnlineMechanismTest, RandomizedStreamsStayByteIdenticalTrace) {
+  run_randomized_stream(testutil::small_instance(13, 24, 96), 303, 20);
+}
+
+TEST(OnlineMechanismTest, RandomizedStreamWithBoundedRepair) {
+  core::OnlineConfig capped = oracle_config();
+  capped.max_repair_rounds = 2;
+  core::OnlineMechanism engine(dispersed_instance(), capped);
+  runtime::OnlineEventModel model;
+  model.seed = 404;
+  model.replica_loss_rate = 0.05;
+  model.flash_crowd_probability = 0.3;
+  runtime::OnlineEventSource source(engine, model);
+  const sim::OnlineStreamStats stats =
+      sim::run_online_stream(engine, source, 20);
+  EXPECT_EQ(stats.batches, 20u);
+  // Drain whatever is still pending, then the oracle must hold.
+  std::size_t guard = 0;
+  while (!engine.pending_carryover().empty()) {
+    ASSERT_LT(++guard, 500u);
+    engine.apply_events({});
+  }
+  const core::BatchOutcome final_check = engine.apply_events({});
+  EXPECT_TRUE(final_check.oracle_checked);
+}
+
+}  // namespace

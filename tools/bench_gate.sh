@@ -96,7 +96,8 @@ KEY = ("benchmark", "servers", "objects", "demand", "layout",
 GATED = ("mechanism_full_run", "baseline_run", "kernel_object_cost",
          "kernel_nn_min", "kernel_global_benefit", "kernel_best_add_scan",
          "regional_engine_run", "regional_tiled_run",
-         "ablation_regional_sweep")
+         "ablation_regional_sweep", "online_event_run",
+         "online_fromscratch_run")
 
 def rows(*paths):
     out = {}

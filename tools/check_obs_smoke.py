@@ -41,6 +41,17 @@ REGIONAL_DECISIONS = [
     "parallel_agents",
     "pool_workers",
 ]
+ONLINE_DECISIONS = [
+    "batches",
+    "max_repair_rounds",
+    "differential_oracle",
+    "report_mode_requested",
+    "parallel_agents",
+    "pool_workers",
+]
+# Counters the online engine must have bumped across a timed stream when the
+# binary is instrumented (-DAGTRAM_OBS=ON).
+ONLINE_COUNTERS = ["online.batches", "online.events"]
 
 
 def fail(message):
@@ -79,11 +90,19 @@ def main():
         for r in rows
         if r.get("benchmark") in ("regional_engine_run", "regional_tiled_run")
     ]
-    if not mech or not auto or not base or not regional:
+    online = [r for r in rows if r.get("benchmark") == "online_event_run"]
+    online_identity = [
+        r for r in rows if r.get("benchmark") == "online_identity_check"
+    ]
+    online_speedup = [
+        r for r in rows if r.get("benchmark") == "online_speedup"
+    ]
+    if not mech or not auto or not base or not regional or not online:
         fail(
             f"{bench_path}: expected mechanism_full_run / mechanism_auto_mode"
-            f" / baseline_run / regional rows, got"
+            f" / baseline_run / regional / online rows, got"
             f" {len(mech)}/{len(auto)}/{len(base)}/{len(regional)}"
+            f"/{len(online)}"
         )
 
     for row in mech + auto:
@@ -124,6 +143,27 @@ def main():
             if not obs.get("counters"):
                 fail(f"{row['benchmark']} row: no counter deltas")
 
+    for row in online:
+        obs = check_decisions(row, ONLINE_DECISIONS, "online_event_run row")
+        if expect_counters:
+            if not obs.get("enabled"):
+                fail("online_event_run row: obs.enabled is false")
+            counters = obs.get("counters") or {}
+            for key in ONLINE_COUNTERS:
+                if key not in counters:
+                    fail(f"online_event_run row: counters missing '{key}'")
+    for row in online_identity:
+        if not row.get("oracle_checks"):
+            fail("online_identity_check row ran no oracle re-solves")
+        if not row.get("ok"):
+            fail("online_identity_check row reports ok=false")
+    for row in online_speedup:
+        if row.get("gated") and not row.get("ok"):
+            fail(
+                "online_speedup row under its floor "
+                f"({row.get('speedup_per_event')}x < {row.get('floor')}x)"
+            )
+
     metas, rounds = 0, 0
     with open(trace_path) as fh:
         for n, line in enumerate(fh, 1):
@@ -152,6 +192,7 @@ def main():
     print(
         f"check_obs_smoke: OK — {len(mech)} mechanism rows, {len(auto)} auto"
         f" rows, {len(base)} baseline rows, {len(regional)} regional rows,"
+        f" {len(online)} online rows,"
         f" {metas} traces, {rounds} round"
         f" lines{' (counters required)' if expect_counters else ''}"
     )
