@@ -24,6 +24,9 @@
 //   --online-batches=N                     event batches per timed stream
 //   --online-oracle-batches=N              batches in the oracle-ON pass
 //   --online-reps=N                        stream timing repetitions
+//   --serving=0                            skip the serving-layer family
+//   --serving-batches=N                    request batches per policy stream
+//   --serving-reps=N                       serving timing repetitions
 //   --json=PATH                            output path
 //   --obs-trace=PATH                       per-round JSONL from an untimed
 //                                          Auto-mode run per family
@@ -38,6 +41,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -59,7 +63,11 @@
 #include "net/shortest_paths.hpp"
 #include "net/topology.hpp"
 #include "obs_writer.hpp"
+#include "percentiles.hpp"
 #include "runtime/event_sim.hpp"
+#include "runtime/message_bus.hpp"
+#include "srv/serving_engine.hpp"
+#include "srv/workload.hpp"
 
 namespace {
 
@@ -290,6 +298,14 @@ struct TrajectoryOptions {
   int online_batches = 64;
   int online_oracle_batches = 12;
   int online_reps = 2;
+  /// Serving family: srv::ServingEngine replaying one drifting synthetic
+  /// request stream under all three re-convergence policies.  OnDrift's
+  /// total re-convergence wall time is gated >= 10x cheaper than re-solving
+  /// after every batch (mech scale), and the final routing snapshot is
+  /// checked cell for cell against the naive nearest-replica scan.
+  bool serving = true;
+  int serving_batches = 48;
+  int serving_reps = 2;
   std::string json_path = bench::kMechanismJsonPath;
   /// Per-round JSONL sink (--obs-trace=PATH): one meta line per traced
   /// Auto-mode run, then one line per mechanism round.  Round lines carry
@@ -1776,6 +1792,265 @@ bool run_online_family(bench::JsonWriter& json, const drp::Problem& p,
   return speedup_ok && identity_ok;
 }
 
+// ---------------------------------------------------------------------------
+// Serving-layer family (DESIGN.md §13): srv::ServingEngine replays the same
+// drifting synthetic request stream — millions of routed reads/writes — under
+// each re-convergence policy and reports what the serving plane observes:
+//  * serving_replay_run     — OnDrift: drift-triggered OnlineMechanism
+//                             repair + bounded eviction; routing throughput,
+//                             sampled query latency, the exact read-cost
+//                             distribution, and the wire-byte split,
+//  * serving_static_run     — solve once, never re-converge (the
+//                             placement-quality floor under drift),
+//  * serving_resolve_run    — cold full re-solve after every batch (what
+//                             staying converged costs without the engine),
+//  * serving_speedup        — resolve re-convergence seconds over OnDrift
+//                             re-convergence seconds on identical streams,
+//                             gated >= 10x at mech scale,
+//  * serving_identity_check — the final OnDrift snapshot scanned cell for
+//                             cell against the naive nearest-replica oracle.
+
+/// Speedup floor, applied only at the scale it was calibrated for.
+constexpr double kServingSpeedupFloorMech = 10.0;
+
+struct ServingOutcome {
+  std::unique_ptr<runtime::MessageBus> bus;
+  std::unique_ptr<srv::ServingEngine> engine;
+};
+
+srv::ServingConfig serving_config(srv::ReconvergePolicy policy,
+                                  runtime::MessageBus* bus) {
+  srv::ServingConfig cfg;
+  cfg.policy = policy;
+  cfg.eviction_limit = 32;
+  cfg.bus = bus;
+  return cfg;
+}
+
+srv::WorkloadConfig serving_workload(std::uint32_t objects) {
+  srv::WorkloadConfig w;
+  w.requests_per_batch = 4096;
+  w.mean_count = 8;
+  w.drift_interval = 2;
+  w.drift_fraction = 0.5;
+  // Redirect 1/4 of the catalogue per step: the trigger's L1 signal scales
+  // with the fraction of objects moved, so a fixed count would vanish at
+  // mech scale and a mild schedule would sit inside the sampling-noise
+  // floor for the whole stream.
+  w.drift_objects = std::max<std::size_t>(16, objects / 4);
+  w.seed = 1234;
+  return w;
+}
+
+/// One full stream replay under `policy`; the stream is deterministic per
+/// seed, so repetitions re-time identical work.  The bus outlives the engine
+/// (the engine charges serving wire kinds to it during run_batch).
+ServingOutcome run_serving_pass(const drp::Problem& p,
+                                srv::ReconvergePolicy policy, int batches) {
+  ServingOutcome out;
+  out.bus = std::make_unique<runtime::MessageBus>(
+      p, runtime::MessageBus::pick_centre(p));
+  out.engine = std::make_unique<srv::ServingEngine>(
+      drp::Problem(p), serving_config(policy, out.bus.get()));
+  srv::SyntheticWorkload workload(
+      out.engine->problem(),
+      serving_workload(static_cast<std::uint32_t>(p.object_count())));
+  std::vector<srv::Request> batch;
+  for (int b = 0; b < batches; ++b) {
+    workload.next_batch(batch);
+    out.engine->run_batch(batch);
+  }
+  return out;
+}
+
+bool run_serving_family(bench::JsonWriter& json, const drp::Problem& p,
+                        std::uint32_t servers, std::uint32_t objects,
+                        int batches, int reps, double speedup_floor) {
+  const auto run_best = [&](srv::ReconvergePolicy policy) {
+    ServingOutcome best;
+    for (int rep = 0; rep < reps; ++rep) {
+      ServingOutcome out = run_serving_pass(p, policy, batches);
+      if (!best.engine || out.engine->stats().total_seconds() <
+                              best.engine->stats().total_seconds()) {
+        best = std::move(out);
+      }
+    }
+    return best;
+  };
+
+  const auto policy_row = [&](const char* name, const ServingOutcome& out,
+                              bench::JsonWriter::Record* obs) {
+    srv::ServingStats stats = out.engine->stats();  // summaries sort in place
+    const bench::PercentileSummary query =
+        bench::summarize_samples(stats.query_ns);
+    const bench::PercentileSummary cost =
+        bench::summarize_histogram(stats.read_cost_histogram);
+    const runtime::MessageStats& wire = out.bus->stats();
+    bench::JsonWriter::Record row;
+    row.field("benchmark", name)
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", "dispersed")
+        .field("batches", stats.batches)
+        .field("requests", stats.requests)
+        .field("reads", stats.reads)
+        .field("writes", stats.writes)
+        .field("seconds", stats.total_seconds())
+        .field("serve_seconds", stats.serve_seconds)
+        .field("reconverge_seconds", stats.reconverge_seconds)
+        .field("requests_per_second",
+               stats.serve_seconds > 0.0
+                   ? static_cast<double>(stats.requests) / stats.serve_seconds
+                   : 0.0)
+        .field("query_p50_ns", query.p50)
+        .field("query_p99_ns", query.p99)
+        .field("read_cost_mean", cost.mean)
+        .field("read_cost_p99", cost.p99)
+        .field("local_read_fraction",
+               stats.reads > 0
+                   ? static_cast<double>(stats.local_reads) /
+                         static_cast<double>(stats.reads)
+                   : 0.0)
+        .field("units_moved", stats.read_units + stats.write_units)
+        .field("installs", stats.installs)
+        .field("drift_triggers", stats.drift_triggers)
+        .field("reconverges", stats.reconverges)
+        .field("repair_rounds", stats.repair_rounds)
+        .field("replicas_evicted", stats.replicas_evicted)
+        .field("demand_delta_cells", stats.demand_delta_cells)
+        .field("route_bytes", wire.route_bytes)
+        .field("delta_bytes", wire.delta_bytes)
+        .field("install_bytes", wire.install_bytes);
+    if (obs != nullptr) row.object_field("obs", *obs);
+    json.add(std::move(row));
+    std::printf("serving %ux%u %s: %llu requests, %.0f req/s, read cost "
+                "%.2f mean / %.0f p99, %llu reconverges (%.3fs), %llu "
+                "evicted\n",
+                servers, objects, name,
+                static_cast<unsigned long long>(stats.requests),
+                stats.serve_seconds > 0.0
+                    ? static_cast<double>(stats.requests) / stats.serve_seconds
+                    : 0.0,
+                cost.mean, cost.p99,
+                static_cast<unsigned long long>(stats.reconverges),
+                stats.reconverge_seconds,
+                static_cast<unsigned long long>(stats.replicas_evicted));
+  };
+
+  // The system under test, instrumented; keep the best engine alive for the
+  // identity scan below.
+  const bench::ObsSnapshot before = bench::ObsSnapshot::take();
+  const ServingOutcome ondrift = run_best(srv::ReconvergePolicy::OnDrift);
+  const bench::ObsSnapshot after = bench::ObsSnapshot::take();
+  bench::JsonWriter::Record obs = bench::obs_block(
+      bench::serving_decisions(serving_config(srv::ReconvergePolicy::OnDrift,
+                                              nullptr),
+                               static_cast<std::uint64_t>(batches)),
+      before, after, static_cast<std::uint64_t>(reps));
+  policy_row("serving_replay_run", ondrift, &obs);
+
+  const ServingOutcome stat = run_best(srv::ReconvergePolicy::Static);
+  policy_row("serving_static_run", stat, nullptr);
+  const ServingOutcome resolve = run_best(srv::ReconvergePolicy::EveryBatch);
+  policy_row("serving_resolve_run", resolve, nullptr);
+
+  // Re-convergence cost head to head on identical streams.  The gate also
+  // requires OnDrift to have actually re-converged: a trigger that never
+  // fires under this much drift would make the ratio vacuous while read
+  // cost silently degrades toward the static floor.
+  const double resolve_reconv = resolve.engine->stats().reconverge_seconds;
+  const double ondrift_reconv = ondrift.engine->stats().reconverge_seconds;
+  const std::uint64_t reconverges = ondrift.engine->stats().reconverges;
+  const double speedup =
+      ondrift_reconv > 0.0 ? resolve_reconv / ondrift_reconv : 0.0;
+  const double total_speedup =
+      ondrift.engine->stats().total_seconds() > 0.0
+          ? resolve.engine->stats().total_seconds() /
+                ondrift.engine->stats().total_seconds()
+          : 0.0;
+  const bool gated = speedup_floor > 0.0;
+  const bool speedup_ok =
+      !gated || (reconverges > 0 && speedup >= speedup_floor);
+  bench::JsonWriter::Record sp;
+  sp.field("benchmark", "serving_speedup")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", "dispersed")
+      .field("resolve_reconverge_seconds", resolve_reconv)
+      .field("ondrift_reconverge_seconds", ondrift_reconv)
+      .field("ondrift_reconverges", reconverges)
+      .field("speedup", speedup)
+      .field("total_speedup", total_speedup)
+      .field("floor", speedup_floor)
+      .field("gated", gated)
+      .field("ok", speedup_ok);
+  json.add(std::move(sp));
+  std::printf("serving %ux%u speedup: %.0fx re-convergence, %.1fx "
+              "end-to-end (floor %s%.0fx)\n",
+              servers, objects, speedup, total_speedup,
+              gated ? "" : "ungated ", speedup_floor);
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "FAIL: drift-triggered re-convergence on %ux%u only %.1fx "
+                 "cheaper than re-solve-every-batch across %llu reconverges "
+                 "(floor %.0fx)\n",
+                 servers, objects, speedup,
+                 static_cast<unsigned long long>(reconverges), speedup_floor);
+  }
+
+  // Byte-identity of the routing plane: every structural cell of the final
+  // OnDrift snapshot must route exactly like the naive nearest-replica scan
+  // over the live placement.
+  bool identity_ok = true;
+  std::string identity_why;
+  std::uint64_t cells = 0;
+  {
+    const srv::RoutingSnapshot* snap = ondrift.engine->snapshot();
+    const drp::ReplicaPlacement& placement = ondrift.engine->placement();
+    const drp::Problem& q = ondrift.engine->problem();
+    for (drp::ObjectIndex k = 0;
+         identity_ok && k < q.object_count(); ++k) {
+      const auto cell_servers = q.access.accessor_servers(k);
+      for (std::size_t slot = 0; slot < cell_servers.size(); ++slot) {
+        const srv::RouteDecision route =
+            snap->route_read(k, static_cast<std::uint32_t>(slot));
+        net::Cost best = std::numeric_limits<net::Cost>::max();
+        for (const drp::ServerId r : placement.replicators(k)) {
+          best = std::min(best, q.distance(cell_servers[slot], r));
+        }
+        if (route.distance != best ||
+            !placement.is_replicator(route.server, k) ||
+            q.distance(cell_servers[slot], route.server) != route.distance) {
+          identity_ok = false;
+          identity_why = "object " + std::to_string(k) + " slot " +
+                         std::to_string(slot);
+          break;
+        }
+        ++cells;
+      }
+    }
+  }
+  bench::JsonWriter::Record identity;
+  identity.field("benchmark", "serving_identity_check")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", "dispersed")
+      .field("cells", cells)
+      .field("epoch", ondrift.engine->snapshot()->epoch())
+      .field("ok", identity_ok);
+  json.add(std::move(identity));
+  if (identity_ok) {
+    std::printf("serving %ux%u identity: %llu cells match the naive scan\n",
+                servers, objects, static_cast<unsigned long long>(cells));
+  } else {
+    std::fprintf(stderr,
+                 "FAIL: serving snapshot diverged from the naive "
+                 "nearest-replica scan on %ux%u at %s\n",
+                 servers, objects, identity_why.c_str());
+  }
+  return speedup_ok && identity_ok;
+}
+
 int write_mechanism_trajectory(const TrajectoryOptions& opts) {
   bench::JsonWriter json;
   bool parallel_ok = true;
@@ -1904,6 +2179,18 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
     }
   }
 
+  bool serving_ok = true;
+  if (opts.serving) {
+    // Mech scale only: the resolve baseline pays a cold solve per batch, so
+    // paper scale would spend minutes re-measuring what online_fromscratch
+    // already pins down.
+    serving_ok = run_serving_family(
+        json, dispersed_instance(opts.mech_servers, opts.mech_objects),
+        opts.mech_servers, opts.mech_objects, opts.serving_batches,
+        opts.serving_reps,
+        opts.mech_servers >= 256 ? kServingSpeedupFloorMech : 0.0);
+  }
+
   if (trace) {
     trace->close();
     std::printf("obs trace written to %s\n", opts.obs_trace_path.c_str());
@@ -1943,6 +2230,12 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
     std::fprintf(stderr,
                  "online re-convergence policy violated (see online_speedup "
                  "/ online_identity_check rows)\n");
+    return 1;
+  }
+  if (!serving_ok) {
+    std::fprintf(stderr,
+                 "serving-layer policy violated (see serving_speedup / "
+                 "serving_identity_check rows)\n");
     return 1;
   }
   return 0;
@@ -2020,6 +2313,12 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
       opts.online_oracle_batches = std::atoi(v);
     } else if (value_of(argv[i], "--online-reps", &v)) {
       opts.online_reps = std::atoi(v);
+    } else if (value_of(argv[i], "--serving", &v)) {
+      opts.serving = std::atoi(v) != 0;
+    } else if (value_of(argv[i], "--serving-batches", &v)) {
+      opts.serving_batches = std::atoi(v);
+    } else if (value_of(argv[i], "--serving-reps", &v)) {
+      opts.serving_reps = std::atoi(v);
     } else if (value_of(argv[i], "--json", &v)) {
       opts.json_path = v;
     } else if (value_of(argv[i], "--obs-trace", &v)) {
@@ -2035,7 +2334,8 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
          opts.reps > 0 && opts.paper_reps > 0 && opts.baseline_reps > 0 &&
          opts.regional_reps > 0 && opts.regional_budget_mb > 0.0 &&
          opts.online_batches > 0 && opts.online_oracle_batches > 0 &&
-         opts.online_reps > 0 &&
+         opts.online_reps > 0 && opts.serving_batches > 0 &&
+         opts.serving_reps > 0 &&
          (!opts.paper_scale ||
           (opts.paper_servers > 0 && opts.paper_objects > 0));
 }

@@ -28,6 +28,7 @@
 #include "core/regional.hpp"
 #include "drp/delta_evaluator.hpp"
 #include "obs/obs.hpp"
+#include "srv/serving_engine.hpp"
 
 namespace agtram::bench {
 
@@ -165,6 +166,31 @@ inline JsonWriter::Record online_decisions(const core::OnlineConfig& config,
   record.field("report_mode_requested",
                report_mode_name(config.mechanism.report_mode));
   record.field("parallel_agents", config.mechanism.parallel_agents);
+  record.field("pool_workers",
+               static_cast<std::uint64_t>(
+                   common::ThreadPool::shared().thread_count()));
+  return record;
+}
+
+/// The serving-layer decisions for one bench row: the re-convergence policy,
+/// the drift-trigger thresholds it watches, the eviction budget each repair
+/// may spend, and the routing fan-out inputs.
+inline JsonWriter::Record serving_decisions(const srv::ServingConfig& config,
+                                            std::uint64_t batches) {
+  JsonWriter::Record record;
+  record.field("batches", batches);
+  const char* policy = "ondrift";
+  if (config.policy == srv::ReconvergePolicy::Static) policy = "static";
+  if (config.policy == srv::ReconvergePolicy::EveryBatch) policy = "resolve";
+  record.field("policy", policy);
+  record.field("volume_drift_threshold", config.volume_drift_threshold);
+  record.field("cost_regression_threshold", config.cost_regression_threshold);
+  record.field("min_window_requests", config.min_window_requests);
+  record.field("eviction_limit",
+               static_cast<std::uint64_t>(config.eviction_limit));
+  record.field("latency_sample_every",
+               static_cast<std::uint64_t>(config.latency_sample_every));
+  record.field("shards", static_cast<std::uint64_t>(config.shards));
   record.field("pool_workers",
                static_cast<std::uint64_t>(
                    common::ThreadPool::shared().thread_count()));

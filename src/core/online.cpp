@@ -72,6 +72,7 @@ OnlineMechanism::OnlineMechanism(drp::Problem problem, OnlineConfig config)
   deleted_.assign(n, 0);
   stash_.resize(n);
   dirty_flag_.assign(m, 0);
+  demand_touched_flag_.assign(n, 0);
   agents_.resize(m);
 
   AGTRAM_OBS_SPAN("online.initial_solve");
@@ -90,6 +91,13 @@ void OnlineMechanism::mark_dirty(drp::ServerId i) {
   if (dirty_flag_[i] == 0) {
     dirty_flag_[i] = 1;
     dirty_.push_back(i);
+  }
+}
+
+void OnlineMechanism::mark_demand_touched(drp::ObjectIndex k) {
+  if (demand_touched_flag_[k] == 0) {
+    demand_touched_flag_[k] = 1;
+    demand_touched_.push_back(k);
   }
 }
 
@@ -119,6 +127,7 @@ void OnlineMechanism::apply_one(const OnlineEvent& event, BatchOutcome& out) {
                                         d->delta_writes);
     eval_->refresh_after_demand_change(d->object);
     mark_dirty(d->server);
+    mark_demand_touched(d->object);
     if (d->delta_writes != 0) {
       // w_total(k) enters every reader's broadcast price, so a write delta
       // can move any reader's valuation (in either direction).
@@ -235,6 +244,7 @@ void OnlineMechanism::apply_one(const OnlineEvent& event, BatchOutcome& out) {
   stash_[k].clear();
   eval_->refresh_after_demand_change(k);
   deleted_[k] = 0;
+  mark_demand_touched(k);
   for (const drp::ServerId i : access.readers(k)) mark_dirty(i);
 }
 
@@ -303,8 +313,64 @@ BatchOutcome OnlineMechanism::apply_events(std::span<const OnlineEvent> batch) {
     AGTRAM_OBS_COUNT("online.oracle_checks", 1);
   }
 
+  // Bounded eviction pass: only after a drained batch (an un-drained batch
+  // already carries its whole participant set; its objects get re-marked by
+  // the deltas that keep arriving).  The touched-object list is per batch.
+  if (config_.eviction_limit > 0 && out.drained && !demand_touched_.empty()) {
+    run_eviction(out);
+  }
+  for (const drp::ObjectIndex k : demand_touched_) demand_touched_flag_[k] = 0;
+  demand_touched_.clear();
+
   out.total_cost = eval_->total();
   return out;
+}
+
+void OnlineMechanism::run_eviction(BatchOutcome& out) {
+  AGTRAM_OBS_SPAN("online.evict");
+  std::size_t budget = config_.eviction_limit;
+  const std::size_t carryover_mark = carryover_.size();
+  for (const drp::ObjectIndex k : demand_touched_) {
+    if (budget == 0) break;
+    if (deleted_[k]) continue;
+    const drp::ServerId primary = problem_->primary[k];
+    while (budget > 0) {
+      // Most negative drop benefit among k's non-primary replicators; the
+      // replicator span invalidates on mutation, so re-scan per drop.
+      drp::ServerId victim = 0;
+      double best = 0.0;
+      bool found = false;
+      for (const drp::ServerId r : eval_->placement().replicators(k)) {
+        if (r == primary) continue;
+        const double delta = eval_->delta_of_drop(r, k);
+        if (delta < best) {
+          best = delta;
+          victim = r;
+          found = true;
+        }
+      }
+      if (!found) break;  // every remaining replica still pays its way
+      eval_->remove_replica(victim, k);
+      --budget;
+      ++out.replicas_evicted;
+      out.eviction_cost_delta += best;
+      AGTRAM_OBS_COUNT("online.replicas_evicted", 1);
+      // A drop only *raises* valuations, and only for object k's readers
+      // (their NN distance may grow back) and the victim (freed capacity
+      // may revive any of its retired-infeasible bids).  Queue exactly
+      // those agents for the next batch's repair so the monotone-
+      // retirement identity argument keeps holding batch to batch.
+      carryover_.push_back(victim);
+      for (const drp::ServerId i : problem_->access.readers(k)) {
+        carryover_.push_back(i);
+      }
+    }
+  }
+  if (carryover_.size() > carryover_mark) {
+    std::sort(carryover_.begin(), carryover_.end());
+    carryover_.erase(std::unique(carryover_.begin(), carryover_.end()),
+                     carryover_.end());
+  }
 }
 
 void OnlineMechanism::run_oracle(drp::ReplicaPlacement pre_repair,

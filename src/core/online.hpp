@@ -124,11 +124,24 @@ struct OnlineConfig {
   /// whole participant set into the next batch — allocations only lower
   /// other agents' valuations, so the un-drained bids all live inside it.
   std::size_t max_repair_rounds = 0;
+  /// Demand-aware eviction (DESIGN.md §13): after the repair run of a
+  /// *drained* batch, walk the objects whose demand the batch touched and
+  /// repeatedly drop the non-primary replica with the most negative
+  /// delta-OTC drop benefit (DeltaEvaluator::delta_of_drop < 0 means the
+  /// total cost strictly falls without it), at most this many drops per
+  /// batch (0 = off).  The mechanism itself never evicts, so under drift a
+  /// replica placed for yesterday's mix can turn into pure broadcast
+  /// weight; this bounded pass retires it.  Every drop only *raises* other
+  /// agents' valuations for that object, so the evicting servers and the
+  /// object's readers are carried into the next batch's dirty set — the
+  /// monotone-retirement identity argument then holds batch to batch.
+  std::size_t eviction_limit = 0;
   /// After every *drained* batch, re-run the mechanism warm-started from the
   /// pre-repair placement with full participation and require byte-identical
   /// rounds, payments, placement, and NN caches; throws std::logic_error on
   /// the first mismatch.  Costs a full re-solve per batch: tests and bench
-  /// verification only.
+  /// verification only.  Checked *before* the eviction pass (the oracle
+  /// characterises the repair run, eviction is a separate post-pass).
   bool differential_oracle = false;
 };
 
@@ -141,6 +154,8 @@ struct BatchOutcome {
   std::size_t repair_rounds = 0;     ///< allocations made by the repair run
   std::size_t replicas_added = 0;    ///< == repair_rounds (one per round)
   std::size_t replicas_lost = 0;     ///< dropped by loss/fail/delete events
+  std::size_t replicas_evicted = 0;  ///< dropped by the eviction pass
+  double eviction_cost_delta = 0.0;  ///< <= 0: OTC change from evictions
   std::uint64_t reports_computed = 0;
   std::uint64_t candidate_evaluations = 0;
   double payments = 0.0;             ///< second-price charges this batch
@@ -216,7 +231,9 @@ class OnlineMechanism {
   };
 
   void mark_dirty(drp::ServerId i);
+  void mark_demand_touched(drp::ObjectIndex k);
   void apply_one(const OnlineEvent& event, BatchOutcome& out);
+  void run_eviction(BatchOutcome& out);
   void accumulate(const MechanismResult& result);
   void run_oracle(drp::ReplicaPlacement pre_repair,
                   const std::vector<RoundRecord>& repair_rounds);
@@ -233,6 +250,9 @@ class OnlineMechanism {
   std::vector<char> dirty_flag_;
   std::vector<drp::ServerId> dirty_;
   std::vector<drp::ServerId> carryover_;
+  // Objects whose demand this batch touched (eviction candidates).
+  std::vector<char> demand_touched_flag_;
+  std::vector<drp::ObjectIndex> demand_touched_;
 
   std::vector<AgentOutcome> agents_;
   std::size_t initial_rounds_ = 0;

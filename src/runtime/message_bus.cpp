@@ -66,6 +66,31 @@ void MessageBus::on_broadcast(drp::ServerId, drp::ObjectIndex,
   stats_.simulated_seconds += slowest;
 }
 
+void MessageBus::account_routes(std::uint64_t requests) {
+  stats_.route_messages += requests;
+  stats_.route_bytes += static_cast<std::uint64_t>(wire_.route) * requests;
+  AGTRAM_OBS_COUNT("bus.route_msgs", requests);
+  AGTRAM_OBS_COUNT("bus.route_bytes",
+                   static_cast<std::uint64_t>(wire_.route) * requests);
+}
+
+void MessageBus::account_demand_batch(std::uint64_t cells) {
+  stats_.delta_messages += cells;
+  stats_.delta_bytes += static_cast<std::uint64_t>(wire_.delta_cell) * cells;
+  AGTRAM_OBS_COUNT("bus.delta_msgs", cells);
+  AGTRAM_OBS_COUNT("bus.delta_bytes",
+                   static_cast<std::uint64_t>(wire_.delta_cell) * cells);
+}
+
+void MessageBus::account_install(std::uint64_t entries) {
+  stats_.install_messages += entries;
+  stats_.install_bytes +=
+      static_cast<std::uint64_t>(wire_.install_entry) * entries;
+  AGTRAM_OBS_COUNT("bus.install_msgs", entries);
+  AGTRAM_OBS_COUNT("bus.install_bytes",
+                   static_cast<std::uint64_t>(wire_.install_entry) * entries);
+}
+
 drp::ServerId MessageBus::pick_centre(const drp::Problem& problem) {
   const std::size_t m = problem.server_count();
   drp::ServerId best = 0;

@@ -39,6 +39,16 @@ struct MessageStats {
   std::uint64_t broadcast_bytes = 0;
   std::size_t rounds = 0;
 
+  // Serving-plane traffic (srv::ServingEngine, DESIGN.md §13), accounted
+  // separately from the protocol kinds above so obs blocks can split
+  // mechanism bytes from serving bytes.
+  std::uint64_t route_messages = 0;    ///< client -> serving replica reads
+  std::uint64_t route_bytes = 0;
+  std::uint64_t delta_messages = 0;    ///< demand-delta batch cells -> centre
+  std::uint64_t delta_bytes = 0;
+  std::uint64_t install_messages = 0;  ///< placement-install table entries
+  std::uint64_t install_bytes = 0;
+
   /// Simulated end-to-end protocol time: per round, the slowest report in
   /// flight plus the slowest broadcast leg (reports travel in parallel).
   double simulated_seconds = 0.0;
@@ -49,13 +59,22 @@ struct MessageStats {
   std::uint64_t total_bytes() const noexcept {
     return report_bytes + allocation_bytes + broadcast_bytes;
   }
+  std::uint64_t serving_messages() const noexcept {
+    return route_messages + delta_messages + install_messages;
+  }
+  std::uint64_t serving_bytes() const noexcept {
+    return route_bytes + delta_bytes + install_bytes;
+  }
 };
 
-/// Wire-format sizes (bytes) for the three message kinds.
+/// Wire-format sizes (bytes) for the protocol and serving message kinds.
 struct WireFormat {
   std::uint32_t report = 16;      ///< object id + fixed-point valuation
   std::uint32_t allocation = 16;  ///< object id + payment
   std::uint32_t broadcast = 12;   ///< object id + winner id
+  std::uint32_t route = 8;        ///< object id + requested version floor
+  std::uint32_t delta_cell = 24;  ///< server + object + dr + dw
+  std::uint32_t install_entry = 8;  ///< object id + replica server id
 };
 
 class MessageBus : public core::MechanismObserver {
@@ -72,6 +91,12 @@ class MessageBus : public core::MechanismObserver {
                      double payment) override;
   void on_broadcast(drp::ServerId winner, drp::ObjectIndex object,
                     std::size_t notified) override;
+
+  // Serving-plane accounting (not MechanismObserver callbacks): the
+  // ServingEngine charges its own wire kinds here from the control thread.
+  void account_routes(std::uint64_t requests);
+  void account_demand_batch(std::uint64_t cells);
+  void account_install(std::uint64_t entries);
 
   const MessageStats& stats() const noexcept { return stats_; }
   drp::ServerId centre() const noexcept { return centre_; }

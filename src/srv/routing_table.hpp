@@ -1,0 +1,149 @@
+// Serving-side routing table (DESIGN.md §13): the read/write fast path of
+// the replica-placement service.
+//
+// A RoutingSnapshot is an immutable, flat, per-object nearest-replica index
+// derived from the live drp::ReplicaPlacement: for every structural demand
+// cell (the AccessMatrix slot scheme — accessor_base(k) + slot) it holds the
+// serving replica's identity and distance, and for writes a precomputed
+// per-cell data-unit cost (ship to primary + version broadcast to the other
+// replicators, minus the writer's own incoming copy when it is itself a
+// replicator — the exact accounting of sim::replay).  Routing one request is
+// two contiguous array loads; nothing on the serve path chases the
+// placement's replicator sets or the distance matrix.
+//
+// RoutingTable publishes snapshots RCU-style through one raw
+// std::atomic<const RoutingSnapshot*>: worker threads `acquire()` a snapshot
+// once per shard (a single acquire load — no refcount traffic on the serve
+// path) and then route lock-free off its immutable arrays, while the control
+// thread `install()`s a rebuilt snapshot after every re-convergence.  A
+// worker therefore always serves a *coherent* placement — the epoch it
+// pinned — never a torn mix of two.  Reclamation is deferred: the table
+// keeps ownership of every installed snapshot until it is destroyed, so an
+// acquired pointer stays valid for the table's lifetime with no per-reader
+// grace-period bookkeeping.  Installs are drift-triggered and rare, so the
+// retired set is bounded by the install count, not the request count
+// (tests/serving_test.cpp hammers acquire-vs-install under TSan).
+//
+// std::atomic<std::shared_ptr> is deliberately not used here: libstdc++'s
+// _Sp_atomic releases its internal bit-lock with a relaxed RMW on the load
+// path, so the reader's read of the pointer field is not formally ordered
+// against the next installer's write — TSan (correctly, per the memory
+// model) reports that as a race.  The raw-pointer + deferred-ownership
+// scheme is both cleanly ordered and cheaper.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "drp/placement.hpp"
+#include "drp/problem.hpp"
+#include "net/shortest_paths.hpp"
+
+namespace agtram::srv {
+
+/// Where a read was routed: the serving replica and the path cost of the
+/// serving hop (0 when the reader holds a replica itself).
+struct RouteDecision {
+  drp::ServerId server;
+  net::Cost distance;
+};
+
+class RoutingSnapshot {
+ public:
+  /// Copies the placement's flat NN caches and precomputes the per-cell
+  /// write cost.  O(nnz + total replicas); the snapshot holds no reference
+  /// to the placement afterwards (it may mutate freely), only to the
+  /// Problem, whose structural support is immutable (fixed-universe model,
+  /// DESIGN.md §12) — demand *values* may drift, routing never reads them.
+  RoutingSnapshot(const drp::ReplicaPlacement& placement, std::uint64_t epoch);
+
+  const drp::Problem& problem() const noexcept { return *problem_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  std::size_t replica_count() const noexcept { return replica_count_; }
+
+  /// Routes a read issued from accessor slot `slot` of object k.
+  RouteDecision route_read(drp::ObjectIndex k, std::uint32_t slot) const {
+    const std::size_t idx = problem_->access.accessor_base(k) + slot;
+    return {nn_node_[idx], nn_dist_[idx]};
+  }
+
+  /// Data units moved by one read from that cell: o_k x serving distance.
+  double read_units(drp::ObjectIndex k, std::uint32_t slot) const {
+    const std::size_t idx = problem_->access.accessor_base(k) + slot;
+    return static_cast<double>(problem_->object_units[k]) *
+           static_cast<double>(nn_dist_[idx]);
+  }
+
+  /// Data units moved by one write from that cell: ship to the primary plus
+  /// the primary's version broadcast to every other replicator, excluding
+  /// the writer's own incoming copy when it replicates k (sim::replay's
+  /// accounting).  Precomputed at build time, one load at serve time.
+  double write_units(drp::ObjectIndex k, std::uint32_t slot) const {
+    return write_units_[problem_->access.accessor_base(k) + slot];
+  }
+
+  /// Object k's serving distances / replica identities, parallel to
+  /// access.accessors(k) — the oracle tests compare these rows wholesale.
+  std::span<const net::Cost> nn_row(drp::ObjectIndex k) const {
+    const std::size_t base = problem_->access.accessor_base(k);
+    return {nn_dist_.data() + base,
+            problem_->access.accessor_base(k + 1) - base};
+  }
+  std::span<const drp::ServerId> nn_node_row(drp::ObjectIndex k) const {
+    const std::size_t base = problem_->access.accessor_base(k);
+    return {nn_node_.data() + base,
+            problem_->access.accessor_base(k + 1) - base};
+  }
+
+ private:
+  const drp::Problem* problem_;
+  std::uint64_t epoch_;
+  std::size_t replica_count_;
+  std::vector<net::Cost> nn_dist_;      ///< per cell, slot scheme
+  std::vector<drp::ServerId> nn_node_;  ///< per cell, slot scheme
+  std::vector<double> write_units_;     ///< per cell, slot scheme
+};
+
+/// Epoch-published routing state.  acquire() is one atomic load; install()
+/// is one atomic store plus a mutex-guarded append to the retire list.  The
+/// per-request route itself never touches the atomic (workers pin a snapshot
+/// per shard), so serving throughput is independent of install frequency.
+class RoutingTable {
+ public:
+  /// Empty table: acquire() returns null until the first install().
+  RoutingTable() = default;
+  explicit RoutingTable(std::shared_ptr<const RoutingSnapshot> initial);
+
+  /// Pins the current snapshot (one atomic load).  The pointer stays valid
+  /// for the table's lifetime (deferred reclamation); hold it for the
+  /// duration of a routing shard and re-acquire for the next batch.
+  const RoutingSnapshot* acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes a new snapshot without stalling readers: shards already
+  /// routing keep their pinned epoch, subsequent acquires see the new one.
+  /// The superseded snapshot is retained (owned by the table) so in-flight
+  /// readers never dangle.
+  void install(std::shared_ptr<const RoutingSnapshot> next);
+
+  /// Snapshots installed so far, including the initial one.
+  std::uint64_t installs() const noexcept {
+    return installs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<const RoutingSnapshot*> current_{nullptr};
+  std::atomic<std::uint64_t> installs_{0};
+  /// Every snapshot ever installed, in install order; the deferred-RCU
+  /// grace period is the table's lifetime.  Guarded by install_mu_ (installs
+  /// come from the control thread; readers never touch this).
+  mutable std::mutex install_mu_;
+  std::vector<std::shared_ptr<const RoutingSnapshot>> owned_;
+};
+
+}  // namespace agtram::srv

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -486,6 +487,99 @@ TEST(OnlineMechanismTest, RandomizedStreamWithBoundedRepair) {
   }
   const core::BatchOutcome final_check = engine.apply_events({});
   EXPECT_TRUE(final_check.oracle_checked);
+}
+
+// ------------------------------------------------ demand-aware eviction
+
+// Differential twin: identical engines fed the same write surge, one with
+// the eviction pass on.  Until the first eviction both trajectories are
+// byte-identical (both run the oracle), so at that batch the eviction
+// engine's total must equal the twin's total plus its own (negative)
+// eviction delta — the pass never worsens totals, only retires replicas
+// whose delta-OTC drop benefit went negative under the new demand.
+TEST(OnlineEvictionTest, WriteSurgeEvictsAndNeverWorsensTotals) {
+  core::OnlineConfig with;
+  with.differential_oracle = true;
+  with.eviction_limit = 64;
+  core::OnlineConfig without;
+  without.differential_oracle = true;
+  core::OnlineMechanism evict(dispersed_instance(), with);
+  core::OnlineMechanism twin(dispersed_instance(), without);
+
+  const auto extra = find_extra_replica(evict.placement());
+  ASSERT_TRUE(extra.has_value());
+  const drp::ObjectIndex k = extra->second;
+
+  // A write surge on k: w_total(k) enters every replica's broadcast price,
+  // so the extra replicas' drop benefits go negative.
+  const drp::Access cell = evict.problem().access.accessors(k)[0];
+  const std::vector<core::OnlineEvent> surge = {
+      core::DemandDelta{cell.server, k, 0, 50000}};
+  const core::BatchOutcome with_out = evict.apply_events(surge);
+  const core::BatchOutcome without_out = twin.apply_events(surge);
+
+  ASSERT_GT(with_out.replicas_evicted, 0u);
+  EXPECT_LT(with_out.eviction_cost_delta, 0.0);
+  EXPECT_LE(with_out.total_cost, without_out.total_cost);
+  // Exact accounting: same pre-eviction placement, so the totals differ by
+  // exactly the summed drop deltas (up to float re-derivation noise).
+  EXPECT_NEAR(with_out.total_cost,
+              without_out.total_cost + with_out.eviction_cost_delta,
+              1e-6 * std::abs(without_out.total_cost));
+  // The cached total stays exact across the eviction mutations.
+  EXPECT_NEAR(with_out.total_cost,
+              drp::CostModel::total_cost(evict.placement()),
+              1e-9 * std::abs(with_out.total_cost));
+  EXPECT_EQ(evict.placement().replica_count() + with_out.replicas_evicted,
+            twin.placement().replica_count());
+}
+
+TEST(OnlineEvictionTest, EvictionLimitBoundsThePass) {
+  core::OnlineConfig config;
+  config.eviction_limit = 1;
+  core::OnlineMechanism engine(dispersed_instance(), config);
+  const auto extra = find_extra_replica(engine.placement());
+  ASSERT_TRUE(extra.has_value());
+  const drp::ObjectIndex k = extra->second;
+  const drp::Access cell = engine.problem().access.accessors(k)[0];
+  const std::vector<core::OnlineEvent> surge = {
+      core::DemandDelta{cell.server, k, 0, 50000}};
+  const core::BatchOutcome out = engine.apply_events(surge);
+  EXPECT_LE(out.replicas_evicted, 1u);
+}
+
+// After an eviction the evicting server and the object's readers carry into
+// the next batch's dirty set; the oracle must stay green batch after batch
+// (the monotone-retirement identity argument, extended across evictions).
+TEST(OnlineEvictionTest, OracleStaysGreenAcrossEvictingStream) {
+  core::OnlineConfig config;
+  config.differential_oracle = true;
+  config.eviction_limit = 16;
+  core::OnlineMechanism engine(dispersed_instance(), config);
+  const drp::Problem& inst = engine.problem();
+
+  std::uint64_t evicted_total = 0;
+  for (std::uint32_t round = 0; round < 6; ++round) {
+    std::vector<core::OnlineEvent> events;
+    for (drp::ObjectIndex k = round; k < inst.object_count(); k += 11) {
+      const auto row = inst.access.accessors(k);
+      if (row.empty()) continue;
+      const drp::Access cell = row[round % row.size()];
+      // Alternate write surges and partial reversals: replicas placed for
+      // one regime turn negative in the next.
+      const std::int64_t surge = (round % 2 == 0) ? 8000 : -4000;
+      if (surge < 0 &&
+          static_cast<std::uint64_t>(-surge) > inst.access.writes(cell.server, k)) {
+        continue;
+      }
+      events.push_back(core::DemandDelta{cell.server, k, 0, surge});
+    }
+    const core::BatchOutcome out = engine.apply_events(events);
+    EXPECT_TRUE(out.oracle_checked);
+    EXPECT_LE(out.eviction_cost_delta, 0.0);
+    evicted_total += out.replicas_evicted;
+  }
+  EXPECT_GT(evicted_total, 0u);
 }
 
 }  // namespace

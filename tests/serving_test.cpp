@@ -1,0 +1,464 @@
+// Serving-layer suite (DESIGN.md §13): the lock-free routing table, the
+// synthetic/trace request streams, and the ServingEngine's batch loop.
+//
+// The load-bearing properties:
+//  * A RoutingSnapshot routes every structural demand cell byte-identically
+//    to a naive nearest-replica scan over the live placement.
+//  * Concurrent readers hammering RoutingTable::acquire while a control
+//    thread installs rebuilt snapshots always observe a *coherent* epoch —
+//    routes match exactly one published snapshot, never a torn mix (this is
+//    the TSan target wired into tools/run_sanitized_tests.sh).
+//  * The engine's demand fold-back, drift trigger, and unit accounting
+//    agree with independent replays of the same requests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/agt_ram.hpp"
+#include "core/online.hpp"
+#include "drp/builder.hpp"
+#include "drp/cost_model.hpp"
+#include "drp/delta_evaluator.hpp"
+#include "drp/problem.hpp"
+#include "srv/routing_table.hpp"
+#include "srv/serving_engine.hpp"
+#include "srv/workload.hpp"
+#include "trace/access_log.hpp"
+
+namespace {
+
+using namespace agtram;
+
+drp::Problem dispersed_instance(std::uint32_t servers = 32,
+                                std::uint32_t objects = 128,
+                                std::uint64_t seed = 7) {
+  drp::InstanceSpec spec;
+  spec.servers = servers;
+  spec.objects = objects;
+  spec.seed = seed;
+  spec.demand = drp::DemandModel::Dispersed;
+  spec.readers_per_object = 5.0;
+  spec.instance.capacity_fraction = 0.05;
+  spec.instance.rw_ratio = 0.9;
+  return drp::make_instance(spec);
+}
+
+/// Naive oracle: nearest replicator of k to `from` by a full scan.
+net::Cost naive_nearest(const drp::ReplicaPlacement& placement,
+                        drp::ServerId from, drp::ObjectIndex k) {
+  const drp::Problem& p = placement.problem();
+  net::Cost best = std::numeric_limits<net::Cost>::max();
+  for (const drp::ServerId r : placement.replicators(k)) {
+    best = std::min(best, p.distance(from, r));
+  }
+  return best;
+}
+
+/// Checks every structural cell of `snap` against the naive scan.
+void expect_snapshot_matches_naive(const srv::RoutingSnapshot& snap,
+                                   const drp::ReplicaPlacement& placement) {
+  const drp::Problem& p = placement.problem();
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    const auto servers = p.access.accessor_servers(k);
+    for (std::size_t slot = 0; slot < servers.size(); ++slot) {
+      const srv::RouteDecision route =
+          snap.route_read(k, static_cast<std::uint32_t>(slot));
+      ASSERT_EQ(route.distance, naive_nearest(placement, servers[slot], k))
+          << "object " << k << " slot " << slot;
+      // The recorded node is history-dependent under ties, but it must be a
+      // replicator achieving the routed distance.
+      ASSERT_TRUE(placement.is_replicator(route.server, k));
+      ASSERT_EQ(p.distance(servers[slot], route.server), route.distance);
+    }
+  }
+}
+
+// ------------------------------------------------------- RoutingSnapshot
+
+TEST(RoutingSnapshotTest, RoutesEveryCellLikeTheNaiveScan) {
+  drp::Problem problem = dispersed_instance();
+  core::MechanismResult result = core::run_agt_ram(problem, {});
+  srv::RoutingSnapshot snap(result.placement, /*epoch=*/0);
+  EXPECT_EQ(snap.epoch(), 0u);
+  EXPECT_EQ(snap.replica_count(), result.placement.replica_count());
+  expect_snapshot_matches_naive(snap, result.placement);
+}
+
+TEST(RoutingSnapshotTest, WriteUnitsMatchManualAccounting) {
+  drp::Problem problem = dispersed_instance(24, 96, 11);
+  core::MechanismResult result = core::run_agt_ram(problem, {});
+  const drp::ReplicaPlacement& placement = result.placement;
+  srv::RoutingSnapshot snap(placement, 1);
+  for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
+    const drp::ServerId primary = problem.primary[k];
+    const auto servers = problem.access.accessor_servers(k);
+    for (std::size_t slot = 0; slot < servers.size(); ++slot) {
+      const drp::ServerId writer = servers[slot];
+      // sim::replay accounting: ship to the primary, then the primary
+      // broadcasts to every other replicator, except the writer's own
+      // incoming copy when the writer itself replicates k.
+      double cost = problem.distance(writer, primary);
+      for (const drp::ServerId r : placement.replicators(k)) {
+        if (r == primary || r == writer) continue;
+        cost += problem.distance(primary, r);
+      }
+      const double expected =
+          static_cast<double>(problem.object_units[k]) * cost;
+      EXPECT_DOUBLE_EQ(snap.write_units(k, static_cast<std::uint32_t>(slot)),
+                       expected)
+          << "object " << k << " slot " << slot;
+    }
+  }
+}
+
+TEST(RoutingSnapshotTest, ReadUnitsScaleDistanceByObjectSize) {
+  drp::Problem problem = dispersed_instance(16, 48, 3);
+  core::MechanismResult result = core::run_agt_ram(problem, {});
+  srv::RoutingSnapshot snap(result.placement, 0);
+  for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
+    const auto row = snap.nn_row(k);
+    for (std::size_t slot = 0; slot < row.size(); ++slot) {
+      EXPECT_DOUBLE_EQ(snap.read_units(k, static_cast<std::uint32_t>(slot)),
+                       static_cast<double>(problem.object_units[k]) *
+                           static_cast<double>(row[slot]));
+    }
+  }
+}
+
+// --------------------------------------------------------- RoutingTable
+
+TEST(RoutingTableTest, InstallPublishesAndCountsSnapshots) {
+  drp::Problem problem = dispersed_instance(16, 48, 5);
+  core::MechanismResult result = core::run_agt_ram(problem, {});
+  srv::RoutingTable table(
+      std::make_shared<const srv::RoutingSnapshot>(result.placement, 0));
+  EXPECT_EQ(table.installs(), 1u);
+  EXPECT_EQ(table.acquire()->epoch(), 0u);
+  table.install(
+      std::make_shared<const srv::RoutingSnapshot>(result.placement, 1));
+  EXPECT_EQ(table.installs(), 2u);
+  EXPECT_EQ(table.acquire()->epoch(), 1u);
+}
+
+// The TSan target: N reader threads route off acquire()d snapshots while
+// the control thread installs a sequence of epochs built from an evolving
+// placement.  Every routed probe must checksum-match the pinned epoch —
+// exactly one published snapshot, never a torn mix — and after the last
+// install the table must route identically to a naive scan of the final
+// placement.
+TEST(RoutingTableTest, ConcurrentReadersNeverSeeATornSnapshot) {
+  drp::Problem problem = dispersed_instance(24, 96, 13);
+  core::OnlineMechanism engine(std::move(problem), {});
+  const drp::Problem& inst = engine.problem();
+
+  // Build the epoch sequence up front (snapshot *construction* is not the
+  // concurrency under test; acquire/install is).
+  constexpr std::size_t kEpochs = 8;
+  std::vector<std::shared_ptr<const srv::RoutingSnapshot>> snapshots;
+  snapshots.push_back(
+      std::make_shared<const srv::RoutingSnapshot>(engine.placement(), 0));
+  for (std::size_t e = 1; e < kEpochs; ++e) {
+    // Shuffle read demand between the two heaviest readers of a few
+    // objects: enough to move replicas between epochs.
+    std::vector<core::OnlineEvent> events;
+    for (drp::ObjectIndex k = static_cast<drp::ObjectIndex>(e);
+         k < inst.object_count(); k += 17) {
+      const auto readers = inst.access.readers(k);
+      if (readers.size() < 2) continue;
+      const drp::ServerId from = readers[e % readers.size()];
+      const drp::ServerId to = readers[(e + 1) % readers.size()];
+      const std::int64_t moved = static_cast<std::int64_t>(
+          std::min<std::uint64_t>(inst.access.reads(from, k), 40));
+      if (moved == 0 || from == to) continue;
+      events.push_back(core::DemandDelta{from, k, -moved, 0});
+      events.push_back(core::DemandDelta{to, k, moved, 0});
+    }
+    engine.apply_events(events);
+    snapshots.push_back(
+        std::make_shared<const srv::RoutingSnapshot>(engine.placement(), e));
+  }
+
+  // Probe set + per-epoch checksums (sum of routed distances).
+  std::vector<std::pair<drp::ObjectIndex, std::uint32_t>> probes;
+  for (drp::ObjectIndex k = 0; k < inst.object_count(); k += 3) {
+    const std::size_t width = inst.access.accessors(k).size();
+    for (std::size_t slot = 0; slot < width; slot += 2) {
+      probes.emplace_back(k, static_cast<std::uint32_t>(slot));
+    }
+  }
+  std::vector<std::uint64_t> expected(kEpochs, 0);
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    for (const auto& [k, slot] : probes) {
+      expected[e] += snapshots[e]->route_read(k, slot).distance;
+    }
+  }
+
+  srv::RoutingTable table(snapshots[0]);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> probes_run{0};
+  std::vector<std::thread> readers;
+  constexpr std::size_t kReaders = 4;
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = table.acquire();
+        std::uint64_t sum = 0;
+        for (const auto& [k, slot] : probes) {
+          sum += snap->route_read(k, slot).distance;
+        }
+        EXPECT_EQ(sum, expected[snap->epoch()])
+            << "torn routing at epoch " << snap->epoch();
+        probes_run.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::size_t e = 1; e < kEpochs; ++e) {
+    // Let readers overlap each epoch before the next install.
+    const std::uint64_t before = probes_run.load(std::memory_order_relaxed);
+    while (probes_run.load(std::memory_order_relaxed) < before + kReaders) {
+      std::this_thread::yield();
+    }
+    table.install(snapshots[e]);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(table.installs(), kEpochs);
+  expect_snapshot_matches_naive(*table.acquire(), engine.placement());
+}
+
+// ------------------------------------------------------------- Workloads
+
+TEST(SyntheticWorkloadTest, BatchesAreDeterministicAndStructurallyValid) {
+  drp::Problem problem = dispersed_instance(16, 64, 21);
+  srv::WorkloadConfig config;
+  config.requests_per_batch = 512;
+  config.seed = 42;
+  srv::SyntheticWorkload a(problem, config);
+  srv::SyntheticWorkload b(problem, config);
+  std::vector<srv::Request> batch_a;
+  std::vector<srv::Request> batch_b;
+  for (int i = 0; i < 3; ++i) {
+    a.next_batch(batch_a);
+    b.next_batch(batch_b);
+    ASSERT_EQ(batch_a.size(), config.requests_per_batch);
+    for (std::size_t r = 0; r < batch_a.size(); ++r) {
+      EXPECT_EQ(batch_a[r].object, batch_b[r].object);
+      EXPECT_EQ(batch_a[r].slot, batch_b[r].slot);
+      EXPECT_EQ(batch_a[r].count, batch_b[r].count);
+      EXPECT_EQ(batch_a[r].write, batch_b[r].write);
+      // Structural validity: the slot exists, and reads only land on
+      // structural reader cells (apply_demand_delta's contract).
+      const auto row = problem.access.accessors(batch_a[r].object);
+      ASSERT_LT(batch_a[r].slot, row.size());
+      EXPECT_GE(batch_a[r].count, 1u);
+      if (!batch_a[r].write) {
+        EXPECT_GT(row[batch_a[r].slot].reads, 0u);
+      }
+    }
+  }
+  EXPECT_EQ(a.batches_emitted(), 3u);
+}
+
+TEST(SyntheticWorkloadTest, DriftConcentratesTheMix) {
+  drp::Problem problem = dispersed_instance(16, 64, 22);
+  srv::WorkloadConfig config;
+  config.requests_per_batch = 2048;
+  config.drift_interval = 1;
+  config.drift_fraction = 0.5;
+  config.drift_objects = 32;
+  srv::SyntheticWorkload workload(problem, config);
+  std::vector<srv::Request> batch;
+  for (int i = 0; i < 8; ++i) workload.next_batch(batch);
+  EXPECT_EQ(workload.drift_steps(), 8u);
+}
+
+TEST(FromDayLogTest, AggregatesOntoStructuralReaderCells) {
+  drp::Problem problem = dispersed_instance(16, 32, 9);
+  trace::DayLog log;
+  log.day_index = 0;
+  for (std::uint32_t r = 0; r < 500; ++r) {
+    log.requests.push_back(trace::Request{/*client=*/r % 37,
+                                          /*object=*/r % 61, /*units=*/1});
+  }
+  const std::vector<srv::Request> groups = srv::from_day_log(problem, log);
+  ASSERT_FALSE(groups.empty());
+  std::uint64_t total = 0;
+  for (const srv::Request& g : groups) {
+    EXPECT_FALSE(g.write);
+    const auto row = problem.access.accessors(g.object);
+    ASSERT_LT(g.slot, row.size());
+    EXPECT_GT(row[g.slot].reads, 0u);  // reader cell
+    total += g.count;
+  }
+  // Every request whose object has readers lands exactly once.
+  std::uint64_t expected = 0;
+  for (const trace::Request& r : log.requests) {
+    const drp::ObjectIndex k =
+        static_cast<drp::ObjectIndex>(r.object % problem.object_count());
+    if (!problem.access.readers(k).empty()) ++expected;
+  }
+  EXPECT_EQ(total, expected);
+  // A fixed client always enters at the same server: determinism.
+  const std::vector<srv::Request> again = srv::from_day_log(problem, log);
+  ASSERT_EQ(groups.size(), again.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(groups[i].slot, again[i].slot);
+    EXPECT_EQ(groups[i].count, again[i].count);
+  }
+}
+
+// ---------------------------------------------------------- ServingEngine
+
+TEST(ServingEngineTest, StaticPolicyUnitsMatchIndependentReplay) {
+  drp::Problem problem = dispersed_instance(24, 96, 31);
+  srv::ServingConfig config;
+  config.policy = srv::ReconvergePolicy::Static;
+  config.latency_sample_every = 16;
+  srv::ServingEngine engine(std::move(problem), config);
+
+  srv::WorkloadConfig wconfig;
+  wconfig.requests_per_batch = 1024;
+  wconfig.drift_interval = 0;
+  srv::SyntheticWorkload workload(engine.problem(), wconfig);
+
+  double expected_read_units = 0.0;
+  double expected_write_units = 0.0;
+  std::uint64_t expected_reads = 0;
+  std::uint64_t expected_writes = 0;
+  const drp::ReplicaPlacement& placement = engine.placement();
+  const drp::Problem& inst = engine.problem();
+  std::vector<srv::Request> batch;
+  for (int b = 0; b < 4; ++b) {
+    workload.next_batch(batch);
+    for (const srv::Request& req : batch) {
+      const drp::ServerId from =
+          inst.access.accessor_servers(req.object)[req.slot];
+      const double count = static_cast<double>(req.count);
+      const double units = static_cast<double>(inst.object_units[req.object]);
+      if (req.write) {
+        expected_writes += req.count;
+        const drp::ServerId primary = inst.primary[req.object];
+        double cost = inst.distance(from, primary);
+        for (const drp::ServerId r : placement.replicators(req.object)) {
+          if (r == primary || r == from) continue;
+          cost += inst.distance(primary, r);
+        }
+        expected_write_units += units * cost * count;
+      } else {
+        expected_reads += req.count;
+        expected_read_units +=
+            units * static_cast<double>(
+                        naive_nearest(placement, from, req.object)) *
+            count;
+      }
+    }
+    engine.run_batch(batch);
+  }
+
+  const srv::ServingStats& stats = engine.stats();
+  EXPECT_EQ(stats.batches, 4u);
+  EXPECT_EQ(stats.reads, expected_reads);
+  EXPECT_EQ(stats.writes, expected_writes);
+  EXPECT_EQ(stats.requests, expected_reads + expected_writes);
+  EXPECT_DOUBLE_EQ(stats.read_units, expected_read_units);
+  EXPECT_DOUBLE_EQ(stats.write_units, expected_write_units);
+  EXPECT_EQ(stats.reconverges, 0u);
+  EXPECT_EQ(stats.installs, 0u);
+  EXPECT_FALSE(stats.query_ns.empty());
+  // Histogram totals = routed reads; local reads sit in bucket 0.
+  std::uint64_t hist_total = 0;
+  for (const std::uint64_t c : stats.read_cost_histogram) hist_total += c;
+  EXPECT_EQ(hist_total, expected_reads);
+  EXPECT_EQ(stats.read_cost_histogram[0], stats.local_reads);
+}
+
+TEST(ServingEngineTest, EveryBatchPolicyReconvergesPerBatch) {
+  drp::Problem problem = dispersed_instance(16, 48, 17);
+  srv::ServingConfig config;
+  config.policy = srv::ReconvergePolicy::EveryBatch;
+  srv::ServingEngine engine(std::move(problem), config);
+
+  srv::WorkloadConfig wconfig;
+  wconfig.requests_per_batch = 256;
+  srv::SyntheticWorkload workload(engine.problem(), wconfig);
+  std::vector<srv::Request> batch;
+  for (int b = 0; b < 3; ++b) {
+    workload.next_batch(batch);
+    engine.run_batch(batch);
+  }
+  EXPECT_EQ(engine.stats().reconverges, 3u);
+  EXPECT_EQ(engine.stats().installs, 3u);
+  EXPECT_EQ(engine.snapshot()->epoch(), 3u);
+  // After each reconverge the snapshot matches the re-solved placement.
+  expect_snapshot_matches_naive(*engine.snapshot(), engine.placement());
+}
+
+TEST(ServingEngineTest, OnDriftTriggersAndKeepsRoutingCoherent) {
+  drp::Problem problem = dispersed_instance(24, 96, 19);
+  srv::ServingConfig config;
+  config.policy = srv::ReconvergePolicy::OnDrift;
+  config.min_window_requests = 512;
+  config.volume_drift_threshold = 0.15;
+  config.eviction_limit = 8;
+  config.differential_oracle = true;  // byte-check every repair run
+  srv::ServingEngine engine(std::move(problem), config);
+  ASSERT_NE(engine.online(), nullptr);
+
+  srv::WorkloadConfig wconfig;
+  wconfig.requests_per_batch = 1024;
+  wconfig.drift_interval = 1;
+  wconfig.drift_fraction = 0.5;
+  wconfig.drift_objects = 48;
+  srv::SyntheticWorkload workload(engine.problem(), wconfig);
+  std::vector<srv::Request> batch;
+  for (int b = 0; b < 10; ++b) {
+    workload.next_batch(batch);
+    engine.run_batch(batch);
+  }
+  const srv::ServingStats& stats = engine.stats();
+  EXPECT_GT(stats.drift_triggers, 0u);
+  EXPECT_EQ(stats.drift_triggers, stats.reconverges);
+  EXPECT_EQ(stats.installs, stats.reconverges);
+  EXPECT_GT(stats.demand_delta_cells, 0u);
+  // The live snapshot always routes like a naive scan of the live placement.
+  expect_snapshot_matches_naive(*engine.snapshot(), engine.placement());
+  EXPECT_EQ(engine.snapshot()->epoch(), stats.installs);
+}
+
+TEST(ServingEngineTest, BusSeparatesServingFromProtocolBytes) {
+  drp::Problem problem = dispersed_instance(16, 48, 23);
+  runtime::MessageBus bus(problem, runtime::MessageBus::pick_centre(problem));
+  srv::ServingConfig config;
+  config.policy = srv::ReconvergePolicy::EveryBatch;
+  config.bus = &bus;
+  srv::ServingEngine engine(std::move(problem), config);
+
+  srv::WorkloadConfig wconfig;
+  wconfig.requests_per_batch = 256;
+  srv::SyntheticWorkload workload(engine.problem(), wconfig);
+  std::vector<srv::Request> batch;
+  workload.next_batch(batch);
+  engine.run_batch(batch);
+
+  const runtime::MessageStats& stats = bus.stats();
+  EXPECT_EQ(stats.route_messages, engine.stats().requests);
+  EXPECT_EQ(stats.route_bytes, stats.route_messages * 8);
+  EXPECT_EQ(stats.delta_messages, engine.stats().demand_delta_cells);
+  EXPECT_EQ(stats.delta_bytes, stats.delta_messages * 24);
+  EXPECT_GT(stats.install_messages, 0u);
+  EXPECT_EQ(stats.serving_bytes(),
+            stats.route_bytes + stats.delta_bytes + stats.install_bytes);
+  // Protocol counters stay untouched: the serving plane is accounted apart.
+  EXPECT_EQ(stats.report_messages, 0u);
+  EXPECT_EQ(stats.total_bytes(), 0u);
+}
+
+}  // namespace

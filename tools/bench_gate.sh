@@ -3,8 +3,8 @@
 #
 # Re-runs the micro_core trajectory into a scratch JSON and diffs its
 # mechanism_full_run, baseline_run, kernel_*, regional_engine_run,
-# regional_tiled_run, and ablation_regional_sweep timing rows against the
-# committed BENCH_mechanism.json: any row whose wall time regressed by more
+# regional_tiled_run, ablation_regional_sweep, online_*_run, and
+# serving_*_run timing rows against the committed BENCH_mechanism.json: any row whose wall time regressed by more
 # than the threshold (default 25%) fails the gate.  Rows are matched on the
 # full identity key (servers, objects, demand, layout, incremental_reports,
 # parallel_agents, algorithm, eval, parallel_scan, variant, regions,
@@ -97,7 +97,8 @@ GATED = ("mechanism_full_run", "baseline_run", "kernel_object_cost",
          "kernel_nn_min", "kernel_global_benefit", "kernel_best_add_scan",
          "regional_engine_run", "regional_tiled_run",
          "ablation_regional_sweep", "online_event_run",
-         "online_fromscratch_run")
+         "online_fromscratch_run", "serving_replay_run",
+         "serving_static_run", "serving_resolve_run")
 
 def rows(*paths):
     out = {}

@@ -52,6 +52,28 @@ ONLINE_DECISIONS = [
 # Counters the online engine must have bumped across a timed stream when the
 # binary is instrumented (-DAGTRAM_OBS=ON).
 ONLINE_COUNTERS = ["online.batches", "online.events"]
+SERVING_DECISIONS = [
+    "batches",
+    "policy",
+    "volume_drift_threshold",
+    "cost_regression_threshold",
+    "min_window_requests",
+    "eviction_limit",
+    "latency_sample_every",
+    "shards",
+    "pool_workers",
+]
+# Counters the serving layer must have bumped across the instrumented OnDrift
+# replay: routed traffic, batches, snapshot publications, and — the family's
+# whole point — the drift trigger actually firing under the bench's drift
+# schedule (the stream is deterministic per seed).
+SERVING_COUNTERS = [
+    "srv.requests",
+    "srv.batches",
+    "srv.reads_routed",
+    "srv.snapshot_installs",
+    "srv.drift_triggers",
+]
 
 
 def fail(message):
@@ -97,12 +119,20 @@ def main():
     online_speedup = [
         r for r in rows if r.get("benchmark") == "online_speedup"
     ]
-    if not mech or not auto or not base or not regional or not online:
+    serving = [r for r in rows if r.get("benchmark") == "serving_replay_run"]
+    serving_identity = [
+        r for r in rows if r.get("benchmark") == "serving_identity_check"
+    ]
+    serving_speedup = [
+        r for r in rows if r.get("benchmark") == "serving_speedup"
+    ]
+    if not mech or not auto or not base or not regional or not online \
+            or not serving:
         fail(
             f"{bench_path}: expected mechanism_full_run / mechanism_auto_mode"
-            f" / baseline_run / regional / online rows, got"
+            f" / baseline_run / regional / online / serving rows, got"
             f" {len(mech)}/{len(auto)}/{len(base)}/{len(regional)}"
-            f"/{len(online)}"
+            f"/{len(online)}/{len(serving)}"
         )
 
     for row in mech + auto:
@@ -164,6 +194,31 @@ def main():
                 f"({row.get('speedup_per_event')}x < {row.get('floor')}x)"
             )
 
+    for row in serving:
+        obs = check_decisions(row, SERVING_DECISIONS, "serving_replay_run row")
+        if obs["decisions"]["policy"] != "ondrift":
+            fail("serving_replay_run row must be the ondrift policy")
+        if not row.get("requests"):
+            fail("serving_replay_run row routed no requests")
+        if expect_counters:
+            if not obs.get("enabled"):
+                fail("serving_replay_run row: obs.enabled is false")
+            counters = obs.get("counters") or {}
+            for key in SERVING_COUNTERS:
+                if key not in counters:
+                    fail(f"serving_replay_run row: counters missing '{key}'")
+    for row in serving_identity:
+        if not row.get("cells"):
+            fail("serving_identity_check row scanned no cells")
+        if not row.get("ok"):
+            fail("serving_identity_check row reports ok=false")
+    for row in serving_speedup:
+        if row.get("gated") and not row.get("ok"):
+            fail(
+                "serving_speedup row under its floor "
+                f"({row.get('speedup')}x < {row.get('floor')}x)"
+            )
+
     metas, rounds = 0, 0
     with open(trace_path) as fh:
         for n, line in enumerate(fh, 1):
@@ -192,7 +247,7 @@ def main():
     print(
         f"check_obs_smoke: OK — {len(mech)} mechanism rows, {len(auto)} auto"
         f" rows, {len(base)} baseline rows, {len(regional)} regional rows,"
-        f" {len(online)} online rows,"
+        f" {len(online)} online rows, {len(serving)} serving rows,"
         f" {metas} traces, {rounds} round"
         f" lines{' (counters required)' if expect_counters else ''}"
     )

@@ -23,11 +23,13 @@ cmake -B "$BUILD" -S "$SRC" \
   -DAGTRAM_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j "$(nproc)" \
   --target test_common test_mechanism test_runtime test_baselines_delta \
-           test_kernels test_online test_obs test_obs_noop test_regional
+           test_kernels test_online test_obs test_obs_noop test_regional \
+           test_serving
 
 status=0
 for t in test_common test_mechanism test_runtime test_baselines_delta \
-         test_kernels test_online test_obs test_obs_noop test_regional; do
+         test_kernels test_online test_obs test_obs_noop test_regional \
+         test_serving; do
   echo "== $SAN-sanitized $t =="
   # The paper-scale differential cases take minutes under a sanitizer's
   # slowdown; the small-family + fuzz cases exercise the same parallel scans.
