@@ -27,6 +27,10 @@
 //   --serving=0                            skip the serving-layer family
 //   --serving-batches=N                    request batches per policy stream
 //   --serving-reps=N                       serving timing repetitions
+//   --strategic=0                          skip the strategic-audit family
+//   --glauber=0                            skip the Glauber baseline family
+//   --glauber-sweeps=N                     Glauber annealing sweeps
+//   --tree=0                               skip the tree-placement family
 //   --json=PATH                            output path
 //   --obs-trace=PATH                       per-round JSONL from an untimed
 //                                          Auto-mode run per family
@@ -38,18 +42,26 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "baselines/glauber.hpp"
 #include "baselines/registry.hpp"
+#include "baselines/strategic_damage.hpp"
+#include "baselines/tree_placement.hpp"
 #include "bench_common.hpp"
+#include "core/audit.hpp"
+#include "core/strategy.hpp"
 #include "common/timer.hpp"
 #include "core/agent.hpp"
 #include "core/agt_ram.hpp"
@@ -306,6 +318,23 @@ struct TrajectoryOptions {
   bool serving = true;
   int serving_batches = 48;
   int serving_reps = 2;
+  /// Strategic family: core::strategic_audit sweeping misreports over the
+  /// truthful run's top winners on both demand families.  The per-round
+  /// dominance invariant (Lemma 1 / Theorem 5) is *enforced* — any round
+  /// where a misreporting agent's bid beat truth exits nonzero — and the
+  /// same lies are replayed against the demand-consuming baselines, where
+  /// at least one must show measurable allocation damage.
+  bool strategic = true;
+  /// Glauber family: the distributed heat-bath baseline timed Delta vs the
+  /// naive mutate-measure-undo oracle.  Enforced: bit-identical trajectories
+  /// across pricing paths, determinism per seed, and every proposal /
+  /// decision accounted on the MessageBus with nonzero wire bytes.
+  bool glauber = true;
+  int glauber_sweeps = 48;
+  /// Tree family: Benoit–Rehn–Robert exact-DP vs greedy placement on a
+  /// TopologyKind::Tree instance, with AGT-RAM on the same instance for
+  /// quality context.  Enforced: the exact DP never loses to greedy.
+  bool tree = true;
   std::string json_path = bench::kMechanismJsonPath;
   /// Per-round JSONL sink (--obs-trace=PATH): one meta line per traced
   /// Auto-mode run, then one line per mechanism round.  Round lines carry
@@ -2051,6 +2080,402 @@ bool run_serving_family(bench::JsonWriter& json, const drp::Problem& p,
   return speedup_ok && identity_ok;
 }
 
+// ---------------------------------------------------------------------------
+// Strategic family: core::strategic_audit on one instance —
+//  * strategic_audit_run       — wall time of the full sweep (truthful run +
+//                                one mechanism run per (agent, factor) trial
+//                                + the collusion ring and its reversions),
+//  * strategic_dominance_check — the exact per-round invariant: in no
+//                                audited round did a misreporting agent's
+//                                bid beat what truth would have realised
+//                                (nonzero exit on violation),
+//  * misreport_damage_run      — the same lies aimed at each demand-
+//                                consuming baseline (plan on the lie, score
+//                                on the truth),
+//  * strategic_damage_check    — at least one baseline shows measurable
+//                                damage (AGT-RAM rows are context, not
+//                                gated: its allocation reacts to lies too,
+//                                but lying is irrational under it).
+
+bool run_strategic_family(bench::JsonWriter& json, const drp::Problem& p,
+                          const char* demand, std::uint32_t servers,
+                          std::uint32_t objects, int reps) {
+  core::StrategicAuditConfig cfg;
+  cfg.agents_to_probe = 2;
+  cfg.inflate_factors = {2.0};
+  cfg.deflate_factors = {0.0, 0.5};
+  cfg.collusion_size = 3;
+
+  const bench::ObsSnapshot before = bench::ObsSnapshot::take();
+  double seconds = 1e30;
+  core::StrategicAuditReport report;
+  for (int rep = 0; rep < reps; ++rep) {
+    common::Timer timer;
+    core::StrategicAuditReport r = core::strategic_audit(p, cfg);
+    const double s = timer.seconds();
+    if (s < seconds) seconds = s;
+    if (rep == 0) report = std::move(r);  // deterministic: all reps agree
+  }
+  const bench::ObsSnapshot after = bench::ObsSnapshot::take();
+
+  std::size_t round_checks = 0;
+  double min_round_margin = 0.0;
+  for (const core::StrategicTrial& trial : report.trials) {
+    round_checks += trial.rounds_checked;
+    min_round_margin = std::min(min_round_margin, trial.min_round_margin);
+  }
+  bench::JsonWriter::Record run;
+  run.field("benchmark", "strategic_audit_run")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", demand)
+      .field("seconds", seconds)
+      .field("trials", static_cast<std::uint64_t>(report.trials.size()))
+      .field("rounds_checked", static_cast<std::uint64_t>(round_checks))
+      .field("round_violations",
+             static_cast<std::uint64_t>(report.total_round_violations))
+      .field("min_round_margin", min_round_margin)
+      .field("min_full_game_margin", report.min_full_game_margin)
+      .field("truthful_revenue", report.collusion.truthful_revenue)
+      .field("collusive_revenue", report.collusion.collusive_revenue)
+      .object_field("obs",
+                    bench::obs_block(bench::strategic_decisions(cfg), before,
+                                     after, static_cast<std::uint64_t>(reps)));
+  json.add(std::move(run));
+  std::printf("strategic %ux%u %s: %zu trials, %zu round checks, %zu "
+              "violations, %.4fs\n",
+              servers, objects, demand, report.trials.size(), round_checks,
+              report.total_round_violations, seconds);
+
+  const bool dominance_ok = report.dominance_holds;
+  bench::JsonWriter::Record check;
+  check.field("benchmark", "strategic_dominance_check")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", demand)
+      .field("trials", static_cast<std::uint64_t>(report.trials.size()))
+      .field("round_violations",
+             static_cast<std::uint64_t>(report.total_round_violations))
+      .field("ok", dominance_ok);
+  json.add(std::move(check));
+  if (!dominance_ok) {
+    std::fprintf(stderr,
+                 "FAIL: per-round dominance violated on %ux%u %s (%zu "
+                 "violations across %zu trials)\n",
+                 servers, objects, demand, report.total_round_violations,
+                 report.trials.size());
+  }
+
+  // The same lies aimed at the baselines: zero out every probed agent's
+  // demand claim (the strongest misreport the audit swept) and let each
+  // demand-consuming algorithm plan on the lie.
+  core::StrategyProfile lie;
+  {
+    std::vector<drp::ServerId> probed;
+    for (const core::StrategicTrial& trial : report.trials) {
+      if (probed.empty() || probed.back() != trial.agent) {
+        probed.push_back(trial.agent);
+      }
+    }
+    for (const drp::ServerId who : probed) {
+      lie.deviations.push_back(
+          core::Deviation{who, core::DeviationKind::Zero, 1.0});
+    }
+  }
+  const std::vector<std::string> victims = {"Greedy", "GRA", "DA", "EA",
+                                            "AGT-RAM"};
+  const auto damage_rows =
+      baselines::misreport_damage(p, lie, victims, /*seed=*/7);
+  double max_damage = 0.0;
+  bool any_damage = false;
+  for (const auto& row : damage_rows) {
+    const bool gated = row.algorithm != "AGT-RAM";
+    const double tolerance =
+        1e-6 * std::max(1.0, std::abs(row.truthful_savings));
+    if (gated && row.damage() > tolerance) {
+      any_damage = true;
+      max_damage = std::max(max_damage, row.damage());
+    }
+    bench::JsonWriter::Record damage;
+    damage.field("benchmark", "misreport_damage_run")
+        .field("algorithm", row.algorithm)
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("truthful_savings", row.truthful_savings)
+        .field("misreport_savings", row.misreport_savings)
+        .field("damage", row.damage())
+        .field("skipped_infeasible",
+               static_cast<std::uint64_t>(row.skipped_infeasible))
+        .field("gated", gated);
+    json.add(std::move(damage));
+    std::printf("  misreport damage %-8s: savings %.4f -> %.4f (%.4f lost)\n",
+                row.algorithm.c_str(), row.truthful_savings,
+                row.misreport_savings, row.damage());
+  }
+  bench::JsonWriter::Record damage_check;
+  damage_check.field("benchmark", "strategic_damage_check")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", demand)
+      .field("max_damage", max_damage)
+      .field("ok", any_damage);
+  json.add(std::move(damage_check));
+  if (!any_damage) {
+    std::fprintf(stderr,
+                 "FAIL: no baseline showed measurable misreport damage on "
+                 "%ux%u %s\n",
+                 servers, objects, demand);
+  }
+  return dominance_ok && any_damage;
+}
+
+// ---------------------------------------------------------------------------
+// Glauber family: the distributed heat-bath baseline —
+//  * glauber_run            — Delta pricing (timed, wired to a MessageBus)
+//                             and the naive mutate-measure-undo oracle,
+//  * glauber_identity_check — Delta and Naive walk bit-identical chains,
+//                             identical seeds give identical trajectories,
+//                             and every proposal/decision is accounted on
+//                             the bus with nonzero wire bytes (nonzero exit
+//                             when any of the three fails).
+
+bool run_glauber_family(bench::JsonWriter& json, const drp::Problem& p,
+                        const char* demand, std::uint32_t servers,
+                        std::uint32_t objects, int sweeps, int reps) {
+  const double initial = drp::CostModel::initial_cost(p);
+  baselines::GlauberConfig cfg;
+  cfg.seed = 7;
+  cfg.sweeps = static_cast<std::size_t>(sweeps);
+
+  struct Timed {
+    double seconds = 1e30;
+    double final_cost = 0.0;
+    std::size_t proposals = 0;
+    std::size_t accepted = 0;
+  };
+  std::optional<drp::ReplicaPlacement> placements[2];
+  Timed timed[2];  // [0] = delta, [1] = naive oracle
+  runtime::MessageStats wire_stats;
+  for (int v = 0; v < 2; ++v) {
+    baselines::GlauberConfig variant = cfg;
+    variant.eval =
+        v == 0 ? baselines::EvalPath::Delta : baselines::EvalPath::Naive;
+    const int runs = v == 0 ? reps : 1;  // the oracle re-prices everything
+    const bench::ObsSnapshot before = bench::ObsSnapshot::take();
+    for (int rep = 0; rep < runs; ++rep) {
+      runtime::MessageBus bus(p, runtime::MessageBus::pick_centre(p));
+      variant.bus = &bus;
+      common::Timer timer;
+      baselines::GlauberResult result = baselines::run_glauber(p, variant);
+      const double s = timer.seconds();
+      if (s < timed[v].seconds) timed[v].seconds = s;
+      if (rep == 0) {  // deterministic: every rep lands on the same chain
+        timed[v].final_cost = result.final_cost;
+        timed[v].proposals = result.proposals;
+        timed[v].accepted = result.accepted;
+        placements[v].emplace(std::move(result.placement));
+        wire_stats = bus.stats();
+      }
+    }
+    const bench::ObsSnapshot after = bench::ObsSnapshot::take();
+
+    bench::JsonWriter::Record run;
+    run.field("benchmark", "glauber_run")
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", demand)
+        .field("eval", v == 0 ? "delta" : "naive")
+        .field("seconds", timed[v].seconds)
+        .field("sweeps", static_cast<std::uint64_t>(sweeps))
+        .field("proposals", static_cast<std::uint64_t>(timed[v].proposals))
+        .field("accepted", static_cast<std::uint64_t>(timed[v].accepted))
+        .field("final_cost", timed[v].final_cost)
+        .field("savings",
+               initial > 0.0 ? (initial - timed[v].final_cost) / initial
+                             : 0.0)
+        .field("wire_proposal_msgs", wire_stats.glauber_proposal_messages)
+        .field("wire_proposal_bytes", wire_stats.glauber_proposal_bytes)
+        .field("wire_decision_msgs", wire_stats.glauber_decision_messages)
+        .field("wire_decision_bytes", wire_stats.glauber_decision_bytes)
+        .object_field(
+            "obs", bench::obs_block(bench::glauber_decisions(variant), before,
+                                    after,
+                                    static_cast<std::uint64_t>(runs)));
+    json.add(std::move(run));
+    std::printf("glauber %ux%u %s %s: %.4fs, %zu proposals, %zu accepted, "
+                "cost %.0f\n",
+                servers, objects, demand, v == 0 ? "delta" : "naive",
+                timed[v].seconds, timed[v].proposals, timed[v].accepted,
+                timed[v].final_cost);
+  }
+
+  // Identity: the naive oracle consumed the same rng stream, so everything
+  // downstream of the pricing must match bit for bit.
+  bool identity_ok = timed[0].final_cost == timed[1].final_cost &&
+                     timed[0].proposals == timed[1].proposals &&
+                     timed[0].accepted == timed[1].accepted;
+  for (drp::ObjectIndex k = 0; identity_ok && k < p.object_count(); ++k) {
+    const auto a = placements[0]->replicators(k);
+    const auto b = placements[1]->replicators(k);
+    identity_ok = a.size() == b.size() &&
+                  std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  // Determinism: a fresh run with the same seed repeats the chain exactly.
+  baselines::GlauberConfig repeat = cfg;
+  repeat.eval = baselines::EvalPath::Delta;
+  const baselines::GlauberResult again = baselines::run_glauber(p, repeat);
+  const bool deterministic = again.final_cost == timed[0].final_cost &&
+                             again.proposals == timed[0].proposals &&
+                             again.accepted == timed[0].accepted;
+
+  // Wire accounting: one proposal up and one decision back per evaluated
+  // flip, nonzero per-kind bytes (the baseline runs over the bus, not
+  // beside it).
+  const bool wire_ok =
+      wire_stats.glauber_proposal_messages == timed[1].proposals &&
+      wire_stats.glauber_decision_messages == timed[1].proposals &&
+      wire_stats.glauber_proposal_bytes > 0 &&
+      wire_stats.glauber_decision_bytes > 0;
+
+  const bool ok = identity_ok && deterministic && wire_ok;
+  bench::JsonWriter::Record check;
+  check.field("benchmark", "glauber_identity_check")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", demand)
+      .field("identity_ok", identity_ok)
+      .field("deterministic", deterministic)
+      .field("wire_ok", wire_ok)
+      .field("ok", ok);
+  json.add(std::move(check));
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: glauber %ux%u %s: identity=%d deterministic=%d "
+                 "wire=%d\n",
+                 servers, objects, demand, identity_ok ? 1 : 0,
+                 deterministic ? 1 : 0, wire_ok ? 1 : 0);
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Tree family: a TopologyKind::Tree instance at the mech dimensions —
+//  * tree_placement_run    — Benoit–Rehn–Robert exact DP and greedy under
+//                            the closest-ancestor policy, timed, plus
+//                            AGT-RAM on the same instance (strategy
+//                            "agt-ram") for quality context,
+//  * tree_optimality_check — the exact DP's policy cost never exceeds
+//                            greedy's (nonzero exit on violation).
+
+bool run_tree_family(bench::JsonWriter& json, std::uint32_t servers,
+                     std::uint32_t objects, int reps) {
+  drp::InstanceSpec spec;
+  spec.servers = servers;
+  spec.objects = objects;
+  spec.seed = 42;
+  spec.topology = net::TopologyKind::Tree;
+  spec.tree_shape = net::TreeShape::Random;
+  spec.instance.capacity_fraction = 0.05;
+  spec.instance.rw_ratio = 0.9;
+  const drp::Problem p = drp::make_instance(spec);
+  const net::Graph tree = drp::make_topology(spec);
+  const double initial = drp::CostModel::initial_cost(p);
+
+  double policy_cost[2] = {0.0, 0.0};  // [0] = exact, [1] = greedy
+  for (const bool exact : {true, false}) {
+    const bench::ObsSnapshot before = bench::ObsSnapshot::take();
+    double seconds = 1e30;
+    double replayed_cost = 0.0;
+    std::size_t skipped = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      common::Timer timer;
+      const baselines::TreePlacementResult result =
+          baselines::run_tree_placement(p, tree, {.exact = exact});
+      const double s = timer.seconds();
+      if (s < seconds) seconds = s;
+      policy_cost[exact ? 0 : 1] = result.policy_cost;
+      replayed_cost = drp::CostModel::total_cost(result.placement);
+      skipped = result.skipped_infeasible;
+    }
+    const bench::ObsSnapshot after = bench::ObsSnapshot::take();
+
+    bench::JsonWriter::Record run;
+    run.field("benchmark", "tree_placement_run")
+        .field("servers", static_cast<std::uint64_t>(servers))
+        .field("objects", static_cast<std::uint64_t>(objects))
+        .field("demand", "tree")
+        .field("variant", exact ? "exact" : "greedy")
+        .field("seconds", seconds)
+        .field("policy_cost", policy_cost[exact ? 0 : 1])
+        .field("policy_savings",
+               initial > 0.0
+                   ? (initial - policy_cost[exact ? 0 : 1]) / initial
+                   : 0.0)
+        .field("replayed_cost", replayed_cost)
+        .field("skipped_infeasible", static_cast<std::uint64_t>(skipped))
+        .object_field(
+            "obs",
+            bench::obs_block(
+                bench::tree_decisions(spec.tree_shape, spec.tree_arity,
+                                      exact),
+                before, after, static_cast<std::uint64_t>(reps)));
+    json.add(std::move(run));
+    std::printf("tree %ux%u %s: %.4fs, policy cost %.0f (%.1f%% savings)\n",
+                servers, objects, exact ? "exact" : "greedy", seconds,
+                policy_cost[exact ? 0 : 1],
+                initial > 0.0
+                    ? 100.0 * (initial - policy_cost[exact ? 0 : 1]) / initial
+                    : 0.0);
+  }
+
+  // AGT-RAM on the same tree instance: free of the ancestor restriction,
+  // so its OTC is the number the policy references contextualise.
+  double agt_seconds = 1e30;
+  double agt_cost = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    common::Timer timer;
+    const core::MechanismResult result = core::run_agt_ram(p);
+    const double s = timer.seconds();
+    if (s < agt_seconds) agt_seconds = s;
+    agt_cost = drp::CostModel::total_cost(result.placement);
+  }
+  bench::JsonWriter::Record agt;
+  agt.field("benchmark", "tree_placement_run")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", "tree")
+      .field("variant", "agt-ram")
+      .field("seconds", agt_seconds)
+      .field("policy_cost", agt_cost)
+      .field("policy_savings",
+             initial > 0.0 ? (initial - agt_cost) / initial : 0.0);
+  json.add(std::move(agt));
+  std::printf("tree %ux%u agt-ram: %.4fs, cost %.0f\n", servers, objects,
+              agt_seconds, agt_cost);
+
+  const bool ok = policy_cost[0] <=
+                  policy_cost[1] * (1.0 + 1e-9) + 1e-9;
+  bench::JsonWriter::Record check;
+  check.field("benchmark", "tree_optimality_check")
+      .field("servers", static_cast<std::uint64_t>(servers))
+      .field("objects", static_cast<std::uint64_t>(objects))
+      .field("demand", "tree")
+      .field("exact_policy_cost", policy_cost[0])
+      .field("greedy_policy_cost", policy_cost[1])
+      .field("agtram_cost", agt_cost)
+      .field("ok", ok);
+  json.add(std::move(check));
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: tree exact DP (%.2f) beaten by greedy (%.2f) on "
+                 "%ux%u\n",
+                 policy_cost[0], policy_cost[1], servers, objects);
+  }
+  return ok;
+}
+
 int write_mechanism_trajectory(const TrajectoryOptions& opts) {
   bench::JsonWriter json;
   bool parallel_ok = true;
@@ -2191,6 +2616,30 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
         opts.mech_servers >= 256 ? kServingSpeedupFloorMech : 0.0);
   }
 
+  // Mech scale only for the three new families: the strategic audit is
+  // O(trials) mechanism runs and the Glauber/naive oracle re-prices every
+  // proposal, so paper scale would dominate the whole trajectory.
+  bool strategic_ok = true;
+  if (opts.strategic) {
+    strategic_ok = run_strategic_family(
+        json, dispersed_instance(opts.mech_servers, opts.mech_objects),
+        "dispersed", opts.mech_servers, opts.mech_objects, opts.reps);
+  }
+
+  bool glauber_ok = true;
+  if (opts.glauber) {
+    glauber_ok = run_glauber_family(
+        json, dispersed_instance(opts.mech_servers, opts.mech_objects),
+        "dispersed", opts.mech_servers, opts.mech_objects,
+        opts.glauber_sweeps, opts.reps);
+  }
+
+  bool tree_ok = true;
+  if (opts.tree) {
+    tree_ok = run_tree_family(json, opts.mech_servers, opts.mech_objects,
+                              opts.reps);
+  }
+
   if (trace) {
     trace->close();
     std::printf("obs trace written to %s\n", opts.obs_trace_path.c_str());
@@ -2236,6 +2685,24 @@ int write_mechanism_trajectory(const TrajectoryOptions& opts) {
     std::fprintf(stderr,
                  "serving-layer policy violated (see serving_speedup / "
                  "serving_identity_check rows)\n");
+    return 1;
+  }
+  if (!strategic_ok) {
+    std::fprintf(stderr,
+                 "strategic-agent policy violated (see "
+                 "strategic_dominance_check / strategic_damage_check rows)\n");
+    return 1;
+  }
+  if (!glauber_ok) {
+    std::fprintf(stderr,
+                 "glauber baseline policy violated (see "
+                 "glauber_identity_check rows)\n");
+    return 1;
+  }
+  if (!tree_ok) {
+    std::fprintf(stderr,
+                 "tree-placement optimality violated (see "
+                 "tree_optimality_check rows)\n");
     return 1;
   }
   return 0;
@@ -2319,6 +2786,14 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
       opts.serving_batches = std::atoi(v);
     } else if (value_of(argv[i], "--serving-reps", &v)) {
       opts.serving_reps = std::atoi(v);
+    } else if (value_of(argv[i], "--strategic", &v)) {
+      opts.strategic = std::atoi(v) != 0;
+    } else if (value_of(argv[i], "--glauber", &v)) {
+      opts.glauber = std::atoi(v) != 0;
+    } else if (value_of(argv[i], "--glauber-sweeps", &v)) {
+      opts.glauber_sweeps = std::atoi(v);
+    } else if (value_of(argv[i], "--tree", &v)) {
+      opts.tree = std::atoi(v) != 0;
     } else if (value_of(argv[i], "--json", &v)) {
       opts.json_path = v;
     } else if (value_of(argv[i], "--obs-trace", &v)) {
@@ -2335,7 +2810,7 @@ bool parse_trajectory_args(int& argc, char** argv, TrajectoryOptions& opts) {
          opts.regional_reps > 0 && opts.regional_budget_mb > 0.0 &&
          opts.online_batches > 0 && opts.online_oracle_batches > 0 &&
          opts.online_reps > 0 && opts.serving_batches > 0 &&
-         opts.serving_reps > 0 &&
+         opts.serving_reps > 0 && opts.glauber_sweeps > 0 &&
          (!opts.paper_scale ||
           (opts.paper_servers > 0 && opts.paper_objects > 0));
 }

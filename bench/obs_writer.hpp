@@ -21,12 +21,15 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/glauber.hpp"
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
 #include "core/agt_ram.hpp"
+#include "core/audit.hpp"
 #include "core/online.hpp"
 #include "core/regional.hpp"
 #include "drp/delta_evaluator.hpp"
+#include "net/topology.hpp"
 #include "obs/obs.hpp"
 #include "srv/serving_engine.hpp"
 
@@ -194,6 +197,55 @@ inline JsonWriter::Record serving_decisions(const srv::ServingConfig& config,
   record.field("pool_workers",
                static_cast<std::uint64_t>(
                    common::ThreadPool::shared().thread_count()));
+  return record;
+}
+
+/// The strategic-audit decisions for one bench row: the payment rule under
+/// audit, the probe and sweep sizes, and the collusion-ring size — the
+/// knobs that decide how many mechanism runs the row times.
+inline JsonWriter::Record strategic_decisions(
+    const core::StrategicAuditConfig& config) {
+  JsonWriter::Record record;
+  record.field("payment_rule", core::to_string(config.payment_rule));
+  record.field("report_mode_requested",
+               report_mode_name(config.report_mode));
+  record.field("agents_to_probe",
+               static_cast<std::uint64_t>(config.agents_to_probe));
+  record.field("inflate_factors",
+               static_cast<std::uint64_t>(config.inflate_factors.size()));
+  record.field("deflate_factors",
+               static_cast<std::uint64_t>(config.deflate_factors.size()));
+  record.field("collusion_size",
+               static_cast<std::uint64_t>(config.collusion_size));
+  return record;
+}
+
+/// The Glauber-baseline decisions for one bench row: the annealing schedule,
+/// the pricing path, and whether the run was wired to a MessageBus.
+inline JsonWriter::Record glauber_decisions(
+    const baselines::GlauberConfig& config) {
+  JsonWriter::Record record;
+  record.field("sweeps", static_cast<std::uint64_t>(config.sweeps));
+  record.field("initial_temperature_fraction",
+               config.initial_temperature_fraction);
+  record.field("cooling_rate", config.cooling_rate);
+  record.field("eval_path",
+               config.eval == baselines::EvalPath::Delta ? "delta" : "naive");
+  record.field("bus_attached", config.bus != nullptr);
+  return record;
+}
+
+/// The tree-placement decisions for one bench row: the tree family shape
+/// and the Benoit–Rehn–Robert strategy variant.
+inline JsonWriter::Record tree_decisions(net::TreeShape shape,
+                                         std::uint32_t arity, bool exact) {
+  JsonWriter::Record record;
+  const char* shape_name = "random";
+  if (shape == net::TreeShape::Balanced) shape_name = "balanced";
+  if (shape == net::TreeShape::Caterpillar) shape_name = "caterpillar";
+  record.field("shape", shape_name);
+  record.field("arity", static_cast<std::uint64_t>(arity));
+  record.field("strategy", exact ? "exact" : "greedy");
   return record;
 }
 

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "baselines/tree_placement.hpp"
 #include "bench_common.hpp"
 #include "core/agt_ram.hpp"
 #include "core/regional.hpp"
@@ -47,6 +48,12 @@ int main(int argc, char** argv) {
                "cooperative / hierarchical variants instead of the "
                "baseline field");
   cli.add_flag("regions", "8", "region count for --regional 1");
+  cli.add_flag("tree", "0",
+               "rerun the paper rows on TopologyKind::Tree instances and "
+               "compare AGT-RAM against the Benoit-Rehn-Robert greedy and "
+               "exact tree strategies");
+  cli.add_flag("tree-shape", "random",
+               "tree shape for --tree 1: random | balanced | caterpillar");
   bench::add_baseline_eval_flag(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
@@ -100,6 +107,75 @@ int main(int argc, char** argv) {
                      common::Table::pct(cooperative),
                      common::Table::pct(hierarchical),
                      common::Table::pct(worst)});
+      std::cerr << "  row M=" << dims.servers << " N=" << dims.objects
+                << " done\n";
+    }
+    bench::emit(cli, table);
+    return 0;
+  }
+
+  // --tree 1: per paper row, the same (C%, R/W) cells on a tree topology,
+  // with the Benoit–Rehn–Robert closest-ancestor strategies as the
+  // optimality reference — exact is the per-object policy optimum, so the
+  // exact-vs-greedy column measures how much the cheap greedy leaves on the
+  // table, and the AGT-RAM column shows what lifting the ancestor
+  // restriction buys.
+  if (cli.get_bool("tree")) {
+    const std::string shape_name = cli.get("tree-shape");
+    net::TreeShape shape = net::TreeShape::Random;
+    if (shape_name == "balanced") {
+      shape = net::TreeShape::Balanced;
+    } else if (shape_name == "caterpillar") {
+      shape = net::TreeShape::Caterpillar;
+    } else if (shape_name != "random") {
+      std::cerr << "unknown --tree-shape: " << shape_name << "\n";
+      return 1;
+    }
+    common::Table table({"problem size", "AGT-RAM", "tree greedy",
+                         "tree exact", "exact vs greedy"});
+    table.set_title("tree-topology quality: AGT-RAM vs the "
+                    "Benoit-Rehn-Robert strategies (paper rows, M and N "
+                    "divided by " +
+                    common::Table::num(divisor, 0) + ", shape=" + shape_name +
+                    ")");
+    std::uint64_t row_seed = seed;
+    for (const PaperRow& paper : kRows) {
+      const bench::Dims dims{
+          std::max<std::uint32_t>(
+              16, static_cast<std::uint32_t>(paper.m / divisor)),
+          std::max<std::uint32_t>(
+              64, static_cast<std::uint32_t>(paper.n / divisor))};
+      drp::InstanceSpec spec;
+      spec.servers = dims.servers;
+      spec.objects = dims.objects;
+      spec.seed = ++row_seed;
+      spec.topology = net::TopologyKind::Tree;
+      spec.tree_shape = shape;
+      spec.instance.capacity_fraction =
+          bench::capacity_fraction(paper.capacity);
+      spec.instance.rw_ratio = paper.rw;
+      const drp::Problem problem = drp::make_instance(spec);
+      const net::Graph tree = drp::make_topology(spec);
+      const double initial = drp::CostModel::initial_cost(problem);
+
+      const double agtram =
+          (initial -
+           drp::CostModel::total_cost(core::run_agt_ram(problem).placement)) /
+          initial;
+      const auto greedy =
+          baselines::run_tree_placement(problem, tree, {.exact = false});
+      const auto exact =
+          baselines::run_tree_placement(problem, tree, {.exact = true});
+      table.add_row({"M=" + std::to_string(dims.servers) + ", N=" +
+                         std::to_string(dims.objects) + " [C=" +
+                         common::Table::num(paper.capacity, 0) + "%, R/W=" +
+                         common::Table::num(paper.rw, 2) + "]",
+                     common::Table::pct(agtram),
+                     common::Table::pct(1.0 - greedy.policy_cost / initial),
+                     common::Table::pct(1.0 - exact.policy_cost / initial),
+                     common::Table::pct((greedy.policy_cost -
+                                         exact.policy_cost) /
+                                        initial)});
       std::cerr << "  row M=" << dims.servers << " N=" << dims.objects
                 << " done\n";
     }

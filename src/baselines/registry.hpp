@@ -38,7 +38,8 @@ struct AlgorithmEntry {
 std::vector<AlgorithmEntry> all_algorithms(const AlgoOptions& options = {});
 
 /// The paper's six plus the extended comparison set from the citation
-/// lineage: Selfish (Chun et al. best-response Nash), LocalSearch, SA.
+/// lineage: Glauber (Etesami heat-bath dynamics over the MessageBus),
+/// Selfish (Chun et al. best-response Nash), LocalSearch, SA.
 std::vector<AlgorithmEntry> extended_algorithms(
     const AlgoOptions& options = {});
 

@@ -1,0 +1,47 @@
+#include "baselines/strategic_damage.hpp"
+
+#include "drp/cost_model.hpp"
+#include "drp/placement.hpp"
+#include "obs/obs.hpp"
+
+namespace agtram::baselines {
+
+std::vector<MisreportDamageRow> misreport_damage(
+    const drp::Problem& problem, const core::StrategyProfile& profile,
+    const std::vector<std::string>& algorithms, std::uint64_t seed,
+    const AlgoOptions& options) {
+  const drp::Problem distorted = core::distorted_problem(problem, profile);
+
+  std::vector<MisreportDamageRow> rows;
+  rows.reserve(algorithms.size());
+  for (const std::string& name : algorithms) {
+    const AlgorithmEntry entry = find_algorithm(name, options);
+
+    const drp::ReplicaPlacement truthful = entry.run(problem, seed);
+
+    // Plan on the lie, then replay the chosen replicas onto the true
+    // instance (identical capacities, so the plan fits).
+    const drp::ReplicaPlacement planned = entry.run(distorted, seed);
+    drp::ReplicaPlacement replay(problem);
+    MisreportDamageRow row;
+    for (drp::ObjectIndex k = 0; k < problem.object_count(); ++k) {
+      for (const drp::ServerId i : planned.replicators(k)) {
+        if (i == problem.primary[k]) continue;
+        if (replay.can_replicate(i, k)) {
+          replay.add_replica(i, k);
+        } else {
+          ++row.skipped_infeasible;
+        }
+      }
+    }
+
+    row.algorithm = name;
+    row.truthful_savings = drp::CostModel::savings(truthful);
+    row.misreport_savings = drp::CostModel::savings(replay);
+    rows.push_back(std::move(row));
+    AGTRAM_OBS_COUNT("audit.damage_rows", 1);
+  }
+  return rows;
+}
+
+}  // namespace agtram::baselines

@@ -1,0 +1,44 @@
+// Allocation damage from misreports, measured against the non-truthful
+// baselines.  Greedy, GRA, and the auctions consume demand instead of
+// elicited reports, so a strategic agent's lie enters them as distorted
+// read volumes (core::distorted_problem); each algorithm plans on the lie
+// and the resulting placement is then scored on the *true* instance.  The
+// truthful-input run of the same algorithm is the reference: the savings
+// gap is the damage the misreport inflicted — the quantity AGT-RAM's
+// dominant-strategy property makes irrational to inflict in the first
+// place (core::strategic_audit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "core/strategy.hpp"
+#include "drp/problem.hpp"
+
+namespace agtram::baselines {
+
+struct MisreportDamageRow {
+  std::string algorithm;
+  /// OTC savings of the algorithm planning on truthful demand.
+  double truthful_savings = 0.0;
+  /// OTC savings (scored on the true instance) when it plans on the lie.
+  double misreport_savings = 0.0;
+  /// Replicas from the distorted plan that did not fit the true instance
+  /// (capacities are shared, so this stays 0 in practice).
+  std::size_t skipped_infeasible = 0;
+  double damage() const noexcept {
+    return truthful_savings - misreport_savings;
+  }
+};
+
+/// Runs each named algorithm (registry names) twice — on `problem` and on
+/// distorted_problem(problem, profile) — replaying the distorted plan's
+/// replicas onto the true instance for scoring.  Deterministic in (seed).
+std::vector<MisreportDamageRow> misreport_damage(
+    const drp::Problem& problem, const core::StrategyProfile& profile,
+    const std::vector<std::string>& algorithms, std::uint64_t seed,
+    const AlgoOptions& options = {});
+
+}  // namespace agtram::baselines

@@ -1,0 +1,267 @@
+#include "baselines/tree_placement.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace agtram::baselines {
+
+namespace {
+
+// The tree rooted at one object's primary: parent/children/depth plus each
+// node's full ancestor chain (anc[v][t] = v's ancestor at depth t), which is
+// what indexes the DP's (node, nearest-open-ancestor) states.
+struct Rooted {
+  std::vector<drp::ServerId> parent;
+  std::vector<std::uint32_t> depth;
+  std::vector<drp::ServerId> preorder;  ///< parents before children
+  std::vector<std::vector<drp::ServerId>> children;
+  std::vector<std::vector<drp::ServerId>> anc;
+};
+
+Rooted root_tree(const net::Graph& tree, drp::ServerId root) {
+  const std::size_t n = tree.node_count();
+  Rooted r;
+  r.parent.assign(n, root);
+  r.depth.assign(n, 0);
+  r.children.resize(n);
+  r.anc.resize(n);
+  r.preorder.reserve(n);
+  std::vector<char> seen(n, 0);
+  std::vector<drp::ServerId> stack{root};
+  seen[root] = 1;
+  while (!stack.empty()) {
+    const drp::ServerId v = stack.back();
+    stack.pop_back();
+    r.preorder.push_back(v);
+    for (const net::Edge& e : tree.neighbors(v)) {
+      if (seen[e.to]) continue;
+      seen[e.to] = 1;
+      r.parent[e.to] = v;
+      r.depth[e.to] = r.depth[v] + 1;
+      r.children[v].push_back(e.to);
+      r.anc[e.to] = r.anc[v];
+      r.anc[e.to].push_back(v);
+      stack.push_back(e.to);
+    }
+  }
+  return r;
+}
+
+// Per-object demand scattered dense (reset between objects by the caller
+// re-filling): read load R_v = r_vk * o_k, per-server writes, and the
+// placement-independent write-to-primary term.
+struct ObjectDemand {
+  std::vector<double> read_load;  ///< r_vk * o_k
+  std::vector<double> writes;     ///< w_vk
+  double total_writes = 0.0;      ///< w_k
+  double units = 0.0;             ///< o_k
+  double write_constant = 0.0;    ///< sum w_vk * o_k * d(v, P_k)
+};
+
+ObjectDemand object_demand(const drp::Problem& problem, drp::ObjectIndex k) {
+  const std::size_t n = problem.server_count();
+  ObjectDemand d;
+  d.read_load.assign(n, 0.0);
+  d.writes.assign(n, 0.0);
+  d.units = static_cast<double>(problem.object_units[k]);
+  d.total_writes = static_cast<double>(problem.access.total_writes(k));
+  const drp::ServerId primary = problem.primary[k];
+  for (const drp::Access& cell : problem.access.accessors(k)) {
+    d.read_load[cell.server] = static_cast<double>(cell.reads) * d.units;
+    d.writes[cell.server] = static_cast<double>(cell.writes);
+    d.write_constant += static_cast<double>(cell.writes) * d.units *
+                        static_cast<double>(problem.distance(cell.server,
+                                                             primary));
+  }
+  return d;
+}
+
+// Replica maintenance cost of opening v: the broadcast of everyone else's
+// updates from the primary — the X_ik * (w_k - w_ik) * o_k * c(P_k, i) term
+// of the OTC.
+double facility_cost(const drp::Problem& problem, const ObjectDemand& d,
+                     drp::ObjectIndex k, drp::ServerId v) {
+  return (d.total_writes - d.writes[v]) * d.units *
+         static_cast<double>(problem.distance(problem.primary[k], v));
+}
+
+// Closest-ancestor policy cost of serving object k through the open set
+// given as a dense mask (must include the primary/root).
+double policy_cost_masked(const drp::Problem& problem, const Rooted& rooted,
+                          const ObjectDemand& d, drp::ObjectIndex k,
+                          const std::vector<char>& open) {
+  const drp::ServerId root = problem.primary[k];
+  double cost = d.write_constant;
+  for (const drp::Access& cell : problem.access.accessors(k)) {
+    if (cell.reads == 0) continue;
+    drp::ServerId server = cell.server;
+    while (open[server] == 0) server = rooted.parent[server];
+    cost += d.read_load[cell.server] *
+            static_cast<double>(problem.distance(cell.server, server));
+  }
+  for (drp::ServerId v = 0; v < open.size(); ++v) {
+    if (open[v] != 0 && v != root) cost += facility_cost(problem, d, k, v);
+  }
+  return cost;
+}
+
+TreeObjectChoice exact_for_object(const drp::Problem& problem,
+                                  const Rooted& rooted,
+                                  const ObjectDemand& d, drp::ObjectIndex k) {
+  const std::size_t n = problem.server_count();
+  const drp::ServerId root = problem.primary[k];
+
+  // best[v][t]: min policy cost of subtree(v) given the nearest open
+  // ancestor is anc[v][t]; choice records whether opening v achieved it.
+  std::vector<std::vector<double>> best(n);
+  std::vector<std::vector<char>> choice(n);
+  double root_open = 0.0;
+  for (std::size_t idx = rooted.preorder.size(); idx-- > 0;) {
+    const drp::ServerId v = rooted.preorder[idx];
+    const std::uint32_t dv = rooted.depth[v];
+    double open_v = v == root ? 0.0 : facility_cost(problem, d, k, v);
+    for (const drp::ServerId c : rooted.children[v]) open_v += best[c][dv];
+    if (v == root) {
+      root_open = open_v;
+      continue;
+    }
+    best[v].resize(dv);
+    choice[v].resize(dv);
+    for (std::uint32_t t = 0; t < dv; ++t) {
+      const drp::ServerId a = rooted.anc[v][t];
+      double closed =
+          d.read_load[v] * static_cast<double>(problem.distance(v, a));
+      for (const drp::ServerId c : rooted.children[v]) closed += best[c][t];
+      // Ties keep the node closed (fewer replicas, deterministic).
+      if (open_v < closed) {
+        best[v][t] = open_v;
+        choice[v][t] = 1;
+      } else {
+        best[v][t] = closed;
+        choice[v][t] = 0;
+      }
+    }
+  }
+
+  TreeObjectChoice result;
+  result.policy_cost = root_open + d.write_constant;
+  result.open.push_back(root);
+  std::vector<std::pair<drp::ServerId, std::uint32_t>> stack;
+  for (const drp::ServerId c : rooted.children[root]) stack.push_back({c, 0});
+  while (!stack.empty()) {
+    const auto [v, t] = stack.back();
+    stack.pop_back();
+    if (choice[v][t] != 0) {
+      result.open.push_back(v);
+      for (const drp::ServerId c : rooted.children[v]) {
+        stack.push_back({c, rooted.depth[v]});
+      }
+    } else {
+      for (const drp::ServerId c : rooted.children[v]) stack.push_back({c, t});
+    }
+  }
+  std::sort(result.open.begin(), result.open.end());
+  return result;
+}
+
+TreeObjectChoice greedy_for_object(const drp::Problem& problem,
+                                   const Rooted& rooted,
+                                   const ObjectDemand& d, drp::ObjectIndex k) {
+  const std::size_t n = problem.server_count();
+  const drp::ServerId root = problem.primary[k];
+  std::vector<char> open(n, 0);
+  open[root] = 1;
+  double current = policy_cost_masked(problem, rooted, d, k, open);
+  while (true) {
+    double best_cost = current;
+    drp::ServerId best_v = static_cast<drp::ServerId>(n);
+    for (drp::ServerId v = 0; v < n; ++v) {
+      if (open[v] != 0) continue;
+      open[v] = 1;
+      const double cost = policy_cost_masked(problem, rooted, d, k, open);
+      open[v] = 0;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_v = v;
+      }
+    }
+    if (best_v == static_cast<drp::ServerId>(n)) break;
+    open[best_v] = 1;
+    current = best_cost;
+  }
+
+  TreeObjectChoice result;
+  result.policy_cost = current;
+  for (drp::ServerId v = 0; v < n; ++v) {
+    if (open[v] != 0) result.open.push_back(v);
+  }
+  return result;
+}
+
+void validate_tree(const drp::Problem& problem, const net::Graph& tree) {
+  if (tree.node_count() != problem.server_count()) {
+    throw std::invalid_argument("tree_placement: graph/problem size mismatch");
+  }
+  if (tree.edge_count() + 1 != tree.node_count() || !tree.connected()) {
+    throw std::invalid_argument(
+        "tree_placement: topology is not a tree (need exactly n-1 edges and "
+        "connectivity)");
+  }
+}
+
+}  // namespace
+
+TreePlacementResult run_tree_placement(const drp::Problem& problem,
+                                       const net::Graph& tree,
+                                       const TreePlacementConfig& config) {
+  validate_tree(problem, tree);
+  const std::size_t objects = problem.object_count();
+
+  // Objects share primaries, and the rooting is per root, not per object.
+  std::vector<std::unique_ptr<Rooted>> rooted_cache(problem.server_count());
+
+  TreePlacementResult result{drp::ReplicaPlacement(problem), {}, 0.0, 0};
+  result.per_object.reserve(objects);
+  for (drp::ObjectIndex k = 0; k < objects; ++k) {
+    const drp::ServerId root = problem.primary[k];
+    if (!rooted_cache[root]) {
+      rooted_cache[root] = std::make_unique<Rooted>(root_tree(tree, root));
+    }
+    const Rooted& rooted = *rooted_cache[root];
+    const ObjectDemand demand = object_demand(problem, k);
+    TreeObjectChoice choice =
+        config.exact ? exact_for_object(problem, rooted, demand, k)
+                     : greedy_for_object(problem, rooted, demand, k);
+    result.policy_cost += choice.policy_cost;
+    for (const drp::ServerId v : choice.open) {
+      if (v == root) continue;
+      if (result.placement.can_replicate(v, k)) {
+        result.placement.add_replica(v, k);
+      } else {
+        ++result.skipped_infeasible;
+      }
+    }
+    result.per_object.push_back(std::move(choice));
+  }
+  return result;
+}
+
+double tree_policy_cost(const drp::Problem& problem, const net::Graph& tree,
+                        drp::ObjectIndex k,
+                        const std::vector<drp::ServerId>& open) {
+  validate_tree(problem, tree);
+  const drp::ServerId root = problem.primary[k];
+  std::vector<char> mask(problem.server_count(), 0);
+  for (const drp::ServerId v : open) mask[v] = 1;
+  if (mask[root] == 0) {
+    throw std::invalid_argument("tree_policy_cost: open set must contain the "
+                                "primary");
+  }
+  const Rooted rooted = root_tree(tree, root);
+  const ObjectDemand demand = object_demand(problem, k);
+  return policy_cost_masked(problem, rooted, demand, k, mask);
+}
+
+}  // namespace agtram::baselines

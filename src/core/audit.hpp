@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/agt_ram.hpp"
+#include "core/strategy.hpp"
 #include "drp/problem.hpp"
 
 namespace agtram::core {
@@ -77,6 +79,121 @@ struct TruthfulnessTrial {
 std::vector<TruthfulnessTrial> audit_truthfulness(
     const drp::Problem& problem, PaymentRule rule, drp::ServerId agent,
     const std::vector<double>& distortions);
+
+/// Per-round dominance auditor for *strategic* runs (the adversarial side
+/// of Lemma 1 / Theorem 5).  Installed as the observer of a mechanism run in
+/// which the `watched` agents misreport, it records every round's standing
+/// report profile and, at each allocation, checks the exact one-shot
+/// invariant: with all other reports held fixed, the watched agent's round
+/// utility had it bid its true valuation is >= the round utility its actual
+/// (distorted) bid realised.  Under PaymentRule::SecondPrice this holds in
+/// every round of every run — a violation means the mechanism itself is
+/// broken; under FirstPrice, deflation legitimately produces violations.
+class DominanceAuditor : public MechanismObserver {
+ public:
+  DominanceAuditor(PaymentRule rule, std::vector<drp::ServerId> watched);
+
+  void on_round_begin(std::size_t round) override;
+  void on_report(drp::ServerId agent, const Report& report,
+                 bool fresh) override;
+  void on_allocation(drp::ServerId winner, drp::ObjectIndex object,
+                     double payment) override;
+
+  /// (round, watched agent) pairs actually checked (agents with no standing
+  /// candidate in a round are skipped: they cannot bid at all).
+  std::size_t checks() const noexcept { return checks_; }
+  std::size_t rounds_audited() const noexcept { return rounds_; }
+  std::size_t violations() const noexcept { return violations_; }
+  /// Smallest (truthful - realized) round margin seen; >= 0 when dominance
+  /// held everywhere, +inf when nothing was checked.
+  double min_round_margin() const noexcept { return min_margin_; }
+
+ private:
+  struct Standing {
+    drp::ServerId agent;
+    double claimed;
+    double true_value;
+  };
+
+  PaymentRule rule_;
+  std::vector<drp::ServerId> watched_;
+  std::vector<Standing> profile_;
+  std::size_t checks_ = 0;
+  std::size_t rounds_ = 0;
+  std::size_t violations_ = 0;
+  double min_margin_ = std::numeric_limits<double>::infinity();
+};
+
+/// One swept deviation: the agent's full-game utilities truthful vs deviant
+/// plus the per-round dominance evidence from the deviant run.  The
+/// full-game margin is an empirical measurement (the sequential game is not
+/// dominance-solvable in general; see TruthfulnessTrial); the round
+/// violations are the exact invariant and must be 0 under SecondPrice.
+struct StrategicTrial {
+  drp::ServerId agent = 0;
+  DeviationKind kind = DeviationKind::Truthful;
+  double factor = 1.0;
+  double truthful_utility = 0.0;
+  double deviant_utility = 0.0;
+  std::size_t rounds_checked = 0;
+  std::size_t round_violations = 0;
+  double min_round_margin = 0.0;
+  double margin() const noexcept { return truthful_utility - deviant_utility; }
+};
+
+/// The bidding-ring case: members (except the leader) zero-bid.  The ring
+/// depresses the clearing prices — collusive_revenue <= truthful_revenue —
+/// and the per-round invariant still holds for every suppressed member (no
+/// round exists where the zero bid beat what truth would have realised in
+/// that round).  `reversion` reports each non-leader member's full-game
+/// utility when it unilaterally reverts to truth vs staying suppressed —
+/// empirical data, like all full-game margins (see StrategicAuditReport).
+struct CollusionAudit {
+  std::vector<drp::ServerId> members;
+  double truthful_revenue = 0.0;   ///< total payments, all agents truthful
+  double collusive_revenue = 0.0;  ///< total payments under the ring
+  std::size_t round_violations = 0;
+  /// Per non-leader member: utility(unilateral revert) - utility(in ring).
+  std::vector<StrategicTrial> reversion;
+};
+
+struct StrategicAuditConfig {
+  PaymentRule payment_rule = PaymentRule::SecondPrice;
+  ReportMode report_mode = ReportMode::Auto;
+  /// Inflation sweep (> 1) and deflation sweep (< 1; 0 entries become
+  /// DeviationKind::Zero, i.e. bid suppression).
+  std::vector<double> inflate_factors = {1.25, 2.0, 5.0};
+  std::vector<double> deflate_factors = {0.0, 0.5, 0.8};
+  /// How many agents to probe, picked from the truthful run's top winners
+  /// (their deviations are the ones that can move the allocation).
+  std::size_t agents_to_probe = 4;
+  /// Ring size for the collusion case (0 disables it).
+  std::size_t collusion_size = 3;
+};
+
+struct StrategicAuditReport {
+  std::vector<StrategicTrial> trials;
+  CollusionAudit collusion;
+  std::size_t total_round_violations = 0;
+  /// min over trials (and collusion reversions) of the full-game margin.
+  /// Empirical only: negative values are legitimate — under the global
+  /// clearing price an under-bidder can shift its wins to later, cheaper
+  /// rounds, so the sequential game rewards patience even though no single
+  /// round ever does (inflation, by contrast, advances wins into *more*
+  /// expensive rounds and loses; the per-round invariant holds throughout).
+  double min_full_game_margin = 0.0;
+  /// The acceptance bar for SecondPrice: the exact per-round invariant held
+  /// in every audited round of every trial (no misreporting agent's bid
+  /// ever beat what its truthful bid would have realised in that round).
+  bool dominance_holds = false;
+};
+
+/// Sweeps deviation magnitudes over the truthful run's top winners, running
+/// the mechanism once per (agent, factor) with a DominanceAuditor installed,
+/// plus the collusion-ring case.  Deterministic: the mechanism is
+/// deterministic and the probe set derives from the truthful run.
+StrategicAuditReport strategic_audit(const drp::Problem& problem,
+                                     const StrategicAuditConfig& config = {});
 
 /// Axiom 4 consistency: the utilitarian objective equals the sum of agent
 /// valuations; concretely, the sum of winners' true values across rounds

@@ -1,0 +1,92 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace agtram::core {
+
+drp::ServerId CollusionGroup::leader() const {
+  if (members.empty()) {
+    throw std::invalid_argument("collusion group needs at least one member");
+  }
+  return *std::min_element(members.begin(), members.end());
+}
+
+double StrategyProfile::multiplier_for(drp::ServerId who) const {
+  double multiplier = 1.0;
+  for (const Deviation& d : deviations) {
+    if (d.agent == who) multiplier = d.multiplier();
+  }
+  for (const CollusionGroup& group : collusion_groups) {
+    if (group.members.empty()) continue;
+    const drp::ServerId leader = group.leader();
+    for (const drp::ServerId member : group.members) {
+      if (member == who && member != leader) multiplier = 0.0;
+    }
+  }
+  return multiplier;
+}
+
+std::vector<drp::ServerId> StrategyProfile::deviating_agents() const {
+  std::vector<drp::ServerId> agents;
+  for (const Deviation& d : deviations) agents.push_back(d.agent);
+  for (const CollusionGroup& group : collusion_groups) {
+    for (const drp::ServerId member : group.members) agents.push_back(member);
+  }
+  std::sort(agents.begin(), agents.end());
+  agents.erase(std::unique(agents.begin(), agents.end()), agents.end());
+  std::erase_if(agents,
+                [this](drp::ServerId who) { return !deviates(who); });
+  return agents;
+}
+
+ReportStrategy StrategyProfile::compile(std::size_t server_count) const {
+  if (empty()) return nullptr;
+  std::vector<double> table(server_count, 1.0);
+  bool identity = true;
+  for (drp::ServerId who = 0; who < table.size(); ++who) {
+    table[who] = multiplier_for(who);
+    identity = identity && table[who] == 1.0;
+  }
+  if (identity) return nullptr;
+  return [table = std::move(table)](drp::ServerId who, double value) {
+    return who < table.size() ? value * table[who] : value;
+  };
+}
+
+drp::Problem distorted_problem(const drp::Problem& problem,
+                               const StrategyProfile& profile) {
+  const std::size_t servers = problem.server_count();
+  const std::size_t objects = problem.object_count();
+  std::vector<double> multiplier(servers, 1.0);
+  for (drp::ServerId who = 0; who < servers; ++who) {
+    multiplier[who] = std::max(0.0, profile.multiplier_for(who));
+  }
+
+  std::vector<std::vector<drp::Access>> rows(objects);
+  for (drp::ObjectIndex k = 0; k < objects; ++k) {
+    const auto cells = problem.access.accessors(k);
+    rows[k].reserve(cells.size());
+    for (const drp::Access& cell : cells) {
+      const double scaled =
+          std::round(static_cast<double>(cell.reads) * multiplier[cell.server]);
+      const auto reads = static_cast<std::uint64_t>(
+          std::min(scaled, static_cast<double>(
+                               std::numeric_limits<std::int64_t>::max())));
+      rows[k].push_back(drp::Access{cell.server, reads, cell.writes});
+    }
+  }
+
+  drp::Problem distorted;
+  distorted.distances = problem.distances;
+  distorted.object_units = problem.object_units;
+  distorted.primary = problem.primary;
+  distorted.capacity = problem.capacity;
+  distorted.access =
+      drp::AccessMatrix::build(servers, objects, std::move(rows));
+  return distorted;
+}
+
+}  // namespace agtram::core

@@ -233,15 +233,6 @@ trace::Workload make_workload(const InstanceSpec& spec) {
                                                : trace_workload(spec);
 }
 
-net::Graph make_topology(const InstanceSpec& spec) {
-  net::TopologyConfig topo;
-  topo.kind = spec.topology;
-  topo.nodes = spec.servers;
-  topo.edge_probability = spec.edge_probability;
-  topo.seed = spec.seed;
-  return net::generate_topology(topo);
-}
-
 InstanceConfig instance_config(const InstanceSpec& spec) {
   InstanceConfig inst = spec.instance;
   inst.seed = spec.seed ^ 0x0f0f0f0f0f0f0f0fULL;
@@ -249,6 +240,17 @@ InstanceConfig instance_config(const InstanceSpec& spec) {
 }
 
 }  // namespace
+
+net::Graph make_topology(const InstanceSpec& spec) {
+  net::TopologyConfig topo;
+  topo.kind = spec.topology;
+  topo.nodes = spec.servers;
+  topo.edge_probability = spec.edge_probability;
+  topo.tree_shape = spec.tree_shape;
+  topo.tree_arity = spec.tree_arity;
+  topo.seed = spec.seed;
+  return net::generate_topology(topo);
+}
 
 Problem make_instance(const InstanceSpec& spec) {
   if (spec.servers == 0 || spec.objects == 0) {

@@ -72,6 +72,9 @@ struct InstanceSpec {
   std::uint32_t objects = 1000;
   net::TopologyKind topology = net::TopologyKind::FlatRandom;
   double edge_probability = 0.5;
+  /// Tree family only (net::TopologyKind::Tree): shape and branching factor.
+  net::TreeShape tree_shape = net::TreeShape::Random;
+  std::uint32_t tree_arity = 3;
   /// Requests scale: total synthetic requests ~ requests_per_object * objects.
   double requests_per_object = 150.0;
   DemandModel demand = DemandModel::Trace;
@@ -83,6 +86,12 @@ struct InstanceSpec {
 };
 
 Problem make_instance(const InstanceSpec& spec);
+
+/// The raw topology graph make_instance(spec) builds its metric closure
+/// from — deterministic in (spec), so callers that need the graph structure
+/// itself (baselines::tree_placement walks the tree edges, not the closure)
+/// can regenerate it exactly.
+net::Graph make_topology(const InstanceSpec& spec);
 
 /// Closure-free instance for the tiled regional engine (M beyond the dense
 /// M x M ceiling): the raw topology plus the demand/capacity state of a

@@ -135,6 +135,40 @@ Graph power_law(const TopologyConfig& cfg, Rng& rng) {
   return g;
 }
 
+/// Tree family (Benoit–Rehn–Robert's setting): exactly n-1 edges, connected
+/// by construction, so the metric closure equals the unique tree-path
+/// distances — what baselines::tree_placement's ancestor DP relies on.
+Graph tree(const TopologyConfig& cfg, Rng& rng) {
+  Graph g(cfg.nodes);
+  switch (cfg.tree_shape) {
+    case TreeShape::Random:
+      // Uniform recursive tree.
+      for (NodeId v = 1; v < cfg.nodes; ++v) {
+        g.add_edge(v, static_cast<NodeId>(rng.below(v)), draw_cost(rng, cfg));
+      }
+      break;
+    case TreeShape::Balanced: {
+      const std::uint32_t arity = std::max<std::uint32_t>(1, cfg.tree_arity);
+      for (NodeId v = 1; v < cfg.nodes; ++v) {
+        g.add_edge(v, (v - 1) / arity, draw_cost(rng, cfg));
+      }
+      break;
+    }
+    case TreeShape::Caterpillar: {
+      // Spine of ceil(n/2) nodes; the rest hang off it round-robin.
+      const NodeId spine = (cfg.nodes + 1) / 2;
+      for (NodeId v = 1; v < spine; ++v) {
+        g.add_edge(v, v - 1, draw_cost(rng, cfg));
+      }
+      for (NodeId v = spine; v < cfg.nodes; ++v) {
+        g.add_edge(v, (v - spine) % spine, draw_cost(rng, cfg));
+      }
+      break;
+    }
+  }
+  return g;
+}
+
 }  // namespace
 
 TopologyKind parse_topology_kind(const std::string& name) {
@@ -146,6 +180,9 @@ TopologyKind parse_topology_kind(const std::string& name) {
   if (name == "power-law" || name == "inet" || name == "ba") {
     return TopologyKind::PowerLaw;
   }
+  if (name == "tree" || name == "tree-balanced" || name == "tree-caterpillar") {
+    return TopologyKind::Tree;
+  }
   throw std::invalid_argument("unknown topology kind: " + name);
 }
 
@@ -155,6 +192,7 @@ std::string to_string(TopologyKind kind) {
     case TopologyKind::Waxman: return "waxman";
     case TopologyKind::TransitStub: return "transit-stub";
     case TopologyKind::PowerLaw: return "power-law";
+    case TopologyKind::Tree: return "tree";
   }
   return "?";
 }
@@ -176,6 +214,7 @@ Graph generate_topology(const TopologyConfig& cfg) {
       case TopologyKind::Waxman: return waxman(cfg, rng);
       case TopologyKind::TransitStub: return transit_stub(cfg, rng);
       case TopologyKind::PowerLaw: return power_law(cfg, rng);
+      case TopologyKind::Tree: return tree(cfg, rng);
     }
     throw std::logic_error("unreachable");
   }();

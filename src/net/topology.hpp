@@ -33,9 +33,21 @@
 
 namespace agtram::net {
 
-enum class TopologyKind { FlatRandom, Waxman, TransitStub, PowerLaw };
+enum class TopologyKind { FlatRandom, Waxman, TransitStub, PowerLaw, Tree };
 
-/// Parse "random" | "waxman" | "transit-stub" | "power-law" (throws on junk).
+/// Shape of the Tree family (the replica-placement-on-trees setting of
+/// Benoit–Rehn–Robert, cs/0611034):
+///  * Random      — uniform recursive tree: node v attaches to a uniformly
+///                  random earlier node (expected depth O(log n)).
+///  * Balanced    — complete `tree_arity`-ary tree (minimal depth).
+///  * Caterpillar — a path spine with the remaining nodes as legs hanging
+///                  off it round-robin (depth Θ(n): the worst case for the
+///                  closest-ancestor placement policy).
+enum class TreeShape { Random, Balanced, Caterpillar };
+
+/// Parse "random" | "waxman" | "transit-stub" | "power-law" | "tree" |
+/// "tree-balanced" | "tree-caterpillar" (throws on junk).  The tree aliases
+/// select the kind only; the shape lives in TopologyConfig::tree_shape.
 TopologyKind parse_topology_kind(const std::string& name);
 std::string to_string(TopologyKind kind);
 
@@ -58,6 +70,10 @@ struct TopologyConfig {
 
   /// PowerLaw: edges attached per arriving node.
   std::uint32_t attachment_edges = 2;
+
+  /// Tree family: shape and (Balanced only) the branching factor.
+  TreeShape tree_shape = TreeShape::Random;
+  std::uint32_t tree_arity = 3;
 
   /// Link costs are drawn uniformly from [min_cost, max_cost] and scaled by
   /// the model-specific distance factor.

@@ -91,6 +91,26 @@ void MessageBus::account_install(std::uint64_t entries) {
                    static_cast<std::uint64_t>(wire_.install_entry) * entries);
 }
 
+void MessageBus::account_glauber_proposals(std::uint64_t proposals) {
+  stats_.glauber_proposal_messages += proposals;
+  stats_.glauber_proposal_bytes +=
+      static_cast<std::uint64_t>(wire_.glauber_proposal) * proposals;
+  AGTRAM_OBS_COUNT("bus.glauber_proposal_msgs", proposals);
+  AGTRAM_OBS_COUNT("bus.glauber_proposal_bytes",
+                   static_cast<std::uint64_t>(wire_.glauber_proposal) *
+                       proposals);
+}
+
+void MessageBus::account_glauber_decisions(std::uint64_t decisions) {
+  stats_.glauber_decision_messages += decisions;
+  stats_.glauber_decision_bytes +=
+      static_cast<std::uint64_t>(wire_.glauber_decision) * decisions;
+  AGTRAM_OBS_COUNT("bus.glauber_decision_msgs", decisions);
+  AGTRAM_OBS_COUNT("bus.glauber_decision_bytes",
+                   static_cast<std::uint64_t>(wire_.glauber_decision) *
+                       decisions);
+}
+
 drp::ServerId MessageBus::pick_centre(const drp::Problem& problem) {
   const std::size_t m = problem.server_count();
   drp::ServerId best = 0;

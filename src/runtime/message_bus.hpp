@@ -49,6 +49,15 @@ struct MessageStats {
   std::uint64_t install_messages = 0;  ///< placement-install table entries
   std::uint64_t install_bytes = 0;
 
+  // Glauber-dynamics baseline traffic (baselines::glauber): per-server flip
+  // proposals carrying the locally priced cost delta, and the coordinator's
+  // accept/reject decisions back.  Accounted separately so obs blocks can
+  // attribute the distributed baseline's chatter.
+  std::uint64_t glauber_proposal_messages = 0;  ///< server -> coordinator
+  std::uint64_t glauber_proposal_bytes = 0;
+  std::uint64_t glauber_decision_messages = 0;  ///< coordinator -> server
+  std::uint64_t glauber_decision_bytes = 0;
+
   /// Simulated end-to-end protocol time: per round, the slowest report in
   /// flight plus the slowest broadcast leg (reports travel in parallel).
   double simulated_seconds = 0.0;
@@ -65,6 +74,12 @@ struct MessageStats {
   std::uint64_t serving_bytes() const noexcept {
     return route_bytes + delta_bytes + install_bytes;
   }
+  std::uint64_t glauber_messages() const noexcept {
+    return glauber_proposal_messages + glauber_decision_messages;
+  }
+  std::uint64_t glauber_bytes() const noexcept {
+    return glauber_proposal_bytes + glauber_decision_bytes;
+  }
 };
 
 /// Wire-format sizes (bytes) for the protocol and serving message kinds.
@@ -75,6 +90,8 @@ struct WireFormat {
   std::uint32_t route = 8;        ///< object id + requested version floor
   std::uint32_t delta_cell = 24;  ///< server + object + dr + dw
   std::uint32_t install_entry = 8;  ///< object id + replica server id
+  std::uint32_t glauber_proposal = 24;  ///< object + flip kind + priced delta
+  std::uint32_t glauber_decision = 12;  ///< object + accept flag + sweep
 };
 
 class MessageBus : public core::MechanismObserver {
@@ -97,6 +114,11 @@ class MessageBus : public core::MechanismObserver {
   void account_routes(std::uint64_t requests);
   void account_demand_batch(std::uint64_t cells);
   void account_install(std::uint64_t entries);
+
+  // Glauber-baseline accounting (baselines::glauber): one proposal per
+  // evaluated flip, one decision back per proposal.
+  void account_glauber_proposals(std::uint64_t proposals);
+  void account_glauber_decisions(std::uint64_t decisions);
 
   const MessageStats& stats() const noexcept { return stats_; }
   drp::ServerId centre() const noexcept { return centre_; }

@@ -111,12 +111,13 @@ TEST(Annealing, MoreProposalsDoNotHurt) {
 
 // ------------------------------------------------------ extended registry
 
-TEST(ExtendedRegistry, ContainsNineRunnableMethods) {
+TEST(ExtendedRegistry, ContainsTenRunnableMethods) {
   const auto algorithms = extended_algorithms();
-  ASSERT_EQ(algorithms.size(), 9u);
-  EXPECT_EQ(algorithms[6].name, "Selfish");
-  EXPECT_EQ(algorithms[7].name, "LocalSearch");
-  EXPECT_EQ(algorithms[8].name, "SA");
+  ASSERT_EQ(algorithms.size(), 10u);
+  EXPECT_EQ(algorithms[6].name, "Glauber");
+  EXPECT_EQ(algorithms[7].name, "Selfish");
+  EXPECT_EQ(algorithms[8].name, "LocalSearch");
+  EXPECT_EQ(algorithms[9].name, "SA");
   const drp::Problem p = testutil::small_instance(608, 16, 50);
   const double initial = drp::CostModel::initial_cost(p);
   for (const auto& algorithm : algorithms) {

@@ -1,0 +1,171 @@
+// Tree topology family + Benoit–Rehn–Robert placement strategies: the
+// exact DP is brute-force verified on tiny trees, exact <= greedy under the
+// same policy, the policy cost upper-bounds the OTC of the replayed
+// placement, and the tree shapes parse/generate/validate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/tree_placement.hpp"
+#include "core/agt_ram.hpp"
+#include "drp/builder.hpp"
+#include "drp/cost_model.hpp"
+#include "net/topology.hpp"
+#include "test_helpers.hpp"
+
+namespace agtram {
+namespace {
+
+drp::InstanceSpec tree_spec(std::uint64_t seed, std::uint32_t servers,
+                            std::uint32_t objects,
+                            net::TreeShape shape = net::TreeShape::Random) {
+  drp::InstanceSpec spec;
+  spec.servers = servers;
+  spec.objects = objects;
+  spec.seed = seed;
+  spec.topology = net::TopologyKind::Tree;
+  spec.tree_shape = shape;
+  spec.instance.capacity_fraction = 0.35;
+  spec.instance.rw_ratio = 0.85;
+  return spec;
+}
+
+TEST(TreeTopology, ParseAndGenerateAllShapes) {
+  EXPECT_EQ(net::parse_topology_kind("tree"), net::TopologyKind::Tree);
+  EXPECT_EQ(net::parse_topology_kind("tree-balanced"), net::TopologyKind::Tree);
+  EXPECT_EQ(net::parse_topology_kind("tree-caterpillar"),
+            net::TopologyKind::Tree);
+  EXPECT_EQ(net::to_string(net::TopologyKind::Tree), "tree");
+
+  for (const net::TreeShape shape :
+       {net::TreeShape::Random, net::TreeShape::Balanced,
+        net::TreeShape::Caterpillar}) {
+    net::TopologyConfig cfg;
+    cfg.kind = net::TopologyKind::Tree;
+    cfg.nodes = 17;
+    cfg.tree_shape = shape;
+    cfg.tree_arity = 3;
+    cfg.seed = 5;
+    const net::Graph g = net::generate_topology(cfg);
+    EXPECT_EQ(g.node_count(), 17u);
+    EXPECT_EQ(g.edge_count(), 16u);  // n - 1 edges: it is a tree
+    EXPECT_TRUE(g.connected());
+  }
+}
+
+// Exhaustive check of the DP on tiny trees: for every object, no subset of
+// servers (containing the primary) achieves a lower closest-ancestor policy
+// cost than the exact choice.
+TEST(TreePlacement, ExactDpMatchesBruteForceOnTinyTrees) {
+  for (const net::TreeShape shape :
+       {net::TreeShape::Random, net::TreeShape::Balanced,
+        net::TreeShape::Caterpillar}) {
+    const drp::InstanceSpec spec = tree_spec(91, /*servers=*/7, /*objects=*/8,
+                                             shape);
+    const drp::Problem p = drp::make_instance(spec);
+    const net::Graph tree = drp::make_topology(spec);
+
+    const baselines::TreePlacementResult exact =
+        baselines::run_tree_placement(p, tree, {.exact = true});
+    ASSERT_EQ(exact.per_object.size(), p.object_count());
+
+    const std::size_t m = p.server_count();
+    for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+      double best = std::numeric_limits<double>::infinity();
+      // All 2^(m-1) subsets of non-primary servers, primary always open.
+      for (std::size_t mask = 0; mask < (1u << m); ++mask) {
+        if (!(mask & (1u << p.primary[k]))) continue;
+        std::vector<drp::ServerId> open;
+        for (drp::ServerId i = 0; i < m; ++i) {
+          if (mask & (1u << i)) open.push_back(i);
+        }
+        best = std::min(best, baselines::tree_policy_cost(p, tree, k, open));
+      }
+      EXPECT_NEAR(exact.per_object[k].policy_cost, best, 1e-6 * (1.0 + best))
+          << "object " << k << " shape " << static_cast<int>(shape);
+    }
+  }
+}
+
+TEST(TreePlacement, ExactNeverWorseThanGreedy) {
+  const drp::InstanceSpec spec = tree_spec(93, 30, 60);
+  const drp::Problem p = drp::make_instance(spec);
+  const net::Graph tree = drp::make_topology(spec);
+
+  const auto exact = baselines::run_tree_placement(p, tree, {.exact = true});
+  const auto greedy = baselines::run_tree_placement(p, tree, {.exact = false});
+
+  EXPECT_LE(exact.policy_cost, greedy.policy_cost + 1e-9);
+  for (drp::ObjectIndex k = 0; k < p.object_count(); ++k) {
+    EXPECT_LE(exact.per_object[k].policy_cost,
+              greedy.per_object[k].policy_cost + 1e-9)
+        << "object " << k;
+  }
+}
+
+// The closest-ancestor policy serves each client from a (weakly) farther
+// replica than the true nearest, so the policy cost upper-bounds the OTC of
+// the same replica set whenever the replay dropped nothing.
+TEST(TreePlacement, PolicyCostUpperBoundsTrueOtc) {
+  drp::InstanceSpec spec = tree_spec(97, 25, 50);
+  // Generous headroom so the uncapacitated reference replays in full.
+  spec.instance.capacity_fraction = 1.5;
+  const drp::Problem p = drp::make_instance(spec);
+  const net::Graph tree = drp::make_topology(spec);
+
+  const auto result = baselines::run_tree_placement(p, tree);
+  if (result.skipped_infeasible != 0) GTEST_SKIP() << "capacity clipped";
+  EXPECT_LE(drp::CostModel::total_cost(result.placement),
+            result.policy_cost + 1e-6 * (1.0 + result.policy_cost));
+}
+
+// Sanity of the comparison the bench reports: AGT-RAM on a tree instance
+// (free of the ancestor restriction) and the exact ancestor-policy optimum
+// both improve on primaries-only.
+TEST(TreePlacement, AgtRamAndTreeOptimumBothImprove) {
+  const drp::InstanceSpec spec = tree_spec(101, 25, 50);
+  const drp::Problem p = drp::make_instance(spec);
+  const net::Graph tree = drp::make_topology(spec);
+
+  const double initial = drp::CostModel::initial_cost(p);
+  const auto exact = baselines::run_tree_placement(p, tree);
+  const core::MechanismResult agt = core::run_agt_ram(p);
+
+  EXPECT_LE(exact.policy_cost, initial + 1e-9);
+  EXPECT_LE(drp::CostModel::total_cost(agt.placement), initial + 1e-9);
+  EXPECT_GT(agt.rounds.size(), 0u);
+}
+
+TEST(TreePlacement, RejectsNonTreeGraphs) {
+  const drp::Problem p = testutil::small_instance(103, 12, 20);
+  // The default instance topology is flat-random, not a tree.
+  drp::InstanceSpec spec;
+  spec.servers = 12;
+  spec.objects = 20;
+  spec.seed = 103;
+  const net::Graph not_a_tree = drp::make_topology(spec);
+  if (not_a_tree.edge_count() == not_a_tree.node_count() - 1) {
+    GTEST_SKIP() << "random graph happened to be a tree";
+  }
+  EXPECT_THROW(baselines::run_tree_placement(p, not_a_tree),
+               std::invalid_argument);
+}
+
+TEST(TreePlacement, DeterministicAcrossCalls) {
+  const drp::InstanceSpec spec = tree_spec(107, 20, 40);
+  const drp::Problem p = drp::make_instance(spec);
+  const net::Graph tree = drp::make_topology(spec);
+  const auto a = baselines::run_tree_placement(p, tree);
+  const auto b = baselines::run_tree_placement(p, tree);
+  EXPECT_EQ(a.policy_cost, b.policy_cost);
+  ASSERT_EQ(a.per_object.size(), b.per_object.size());
+  for (std::size_t k = 0; k < a.per_object.size(); ++k) {
+    EXPECT_EQ(a.per_object[k].open, b.per_object[k].open);
+  }
+}
+
+}  // namespace
+}  // namespace agtram

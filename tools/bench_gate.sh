@@ -3,8 +3,9 @@
 #
 # Re-runs the micro_core trajectory into a scratch JSON and diffs its
 # mechanism_full_run, baseline_run, kernel_*, regional_engine_run,
-# regional_tiled_run, ablation_regional_sweep, online_*_run, and
-# serving_*_run timing rows against the committed BENCH_mechanism.json: any row whose wall time regressed by more
+# regional_tiled_run, ablation_regional_sweep, online_*_run, serving_*_run,
+# strategic_audit_run, glauber_run, and tree_placement_run timing rows
+# against the committed BENCH_mechanism.json: any row whose wall time regressed by more
 # than the threshold (default 25%) fails the gate.  Rows are matched on the
 # full identity key (servers, objects, demand, layout, incremental_reports,
 # parallel_agents, algorithm, eval, parallel_scan, variant, regions,
@@ -98,7 +99,8 @@ GATED = ("mechanism_full_run", "baseline_run", "kernel_object_cost",
          "regional_engine_run", "regional_tiled_run",
          "ablation_regional_sweep", "online_event_run",
          "online_fromscratch_run", "serving_replay_run",
-         "serving_static_run", "serving_resolve_run")
+         "serving_static_run", "serving_resolve_run",
+         "strategic_audit_run", "glauber_run", "tree_placement_run")
 
 def rows(*paths):
     out = {}

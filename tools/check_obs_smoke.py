@@ -74,6 +74,27 @@ SERVING_COUNTERS = [
     "srv.snapshot_installs",
     "srv.drift_triggers",
 ]
+STRATEGIC_DECISIONS = [
+    "payment_rule",
+    "report_mode_requested",
+    "agents_to_probe",
+    "inflate_factors",
+    "deflate_factors",
+    "collusion_size",
+]
+# The audit sweep runs one full mechanism per (agent, factor) trial with a
+# DominanceAuditor installed, so the instrumented run must show trials,
+# audited rounds, and per-round dominance checks.
+STRATEGIC_COUNTERS = ["audit.trials", "audit.rounds", "audit.checks"]
+GLAUBER_DECISIONS = [
+    "sweeps",
+    "initial_temperature_fraction",
+    "cooling_rate",
+    "eval_path",
+    "bus_attached",
+]
+GLAUBER_COUNTERS = ["glauber.sweeps", "glauber.proposals", "glauber.accepted"]
+TREE_DECISIONS = ["shape", "arity", "strategy"]
 
 
 def fail(message):
@@ -126,13 +147,32 @@ def main():
     serving_speedup = [
         r for r in rows if r.get("benchmark") == "serving_speedup"
     ]
+    strategic = [
+        r for r in rows if r.get("benchmark") == "strategic_audit_run"
+    ]
+    strategic_checks = [
+        r
+        for r in rows
+        if r.get("benchmark")
+        in ("strategic_dominance_check", "strategic_damage_check")
+    ]
+    glauber = [r for r in rows if r.get("benchmark") == "glauber_run"]
+    glauber_identity = [
+        r for r in rows if r.get("benchmark") == "glauber_identity_check"
+    ]
+    tree = [r for r in rows if r.get("benchmark") == "tree_placement_run"]
+    tree_checks = [
+        r for r in rows if r.get("benchmark") == "tree_optimality_check"
+    ]
     if not mech or not auto or not base or not regional or not online \
-            or not serving:
+            or not serving or not strategic or not glauber or not tree:
         fail(
             f"{bench_path}: expected mechanism_full_run / mechanism_auto_mode"
-            f" / baseline_run / regional / online / serving rows, got"
+            f" / baseline_run / regional / online / serving / strategic /"
+            f" glauber / tree rows, got"
             f" {len(mech)}/{len(auto)}/{len(base)}/{len(regional)}"
-            f"/{len(online)}/{len(serving)}"
+            f"/{len(online)}/{len(serving)}/{len(strategic)}/{len(glauber)}"
+            f"/{len(tree)}"
         )
 
     for row in mech + auto:
@@ -219,6 +259,73 @@ def main():
                 f"({row.get('speedup')}x < {row.get('floor')}x)"
             )
 
+    for row in strategic:
+        obs = check_decisions(
+            row, STRATEGIC_DECISIONS, "strategic_audit_run row"
+        )
+        if not row.get("trials"):
+            fail("strategic_audit_run row swept no trials")
+        if row.get("round_violations"):
+            fail("strategic_audit_run row saw per-round dominance violations")
+        if expect_counters:
+            if not obs.get("enabled"):
+                fail("strategic_audit_run row: obs.enabled is false")
+            counters = obs.get("counters") or {}
+            for key in STRATEGIC_COUNTERS:
+                if key not in counters:
+                    fail(f"strategic_audit_run row: counters missing '{key}'")
+    dominance = [
+        r
+        for r in strategic_checks
+        if r.get("benchmark") == "strategic_dominance_check"
+    ]
+    damage = [
+        r
+        for r in strategic_checks
+        if r.get("benchmark") == "strategic_damage_check"
+    ]
+    if not dominance or not damage:
+        fail("missing strategic_dominance_check / strategic_damage_check rows")
+    for row in strategic_checks:
+        if not row.get("ok"):
+            fail(f"{row['benchmark']} row reports ok=false")
+
+    for row in glauber:
+        obs = check_decisions(row, GLAUBER_DECISIONS, "glauber_run row")
+        if obs["decisions"]["eval_path"] != row["eval"]:
+            fail("glauber_run eval_path disagrees with the row's eval field")
+        if not obs["decisions"]["bus_attached"]:
+            fail("glauber_run row ran without a MessageBus")
+        if not row.get("wire_proposal_bytes") or \
+                not row.get("wire_decision_bytes"):
+            fail("glauber_run row put no bytes on the wire")
+        if expect_counters:
+            if not obs.get("enabled"):
+                fail("glauber_run row: obs.enabled is false")
+            counters = obs.get("counters") or {}
+            for key in GLAUBER_COUNTERS:
+                if key not in counters:
+                    fail(f"glauber_run row: counters missing '{key}'")
+    if not glauber_identity:
+        fail("missing glauber_identity_check row")
+    for row in glauber_identity:
+        if not row.get("ok"):
+            fail("glauber_identity_check row reports ok=false")
+
+    for row in tree:
+        # The agt-ram context row reuses the mechanism; only the
+        # Benoit-Rehn-Robert variants carry tree decisions.
+        if row.get("variant") not in ("exact", "greedy"):
+            continue
+        obs = check_decisions(row, TREE_DECISIONS, "tree_placement_run row")
+        if obs["decisions"]["strategy"] != row["variant"]:
+            fail("tree_placement_run strategy disagrees with the row variant")
+    if not tree_checks:
+        fail("missing tree_optimality_check row")
+    for row in tree_checks:
+        if not row.get("ok"):
+            fail("tree_optimality_check row reports ok=false")
+
     metas, rounds = 0, 0
     with open(trace_path) as fh:
         for n, line in enumerate(fh, 1):
@@ -248,7 +355,8 @@ def main():
         f"check_obs_smoke: OK — {len(mech)} mechanism rows, {len(auto)} auto"
         f" rows, {len(base)} baseline rows, {len(regional)} regional rows,"
         f" {len(online)} online rows, {len(serving)} serving rows,"
-        f" {metas} traces, {rounds} round"
+        f" {len(strategic)} strategic rows, {len(glauber)} glauber rows,"
+        f" {len(tree)} tree rows, {metas} traces, {rounds} round"
         f" lines{' (counters required)' if expect_counters else ''}"
     )
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # Builds the concurrency-sensitive test binaries under ThreadSanitizer (or
-# AddressSanitizer with SAN=address) and runs them.  The thread-pool's
+# AddressSanitizer with SAN=address, or UBSan with SAN=undefined — the
+# undefined build compiles with -fno-sanitize-recover=all so any report
+# aborts the test) and runs them.  The thread-pool's
 # lock-lean parallel_for and the mechanism's PARFOR rounds are the targets:
 # chunk claiming, the completion latch, and the stack-job entrants drain are
 # all bare atomics, exactly what TSan is for.  The build instruments the
@@ -8,7 +10,7 @@
 # and the trace-sink pointer are under the same sanitizers as the pool.
 #
 # Usage:  tools/run_sanitized_tests.sh [build-dir]
-#   SAN=address|thread   sanitizer to use (default: thread)
+#   SAN=address|thread|undefined   sanitizer to use (default: thread)
 set -eu
 
 SAN="${SAN:-thread}"
@@ -24,12 +26,12 @@ cmake -B "$BUILD" -S "$SRC" \
 cmake --build "$BUILD" -j "$(nproc)" \
   --target test_common test_mechanism test_runtime test_baselines_delta \
            test_kernels test_online test_obs test_obs_noop test_regional \
-           test_serving
+           test_serving test_strategic test_glauber test_tree_placement
 
 status=0
 for t in test_common test_mechanism test_runtime test_baselines_delta \
          test_kernels test_online test_obs test_obs_noop test_regional \
-         test_serving; do
+         test_serving test_strategic test_glauber test_tree_placement; do
   echo "== $SAN-sanitized $t =="
   # The paper-scale differential cases take minutes under a sanitizer's
   # slowdown; the small-family + fuzz cases exercise the same parallel scans.
